@@ -1,0 +1,39 @@
+//! Extension bench: the executing 2-D top-down engine vs the 1-D engines
+//! (paper §V / Buluc & Madduri \[11\]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbfs_bench::scenarios::{self, BenchConfig};
+use nbfs_core::direction::SwitchPolicy;
+use nbfs_core::engine::{DistributedBfs, Scenario, TdStrategy};
+use nbfs_core::engine2d::TwoDimBfs;
+use nbfs_core::opt::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::tiny();
+    let nodes = 4;
+    let g = scenarios::graph(cfg.weak_scale(nodes));
+    let machine = cfg.machine(nodes);
+    let root = scenarios::best_root(g);
+
+    let mut group = c.benchmark_group("ext2d_comparison");
+    group.sample_size(10);
+
+    let scenario_1d = Scenario::new(machine.clone(), OptLevel::ShareAll)
+        .with_switch_policy(SwitchPolicy::always_top_down())
+        .with_td_strategy(TdStrategy::Alltoallv);
+    let engine_1d = DistributedBfs::new(g, &scenario_1d);
+    group.bench_function("top_down_1d_alltoallv", |b| b.iter(|| engine_1d.run(root)));
+
+    let scenario_hybrid = Scenario::new(machine.clone(), OptLevel::ShareAll);
+    let engine_hybrid = DistributedBfs::new(g, &scenario_hybrid);
+    group.bench_function("hybrid_1d", |b| b.iter(|| engine_hybrid.run(root)));
+
+    let scenario_2d = Scenario::new(machine, OptLevel::ShareAll);
+    let engine_2d = TwoDimBfs::new(g, &scenario_2d);
+    group.bench_function("top_down_2d", |b| b.iter(|| engine_2d.run(root)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench behind Fig. 3: the same BFS under 1-core, 8-core and
+//! 64-core (interleaved / bound) machine configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbfs_bench::scenarios::{self, BenchConfig};
+use nbfs_core::opt::OptLevel;
+use nbfs_topology::presets;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::tiny();
+    let g = scenarios::graph(cfg.base_scale);
+    let scaled =
+        |m: nbfs_topology::MachineConfig| m.scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
+    let mut group = c.benchmark_group("fig03_numa_speedup");
+    group.sample_size(10);
+    let cases = [
+        (
+            "1core",
+            scaled(presets::xeon_x7550_node().with_sockets_per_node(1).with_cores_per_socket(1)),
+            OptLevel::OriginalPpn1,
+        ),
+        (
+            "8core_local",
+            scaled(presets::xeon_x7550_node().with_sockets_per_node(1)),
+            OptLevel::OriginalPpn1,
+        ),
+        ("64core_interleave", scaled(presets::xeon_x7550_node()), OptLevel::OriginalPpn1),
+        ("64core_bind", scaled(presets::xeon_x7550_node()), OptLevel::OriginalPpn8),
+    ];
+    for (label, machine, opt) in cases {
+        group.bench_function(label, |b| b.iter(|| scenarios::run_once(g, &machine, opt)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

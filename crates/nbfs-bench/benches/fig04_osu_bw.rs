@@ -1,0 +1,20 @@
+//! Criterion bench behind Fig. 4: the OSU-style pairwise bandwidth model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbfs_simnet::osu::pairwise_bandwidth;
+use nbfs_simnet::FlowSolver;
+use nbfs_topology::presets;
+
+fn bench(c: &mut Criterion) {
+    let solver = FlowSolver::new(&presets::xeon_x7550_cluster(2));
+    let mut group = c.benchmark_group("fig04_osu_bw");
+    for ppn in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("ppn", ppn), &ppn, |b, &ppn| {
+            b.iter(|| pairwise_bandwidth(&solver, ppn, 4 << 20))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind Fig. 6: allgather algorithm cost evaluation at
+//! the paper's payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbfs_comm::allgather::{allgather_cost_bytes, AllgatherAlgorithm};
+use nbfs_simnet::NetworkModel;
+use nbfs_topology::{presets, PlacementPolicy, ProcessMap};
+
+fn bench(c: &mut Criterion) {
+    let machine = presets::cluster2012();
+    let pmap = ProcessMap::new(&machine, 8, PlacementPolicy::BindToSocket);
+    let net = NetworkModel::new(&machine);
+    let np = pmap.world_size() as u64;
+    let bytes: Vec<u64> = (0..np).map(|_| (512u64 << 20) / np).collect();
+    let mut group = c.benchmark_group("fig06_leader_allgather");
+    for algo in [
+        AllgatherAlgorithm::Ring,
+        AllgatherAlgorithm::RecursiveDoubling,
+        AllgatherAlgorithm::LeaderBased,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("algo", format!("{algo:?}")),
+            &algo,
+            |b, &algo| b.iter(|| allgather_cost_bytes(&bytes, &pmap, &net, algo)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

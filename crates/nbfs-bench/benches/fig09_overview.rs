@@ -1,0 +1,23 @@
+//! Criterion bench behind Fig. 9: one BFS per optimization-ladder rung.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbfs_bench::scenarios::{self, BenchConfig};
+use nbfs_core::opt::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::tiny();
+    let nodes = 4;
+    let g = scenarios::graph(cfg.weak_scale(nodes));
+    let machine = cfg.machine(nodes);
+    let mut group = c.benchmark_group("fig09_overview");
+    group.sample_size(10);
+    for opt in OptLevel::LADDER {
+        group.bench_with_input(BenchmarkId::new("opt", opt.label()), &opt, |b, &opt| {
+            b.iter(|| scenarios::run_once(g, &machine, opt))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench behind Fig. 12: Original ppn=1 vs ppn=8 under weak
+//! scaling (the profiled run whose comm phases the figure charts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbfs_bench::scenarios::{self, BenchConfig};
+use nbfs_core::opt::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::tiny();
+    let mut group = c.benchmark_group("fig12_comm_weak_scaling");
+    group.sample_size(10);
+    for nodes in [1usize, 2, 4] {
+        let g = scenarios::graph(cfg.weak_scale(nodes));
+        let machine = cfg.machine(nodes);
+        for opt in [OptLevel::OriginalPpn1, OptLevel::OriginalPpn8] {
+            group.bench_with_input(
+                BenchmarkId::new(opt.label(), nodes),
+                &(nodes, opt),
+                |b, _| b.iter(|| scenarios::run_once(g, &machine, opt)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

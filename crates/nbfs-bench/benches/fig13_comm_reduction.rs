@@ -1,0 +1,29 @@
+//! Criterion bench behind Fig. 13: the communication-optimization ladder
+//! at a fixed weak-scaling point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbfs_bench::scenarios::{self, BenchConfig};
+use nbfs_core::opt::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::tiny();
+    let nodes = 4;
+    let g = scenarios::graph(cfg.weak_scale(nodes));
+    let machine = cfg.machine(nodes);
+    let mut group = c.benchmark_group("fig13_comm_reduction");
+    group.sample_size(10);
+    for opt in [
+        OptLevel::OriginalPpn8,
+        OptLevel::ShareInQueue,
+        OptLevel::ShareAll,
+        OptLevel::ParAllgather,
+    ] {
+        group.bench_with_input(BenchmarkId::new("opt", opt.label()), &opt, |b, &opt| {
+            b.iter(|| scenarios::run_once(g, &machine, opt))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

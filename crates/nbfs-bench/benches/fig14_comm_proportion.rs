@@ -1,0 +1,27 @@
+//! Criterion bench behind Fig. 14: profiled runs from which the bottom-up
+//! communication share is extracted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbfs_bench::scenarios::{self, BenchConfig};
+use nbfs_core::engine::{DistributedBfs, Scenario};
+use nbfs_core::opt::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::tiny();
+    let nodes = 4;
+    let g = scenarios::graph(cfg.weak_scale(nodes));
+    let machine = cfg.machine(nodes);
+    let root = scenarios::best_root(g);
+    let mut group = c.benchmark_group("fig14_comm_proportion");
+    group.sample_size(10);
+    for opt in [OptLevel::OriginalPpn8, OptLevel::ParAllgather] {
+        let engine = DistributedBfs::new(g, &Scenario::new(machine.clone(), opt));
+        group.bench_with_input(BenchmarkId::new("opt", opt.label()), &opt, |b, _| {
+            b.iter(|| engine.run(root).profile.bu_comm_fraction())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench behind Fig. 16: the granularity sweep of the
+//! in_queue_summary bitmap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbfs_bench::scenarios::{self, BenchConfig};
+use nbfs_core::opt::OptLevel;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BenchConfig::tiny();
+    let nodes = 4;
+    let g = scenarios::graph(cfg.weak_scale(nodes));
+    let machine = cfg.machine(nodes);
+    let mut group = c.benchmark_group("fig16_granularity");
+    group.sample_size(10);
+    for gran in [64usize, 256, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("granularity", gran), &gran, |b, &gran| {
+            b.iter(|| scenarios::run_once(g, &machine, OptLevel::Granularity(gran)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

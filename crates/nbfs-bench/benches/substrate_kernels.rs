@@ -1,0 +1,53 @@
+//! Wall-clock benchmarks of the substrate itself: generator, CSR assembly,
+//! partitioning, sequential engines, bitmap/summary primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbfs_bench::scenarios;
+use nbfs_core::direction::SwitchPolicy;
+use nbfs_core::seq;
+use nbfs_graph::rmat::{self, RmatParams};
+use nbfs_graph::{Csr, PartitionedGraph};
+use nbfs_util::{Bitmap, SummaryBitmap};
+
+fn bench(c: &mut Criterion) {
+    let scale = 13;
+    let g = scenarios::graph(scale);
+    let root = scenarios::best_root(g);
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.bench_function("rmat_generate_s13", |b| {
+        b.iter(|| rmat::generate(&RmatParams::graph500(scale, 16, 7)))
+    });
+    let edges = rmat::generate(&RmatParams::graph500(scale, 16, 7));
+    group.bench_function("csr_build_s13", |b| b.iter(|| Csr::from_edge_list(&edges)));
+    group.bench_function("partition_32", |b| b.iter(|| PartitionedGraph::new(g, 32)));
+    group.bench_function("seq_top_down", |b| b.iter(|| seq::bfs_top_down(g, root)));
+    group.bench_function("seq_bottom_up", |b| b.iter(|| seq::bfs_bottom_up(g, root)));
+    group.bench_function("seq_hybrid", |b| {
+        b.iter(|| seq::bfs_hybrid(g, root, SwitchPolicy::default()))
+    });
+    group.finish();
+
+    let mut bits = Bitmap::new(1 << 20);
+    for i in (0..bits.len()).step_by(37) {
+        bits.set(i);
+    }
+    let mut group = c.benchmark_group("bitmap");
+    group.bench_function("count_ones_1m", |b| b.iter(|| bits.count_ones()));
+    group.bench_function("iter_ones_1m", |b| b.iter(|| bits.iter_ones().count()));
+    for gran in [64usize, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("summary_rebuild", gran),
+            &gran,
+            |b, &gran| {
+                let mut s = SummaryBitmap::new(bits.len(), gran);
+                b.iter(|| s.rebuild_from(&bits))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

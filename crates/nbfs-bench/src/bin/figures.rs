@@ -1,0 +1,87 @@
+//! Regenerates the paper's tables and figures on the simulated cluster.
+//!
+//! ```text
+//! cargo run -p nbfs-bench --release --bin figures -- all
+//! cargo run -p nbfs-bench --release --bin figures -- fig9 fig16 --scale 18
+//! cargo run -p nbfs-bench --release --bin figures -- fig13 --json
+//! ```
+
+use nbfs_bench::figures::{self, ALL_IDS};
+use nbfs_bench::scenarios::BenchConfig;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut cfg = BenchConfig::default();
+    let mut json = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                cfg.base_scale = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+                i += 2;
+            }
+            "--roots" => {
+                cfg.roots = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--roots needs a number"));
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "all" => {
+                ids.extend(ALL_IDS.iter().map(|s| s.to_string()));
+                i += 1;
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other if !other.starts_with('-') => {
+                ids.push(other.to_string());
+                i += 1;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "# base scale {} (single node), {} roots for TEPS figures",
+        cfg.base_scale, cfg.roots
+    );
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        match figures::generate(id, &cfg) {
+            Some(report) => {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    println!("{}", report.to_text());
+                }
+                eprintln!("# {id} regenerated in {:.1}s wall", t0.elapsed().as_secs_f64());
+            }
+            None => die(&format!("unknown figure id {id} (known: {})", ALL_IDS.join(", "))),
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: figures [--scale N] [--roots N] [--json] <id>... | all");
+    eprintln!("ids: {}", ALL_IDS.join(", "));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,158 @@
+//! Communication-cost studies under weak scaling: Figs. 12, 13 and 14.
+
+use nbfs_core::engine::{DistributedBfs, Scenario};
+use nbfs_core::opt::OptLevel;
+use nbfs_core::profile::RunProfile;
+
+use crate::report::FigureReport;
+use crate::scenarios::{best_root, graph, BenchConfig};
+
+const WEAK_NODES: [usize; 4] = [1, 2, 4, 8];
+
+fn weak_profile(cfg: &BenchConfig, nodes: usize, opt: OptLevel) -> RunProfile {
+    let scale = cfg.weak_scale(nodes);
+    let g = graph(scale);
+    let machine = cfg.machine(nodes);
+    let scenario = Scenario::new(machine, opt);
+    DistributedBfs::new(g, &scenario).run(best_root(g)).profile
+}
+
+/// Fig. 12 — absolute time of each bottom-up communication phase when weak
+/// scaling the `Original` code, ppn=1 vs ppn=8, plus the proportion curve.
+pub fn fig12(cfg: &BenchConfig) -> FigureReport {
+    let mut r = FigureReport::new(
+        "fig12",
+        "Communication cost of the Original implementation (weak scaling)",
+        "Fig. 12: per-phase cost grows exponentially with weak scaling; \
+         ppn=8 costs ~2.34x of ppn=1 at 8 nodes; the bottom-up comm share \
+         grows from 12% (1 node) to 54% (8 nodes)",
+        &[
+            "nodes",
+            "scale",
+            "comm/phase ppn=1",
+            "comm/phase ppn=8",
+            "ppn8/ppn1",
+            "comm share (ppn=8)",
+        ],
+    );
+    let mut ratio_at_8 = 0.0;
+    for nodes in WEAK_NODES {
+        let p1 = weak_profile(cfg, nodes, OptLevel::OriginalPpn1);
+        let p8 = weak_profile(cfg, nodes, OptLevel::OriginalPpn8);
+        let ratio = p8.mean_bu_comm_phase() / p1.mean_bu_comm_phase();
+        if nodes == 8 {
+            ratio_at_8 = ratio;
+        }
+        r.push_row(vec![
+            nodes.to_string(),
+            cfg.weak_scale(nodes).to_string(),
+            format!("{}", p1.mean_bu_comm_phase()),
+            format!("{}", p8.mean_bu_comm_phase()),
+            format!("{ratio:.2}x"),
+            format!("{:.0}%", 100.0 * p8.bu_comm_fraction()),
+        ]);
+    }
+    r.note(format!(
+        "paper at 8 nodes: ppn8/ppn1 = 2.34x — measured {ratio_at_8:.2}x"
+    ));
+    r
+}
+
+const LADDER: [OptLevel; 4] = [
+    OptLevel::OriginalPpn8,
+    OptLevel::ShareInQueue,
+    OptLevel::ShareAll,
+    OptLevel::ParAllgather,
+];
+
+/// Fig. 13 — reduction of the average bottom-up communication phase by the
+/// optimization ladder, per node count.
+pub fn fig13(cfg: &BenchConfig) -> FigureReport {
+    let mut r = FigureReport::new(
+        "fig13",
+        "Reduction of time per bottom-up communication phase",
+        "Fig. 13: the optimizations cut the phase time 4.07x at 8 nodes; \
+         Share in_queue alone roughly halves it",
+        &[
+            "nodes",
+            "Original.ppn=8",
+            "Share in_queue",
+            "Share all",
+            "Par allgather",
+            "total reduction",
+        ],
+    );
+    for nodes in WEAK_NODES {
+        let times: Vec<_> = LADDER
+            .iter()
+            .map(|&opt| weak_profile(cfg, nodes, opt).mean_bu_comm_phase())
+            .collect();
+        r.push_row(vec![
+            nodes.to_string(),
+            format!("{}", times[0]),
+            format!("{}", times[1]),
+            format!("{}", times[2]),
+            format!("{}", times[3]),
+            format!("{:.2}x", times[0] / times[3]),
+        ]);
+    }
+    r.note("paper: 4.07x total reduction at 8 nodes");
+    r
+}
+
+/// Fig. 14 — bottom-up communication's share of total execution time, per
+/// optimization and node count.
+pub fn fig14(cfg: &BenchConfig) -> FigureReport {
+    let mut r = FigureReport::new(
+        "fig14",
+        "Bottom-up communication proportion of total execution time",
+        "Fig. 14: at 8 nodes the share falls from 54% (no optimizations) to \
+         18% (all communication optimizations)",
+        &[
+            "nodes",
+            "Original.ppn=8",
+            "Share in_queue",
+            "Share all",
+            "Par allgather",
+        ],
+    );
+    for nodes in WEAK_NODES {
+        let mut row = vec![nodes.to_string()];
+        for &opt in &LADDER {
+            let frac = weak_profile(cfg, nodes, opt).bu_comm_fraction();
+            row.push(format!("{:.0}%", 100.0 * frac));
+        }
+        r.push_row(row);
+    }
+    r.note("paper at 8 nodes: 54% -> 18%");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_rows_per_node_count() {
+        let r = fig12(&BenchConfig::tiny());
+        assert_eq!(r.rows.len(), WEAK_NODES.len());
+    }
+
+    #[test]
+    fn fig13_reduction_positive() {
+        let r = fig13(&BenchConfig::tiny());
+        for row in &r.rows {
+            assert!(row[5].ends_with('x'));
+        }
+    }
+
+    #[test]
+    fn fig14_percentages() {
+        let r = fig14(&BenchConfig::tiny());
+        for row in &r.rows {
+            for cell in &row[1..] {
+                assert!(cell.ends_with('%'));
+            }
+        }
+    }
+}

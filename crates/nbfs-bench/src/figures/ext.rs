@@ -1,0 +1,61 @@
+//! Extension studies beyond the paper's evaluation.
+//!
+//! `ext2d` quantifies the Section V claim that the paper's optimizations
+//! compose with 2-D partitioning \[11\]: "they are orthogonal — our
+//! implementation could be applied to 2-D partition algorithm to further
+//! reduce its communication overhead".
+
+use nbfs_core::engine::Scenario;
+use nbfs_core::ext2d::TwoDimComparison;
+use nbfs_core::opt::OptLevel;
+
+use crate::report::FigureReport;
+use crate::scenarios::{best_root, graph, BenchConfig};
+
+/// ext2d — per-level 1-D vs 2-D communication cost on 8 nodes.
+pub fn ext2d(cfg: &BenchConfig) -> FigureReport {
+    let nodes = 8;
+    let scale = cfg.weak_scale(nodes);
+    let g = graph(scale);
+    let machine = cfg.machine(nodes);
+    let scenario = Scenario::new(machine, OptLevel::ParAllgather);
+    let cmp = TwoDimComparison::analyze(g, &scenario, best_root(g));
+
+    let mut r = FigureReport::new(
+        "ext2d",
+        "1-D vs 2-D partitioning: bottom-up communication per level",
+        "Section V / Buluc & Madduri [11]: 2-D partitioning reduced BFS \
+         communication ~3.5x; the paper calls the approaches orthogonal",
+        &["BU level", "discovered", "1-D comm", "2-D expand", "2-D fold", "2-D total"],
+    );
+    for (i, l) in cmp.levels.iter().enumerate() {
+        r.push_row(vec![
+            i.to_string(),
+            l.discovered.to_string(),
+            format!("{}", l.one_dim),
+            format!("{}", l.expand),
+            format!("{}", l.fold),
+            format!("{}", l.two_dim()),
+        ]);
+    }
+    r.note(format!(
+        "grid {}x{} (rows = nodes, cols = ranks/node); total reduction {:.2}x (paper [11]: ~3.5x)",
+        cmp.rows,
+        cmp.cols,
+        cmp.reduction()
+    ));
+    r.note(format!("graph scale {scale} on {nodes} nodes, Par-allgather baseline"));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext2d_reports_reduction() {
+        let r = ext2d(&BenchConfig::tiny());
+        assert!(!r.rows.is_empty());
+        assert!(r.notes[0].contains("reduction"));
+    }
+}

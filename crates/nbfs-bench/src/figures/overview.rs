@@ -1,0 +1,129 @@
+//! Fig. 9 (the optimization-ladder overview) and the Section II.A
+//! hybrid-vs-pure-algorithm comparison.
+
+use nbfs_core::direction::SwitchPolicy;
+use nbfs_core::engine::Scenario;
+use nbfs_core::harness::{Graph500Harness, HarnessConfig};
+use nbfs_core::opt::OptLevel;
+use nbfs_core::seq;
+
+use crate::figures::{ratio_cell, teps_cell};
+use crate::report::FigureReport;
+use crate::scenarios::{best_root, graph, run_scenario, BenchConfig};
+
+/// Fig. 9 — harmonic-mean TEPS for every rung of the optimization ladder on
+/// the 16-node cluster.
+pub fn fig9(cfg: &BenchConfig) -> FigureReport {
+    let nodes = 16;
+    let scale = cfg.weak_scale(nodes);
+    let g = graph(scale);
+    let machine = cfg.machine(nodes);
+
+    let mut r = FigureReport::new(
+        "fig9",
+        "Overview of all optimizations (16 nodes)",
+        "Fig. 9: Original.ppn=8 = 1.53x of ppn=1; all optimizations together \
+         2.44x of ppn=1 (1.60x of ppn=8); Share in_queue +34.1%, Share all \
+         +6.5%, Par allgather +4.6%, Granularity +14.8%",
+        &["implementation", "TEPS (harmonic mean)", "vs Original.ppn=1", "vs previous"],
+    );
+    let mut prev: Option<f64> = None;
+    let mut base: Option<f64> = None;
+    for opt in OptLevel::LADDER {
+        let scenario = Scenario::new(machine.clone(), opt);
+        let harness = Graph500Harness::new(g, &scenario);
+        let teps = harness
+            .run(&HarnessConfig {
+                roots: cfg.roots,
+                seed: 2012,
+                validate: false,
+            })
+            .harmonic_teps();
+        let b = *base.get_or_insert(teps);
+        let p = prev.replace(teps).unwrap_or(teps);
+        r.push_row(vec![
+            opt.label(),
+            teps_cell(teps),
+            ratio_cell(teps / b),
+            format!("{:+.1}%", 100.0 * (teps / p - 1.0)),
+        ]);
+    }
+    r.note(format!(
+        "graph scale {scale} on {nodes} nodes (paper: scale 32), {} roots",
+        cfg.roots
+    ));
+    r
+}
+
+/// Section II.A — the hybrid algorithm vs pure top-down and pure bottom-up
+/// on a 64-core node, plus the edges-examined explanation.
+pub fn hybrid_vs_pure(cfg: &BenchConfig) -> FigureReport {
+    let g = graph(cfg.base_scale);
+    let machine = nbfs_topology::presets::xeon_x7550_node()
+        .scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
+    let root = best_root(g);
+
+    // Work comparison from the sequential oracles.
+    let td_edges = seq::bfs_top_down(g, root).edges_examined();
+    let bu_edges = seq::bfs_bottom_up(g, root).edges_examined();
+    let hy_edges = seq::bfs_hybrid(g, root, SwitchPolicy::default()).edges_examined();
+
+    // End-to-end comparison on the simulated 64-core node.
+    let teps_with = |policy: SwitchPolicy| {
+        let s = Scenario::new(machine.clone(), OptLevel::OriginalPpn8).with_switch_policy(policy);
+        run_scenario(g, &s).1
+    };
+    let hy = teps_with(SwitchPolicy::default());
+    let td = teps_with(SwitchPolicy::always_top_down());
+    let bu = teps_with(SwitchPolicy::always_bottom_up());
+
+    let mut r = FigureReport::new(
+        "hybrid",
+        "Hybrid vs pure top-down vs pure bottom-up (64-core node)",
+        "Section II.A: hybrid is 27.3x faster than top-down and 4.7x faster \
+         than bottom-up on a 64-core platform",
+        &["algorithm", "edges examined", "TEPS", "hybrid speedup"],
+    );
+    for (label, edges, teps) in [
+        ("top-down", td_edges, td),
+        ("bottom-up", bu_edges, bu),
+        ("hybrid", hy_edges, hy),
+    ] {
+        r.push_row(vec![
+            label.into(),
+            edges.to_string(),
+            teps_cell(teps),
+            ratio_cell(hy / teps),
+        ]);
+    }
+    r.note(format!(
+        "hybrid examines {:.1}x fewer edges than top-down, {:.1}x fewer than bottom-up",
+        td_edges as f64 / hy_edges as f64,
+        bu_edges as f64 / hy_edges as f64,
+    ));
+    r.note(
+        "the paper's 27.3x also includes pure-MPI overheads of the top-down \
+         baseline (64 separate processes); our forced-top-down keeps the \
+         hybrid's process layout, so the measured gap is smaller",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_ladder_is_mostly_monotone() {
+        let r = fig9(&BenchConfig::tiny());
+        assert_eq!(r.rows.len(), OptLevel::LADDER.len());
+    }
+
+    #[test]
+    fn hybrid_wins_both_ways() {
+        let r = hybrid_vs_pure(&BenchConfig::tiny());
+        assert_eq!(r.rows.len(), 3);
+        // hybrid row speedup is exactly 1x.
+        assert_eq!(r.rows[2][3], "1.00x");
+    }
+}

@@ -1,0 +1,117 @@
+//! Tabular figure output, printable and machine-readable.
+
+use serde::Serialize;
+
+/// One regenerated table/figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureReport {
+    /// Identifier ("fig9", "table1", ...).
+    pub id: String,
+    /// Human title, matching the paper's caption topic.
+    pub title: String,
+    /// What the paper reported for this figure (for eyeball comparison).
+    pub paper_reference: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (parameters, substitutions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, paper_reference: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            paper_reference: paper_reference.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("paper: {}\n", self.paper_reference));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns() {
+        let mut r = FigureReport::new("figX", "demo", "n/a", &["a", "bbb"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.push_row(vec!["333".into(), "4".into()]);
+        r.note("hello");
+        let text = r.to_text();
+        assert!(text.contains("figX"));
+        assert!(text.contains("333"));
+        assert!(text.contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut r = FigureReport::new("f", "t", "p", &["a"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let mut r = FigureReport::new("f", "t", "p", &["a"]);
+        r.push_row(vec!["1".into()]);
+        let j = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["id"], "f");
+        assert_eq!(v["rows"][0][0], "1");
+    }
+}

@@ -1,0 +1,438 @@
+//! Implementation of the `nbfs` command-line tool.
+//!
+//! Subcommands (see [`usage`]):
+//!
+//! * `generate` — write a Graph500 R-MAT edge list to disk;
+//! * `info` — degree statistics of an edge-list file;
+//! * `run` — one profiled BFS on the simulated cluster, with the full
+//!   Fig. 11 breakdown;
+//! * `bench` — a Graph500-style campaign (N roots, harmonic-mean TEPS);
+//! * `tune` — the analytic summary-granularity recommendation of
+//!   `nbfs_core::tuning` for a given frontier density.
+//!
+//! The library half exists so argument parsing and command execution are
+//! unit-testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use nbfs_core::engine::{DistributedBfs, Scenario, TdStrategy};
+use nbfs_core::harness::{Graph500Harness, HarnessConfig};
+use nbfs_core::opt::OptLevel;
+use nbfs_core::profile::Phase;
+use nbfs_graph::stats::DegreeStats;
+use nbfs_graph::{io, Csr, GraphBuilder};
+use nbfs_simnet::Residence;
+use nbfs_topology::presets;
+use nbfs_util::stats::format_teps;
+use nbfs_util::Bitmap;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `generate --scale N [--edge-factor E] [--seed S] --out FILE`
+    Generate {
+        /// Graph500 scale (log2 vertices).
+        scale: u32,
+        /// Edges per vertex.
+        edge_factor: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Output path (`.txt`/`.el` = text, else binary).
+        out: PathBuf,
+    },
+    /// `info FILE`
+    Info {
+        /// Edge-list file to inspect.
+        path: PathBuf,
+    },
+    /// `run [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--td-alltoallv]`
+    Run {
+        /// Scale to generate (ignored with `--graph`).
+        scale: u32,
+        /// Optional edge-list file instead of generation.
+        graph: Option<PathBuf>,
+        /// Simulated node count.
+        nodes: usize,
+        /// Optimization level.
+        opt: OptLevel,
+        /// Root (default: max-degree vertex).
+        root: Option<usize>,
+        /// Use the mpi_simple-style alltoallv top-down.
+        td_alltoallv: bool,
+    },
+    /// `bench [--scale N] [--nodes N] [--opt NAME] [--roots K]`
+    Bench {
+        /// Scale to generate.
+        scale: u32,
+        /// Simulated node count.
+        nodes: usize,
+        /// Optimization level.
+        opt: OptLevel,
+        /// Number of search keys.
+        roots: usize,
+    },
+    /// `tune [--scale N] [--density D]`
+    Tune {
+        /// Scale of the frontier bitmap.
+        scale: u32,
+        /// Frontier density in (0, 1).
+        density: f64,
+    },
+    /// `--help`
+    Help,
+}
+
+/// Parses an optimization-level name.
+pub fn parse_opt(name: &str) -> Result<OptLevel, String> {
+    Ok(match name {
+        "ppn1" => OptLevel::OriginalPpn1,
+        "ppn8" => OptLevel::OriginalPpn8,
+        "share-in-queue" => OptLevel::ShareInQueue,
+        "share-all" => OptLevel::ShareAll,
+        "par-allgather" => OptLevel::ParAllgather,
+        "best" => OptLevel::Granularity(256),
+        g if g.starts_with("granularity=") => {
+            let v: usize = g["granularity=".len()..]
+                .parse()
+                .map_err(|e| format!("bad granularity: {e}"))?;
+            OptLevel::Granularity(v)
+        }
+        other => return Err(format!("unknown --opt {other}")),
+    })
+}
+
+/// Parses a full argument vector (excluding argv\[0\]).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it.next().ok_or_else(|| "missing subcommand".to_string())?;
+    let rest: Vec<&str> = it.collect();
+    let flag = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|&a| a == name)
+            .and_then(|i| rest.get(i + 1).copied())
+    };
+    let has = |name: &str| rest.contains(&name);
+    let num = |name: &str, default: u64| -> Result<u64, String> {
+        flag(name)
+            .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+
+    Ok(match sub {
+        "generate" => Command::Generate {
+            scale: num("--scale", 16)? as u32,
+            edge_factor: num("--edge-factor", 16)? as usize,
+            seed: num("--seed", 1)?,
+            out: PathBuf::from(
+                flag("--out").ok_or_else(|| "generate needs --out FILE".to_string())?,
+            ),
+        },
+        "info" => Command::Info {
+            path: PathBuf::from(
+                rest.first()
+                    .filter(|a| !a.starts_with("--"))
+                    .ok_or_else(|| "info needs a FILE".to_string())?,
+            ),
+        },
+        "run" => Command::Run {
+            scale: num("--scale", 16)? as u32,
+            graph: flag("--graph").map(PathBuf::from),
+            nodes: num("--nodes", 16)? as usize,
+            opt: parse_opt(flag("--opt").unwrap_or("best"))?,
+            root: flag("--root")
+                .map(|v| v.parse().map_err(|e| format!("bad --root: {e}")))
+                .transpose()?,
+            td_alltoallv: has("--td-alltoallv"),
+        },
+        "bench" => Command::Bench {
+            scale: num("--scale", 16)? as u32,
+            nodes: num("--nodes", 16)? as usize,
+            opt: parse_opt(flag("--opt").unwrap_or("best"))?,
+            roots: num("--roots", 8)? as usize,
+        },
+        "tune" => Command::Tune {
+            scale: num("--scale", 20)? as u32,
+            density: flag("--density")
+                .map(|v| v.parse().map_err(|e| format!("bad --density: {e}")))
+                .unwrap_or(Ok(0.02))?,
+        },
+        "--help" | "-h" | "help" => Command::Help,
+        other => return Err(format!("unknown subcommand {other}")),
+    })
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "nbfs — hybrid BFS on a simulated NUMA cluster (CLUSTER 2012 reproduction)
+
+USAGE:
+  nbfs generate --scale N [--edge-factor E] [--seed S] --out FILE
+  nbfs info FILE
+  nbfs run   [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--td-alltoallv]
+  nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K]
+  nbfs tune  [--scale N] [--density D]
+
+OPT: ppn1 | ppn8 | share-in-queue | share-all | par-allgather | best | granularity=G"
+}
+
+/// Executes a parsed command, writing human output to `out`.
+pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let err = |e: std::io::Error| e.to_string();
+    match cmd {
+        Command::Help => writeln!(out, "{}", usage()).map_err(err)?,
+        Command::Generate {
+            scale,
+            edge_factor,
+            seed,
+            out: path,
+        } => {
+            let el = GraphBuilder::rmat(scale, edge_factor)
+                .seed(seed)
+                .build_edge_list();
+            io::save(&path, &el).map_err(err)?;
+            writeln!(
+                out,
+                "wrote {} raw edges over {} vertices to {}",
+                el.len(),
+                el.num_vertices,
+                path.display()
+            )
+            .map_err(err)?;
+        }
+        Command::Info { path } => {
+            let el = io::load(&path).map_err(err)?;
+            let g = Csr::from_edge_list(&el);
+            let s = DegreeStats::compute(&g);
+            writeln!(out, "{}", serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?)
+                .map_err(err)?;
+        }
+        Command::Run {
+            scale,
+            graph,
+            nodes,
+            opt,
+            root,
+            td_alltoallv,
+        } => {
+            let g = match graph {
+                Some(path) => Csr::from_edge_list(&io::load(&path).map_err(err)?),
+                None => GraphBuilder::rmat(scale, 16).seed(1).build(),
+            };
+            let actual_scale = (g.num_vertices() as f64).log2().ceil() as u32;
+            let machine =
+                presets::xeon_x7550_cluster(nodes).scaled_to_graph(actual_scale, 28);
+            let mut scenario = Scenario::new(machine, opt);
+            if td_alltoallv {
+                scenario = scenario.with_td_strategy(TdStrategy::Alltoallv);
+            }
+            let root = root.unwrap_or_else(|| {
+                (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).expect("non-empty")
+            });
+            let run = DistributedBfs::new(&g, &scenario).run(root);
+            writeln!(
+                out,
+                "{} on {nodes} nodes, root {root}: visited {} of {} vertices",
+                opt.label(),
+                run.visited,
+                g.num_vertices()
+            )
+            .map_err(err)?;
+            for phase in Phase::ALL {
+                let t = run.profile.phase(phase);
+                writeln!(
+                    out,
+                    "  {:<16} {:>12}  {:>5.1}%",
+                    phase.label(),
+                    format!("{t}"),
+                    100.0 * (t / run.profile.total())
+                )
+                .map_err(err)?;
+            }
+            let teps = g.component_edges(root) as f64 / run.profile.total().as_secs();
+            writeln!(out, "  total {} -> {}", run.profile.total(), format_teps(teps))
+                .map_err(err)?;
+        }
+        Command::Bench {
+            scale,
+            nodes,
+            opt,
+            roots,
+        } => {
+            let g = GraphBuilder::rmat(scale, 16).seed(1).build();
+            let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(scale, 28);
+            let scenario = Scenario::new(machine, opt);
+            let harness = Graph500Harness::new(&g, &scenario);
+            let result = harness.run(&HarnessConfig {
+                roots,
+                seed: 2012,
+                validate: true,
+            });
+            writeln!(
+                out,
+                "{} | scale {scale} | {nodes} nodes | {roots} roots (all validated)",
+                opt.label()
+            )
+            .map_err(err)?;
+            writeln!(out, "harmonic-mean TEPS: {}", format_teps(result.harmonic_teps()))
+                .map_err(err)?;
+            writeln!(
+                out,
+                "bottom-up comm share: {:.1}%",
+                100.0 * result.mean_profile.bu_comm_fraction()
+            )
+            .map_err(err)?;
+        }
+        Command::Tune { scale, density } => {
+            if !(0.0..1.0).contains(&density) || density <= 0.0 {
+                return Err("--density must be in (0, 1)".into());
+            }
+            let n = 1usize << scale.min(24);
+            let mut frontier = Bitmap::new(n);
+            let mut rng = nbfs_util::rng::Xoroshiro128::new(7);
+            let target = ((n as f64) * density) as usize;
+            let mut ones = 0;
+            while ones < target {
+                if frontier.set_returning_fresh(rng.next_below(n as u64) as usize) {
+                    ones += 1;
+                }
+            }
+            let machine = presets::cluster2012().scaled_to_graph(scale.min(24), 32);
+            let g = nbfs_core::tuning::auto_granularity(
+                &machine,
+                &frontier,
+                Residence::NodeShared,
+                Residence::NodeShared,
+            );
+            writeln!(
+                out,
+                "frontier density {density}: recommended in_queue_summary granularity = {g}"
+            )
+            .map_err(err)?;
+            for cand in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+                let c = nbfs_core::tuning::expected_check_ns(
+                    &machine,
+                    &frontier,
+                    cand,
+                    Residence::NodeShared,
+                    Residence::NodeShared,
+                );
+                writeln!(out, "  g={cand:<5} expected check cost {c:.1} ns").map_err(err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_generate() {
+        let cmd = parse(&argv("generate --scale 12 --seed 9 --out /tmp/x.bin")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                scale: 12,
+                edge_factor: 16,
+                seed: 9,
+                out: PathBuf::from("/tmp/x.bin"),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_run_flags() {
+        let cmd = parse(&argv("run --scale 14 --nodes 4 --opt share-all --td-alltoallv")).unwrap();
+        match cmd {
+            Command::Run {
+                scale,
+                nodes,
+                opt,
+                td_alltoallv,
+                ..
+            } => {
+                assert_eq!(scale, 14);
+                assert_eq!(nodes, 4);
+                assert_eq!(opt, OptLevel::ShareAll);
+                assert!(td_alltoallv);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_opt_names() {
+        assert_eq!(parse_opt("best").unwrap(), OptLevel::Granularity(256));
+        assert_eq!(parse_opt("granularity=512").unwrap(), OptLevel::Granularity(512));
+        assert!(parse_opt("nope").is_err());
+        assert!(parse_opt("granularity=x").is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("generate --scale 12")).is_err(), "--out required");
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("info")).is_err());
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let cmd = parse(&argv("run --scale 10 --nodes 2 --opt ppn8")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("visited"), "{text}");
+        assert!(text.contains("TEPS"), "{text}");
+    }
+
+    #[test]
+    fn bench_command_end_to_end() {
+        let cmd = parse(&argv("bench --scale 10 --nodes 2 --roots 2 --opt share-all")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("harmonic-mean TEPS"), "{text}");
+    }
+
+    #[test]
+    fn tune_command_end_to_end() {
+        let cmd = parse(&argv("tune --scale 16 --density 0.01")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("recommended"), "{text}");
+        let bad = Command::Tune { scale: 16, density: 2.0 };
+        assert!(execute(bad, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn generate_info_roundtrip() {
+        let dir = std::env::temp_dir().join("nbfs-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let cmd = parse(&argv(&format!(
+            "generate --scale 9 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        execute(cmd, &mut Vec::new()).unwrap();
+        let mut buf = Vec::new();
+        execute(
+            Command::Info { path: path.clone() },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("num_vertices"), "{text}");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,181 @@
+//! Personalized all-to-all exchange (MPI `alltoallv`).
+//!
+//! The top-down phase of the distributed BFS sends `(destination vertex,
+//! parent)` records to the destination's owner rank, exactly like the
+//! Graph500 `mpi_simple` code. Traffic is tiny compared to the bottom-up
+//! allgathers (the paper's Fig. 11 shows top-down communication inside the
+//! small "top-down" slice), but it must be functionally correct for the
+//! BFS tree to validate.
+
+use nbfs_simnet::{Flow, NetworkModel};
+use nbfs_topology::ProcessMap;
+use nbfs_util::SimTime;
+
+use crate::profile::CommCost;
+
+/// Result of an all-to-all exchange.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlltoallvOutcome<T> {
+    /// `received[j]` = everything rank `j` received, in sender-rank order
+    /// (deterministic).
+    pub received: Vec<Vec<T>>,
+    /// Charged time.
+    pub cost: CommCost,
+}
+
+/// Exchanges `sends[i][j]` (the records rank `i` addresses to rank `j`),
+/// returning per-receiver inboxes and the simulated cost.
+///
+/// Cost model: all pairwise transfers proceed concurrently; inter-node
+/// traffic is aggregated per node pair and priced by the flow solver,
+/// intra-node traffic is a shared-memory copy round. The phase ends when
+/// the slower medium finishes.
+pub fn alltoallv<T: Clone>(
+    sends: &[Vec<Vec<T>>],
+    item_bytes: usize,
+    pmap: &ProcessMap,
+    net: &NetworkModel,
+) -> AlltoallvOutcome<T> {
+    let np = pmap.world_size();
+    assert_eq!(sends.len(), np, "need a send matrix row per rank");
+    for (i, row) in sends.iter().enumerate() {
+        assert_eq!(row.len(), np, "rank {i}'s send row must cover all ranks");
+    }
+
+    // Functional exchange, deterministic receive order (by sender rank).
+    let received: Vec<Vec<T>> = (0..np)
+        .map(|j| {
+            let mut inbox = Vec::new();
+            for row in sends.iter() {
+                inbox.extend(row[j].iter().cloned());
+            }
+            inbox
+        })
+        .collect();
+
+    // Aggregate traffic per node pair / per node.
+    let nodes = pmap.nodes();
+    let mut wire = vec![vec![0u64; nodes]; nodes];
+    let mut shm_bytes = vec![0u64; nodes];
+    let mut shm_copiers = vec![0usize; nodes];
+    for (i, row) in sends.iter().enumerate() {
+        let sn = pmap.node_of(i);
+        let mut sent_intra = false;
+        for (j, msg) in row.iter().enumerate() {
+            if msg.is_empty() {
+                continue;
+            }
+            let dn = pmap.node_of(j);
+            let bytes = (msg.len() * item_bytes) as u64;
+            if sn == dn {
+                shm_bytes[sn] += bytes;
+                sent_intra = true;
+            } else {
+                wire[sn][dn] += bytes;
+            }
+        }
+        if sent_intra {
+            shm_copiers[sn] += 1;
+        }
+    }
+
+    let flows: Vec<Flow> = (0..nodes)
+        .flat_map(|s| (0..nodes).map(move |d| (s, d)))
+        .filter(|&(s, d)| s != d && wire[s][d] > 0)
+        .map(|(s, d)| Flow::new(s, d, wire[s][d]))
+        .collect();
+    let t_wire = net.round_time(&flows);
+
+    let sockets = net.machine().sockets_per_node;
+    let t_shm = (0..nodes)
+        .filter(|&n| shm_copiers[n] > 0)
+        .map(|n| {
+            let per_copier = shm_bytes[n] / shm_copiers[n] as u64;
+            net.shm_copy_time(2 * per_copier, shm_copiers[n], shm_copiers[n].clamp(1, sockets))
+        })
+        .fold(SimTime::ZERO, SimTime::max);
+
+    AlltoallvOutcome {
+        received,
+        cost: CommCost::inter_only(t_wire.max(t_shm)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbfs_topology::{presets, PlacementPolicy, ProcessMap};
+
+    fn setup(nodes: usize, ppn: usize) -> (ProcessMap, NetworkModel) {
+        let m = presets::xeon_x7550_cluster(nodes);
+        let policy = if ppn > 1 {
+            PlacementPolicy::BindToSocket
+        } else {
+            PlacementPolicy::Interleave
+        };
+        (
+            ProcessMap::new(&m, ppn, policy),
+            NetworkModel::new(&m),
+        )
+    }
+
+    #[test]
+    fn exchange_routes_everything_in_sender_order() {
+        let (pmap, net) = setup(2, 8);
+        let np = pmap.world_size();
+        // Rank i sends the pair (i, j) to rank j.
+        let sends: Vec<Vec<Vec<(u32, u32)>>> = (0..np)
+            .map(|i| (0..np).map(|j| vec![(i as u32, j as u32)]).collect())
+            .collect();
+        let out = alltoallv(&sends, 8, &pmap, &net);
+        for (j, inbox) in out.received.iter().enumerate() {
+            let expect: Vec<(u32, u32)> = (0..np).map(|i| (i as u32, j as u32)).collect();
+            assert_eq!(inbox, &expect, "receiver {j}");
+        }
+        assert!(out.cost.total() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_exchange_is_cheap_and_empty() {
+        let (pmap, net) = setup(2, 1);
+        let np = pmap.world_size();
+        let sends: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); np]; np];
+        let out = alltoallv(&sends, 8, &pmap, &net);
+        assert!(out.received.iter().all(Vec::is_empty));
+        assert_eq!(out.cost.total(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn intra_node_only_exchange_has_no_wire_time() {
+        let (pmap, net) = setup(1, 8);
+        let np = pmap.world_size();
+        let mut sends: Vec<Vec<Vec<u8>>> = vec![vec![Vec::new(); np]; np];
+        sends[0][1] = vec![1, 2, 3];
+        let out = alltoallv(&sends, 1, &pmap, &net);
+        assert_eq!(out.received[1], vec![1, 2, 3]);
+        // Still costs shm time, but far less than any wire transfer would.
+        assert!(out.cost.total() < SimTime::from_micros(100.0));
+    }
+
+    #[test]
+    fn bigger_payload_costs_more() {
+        let (pmap, net) = setup(4, 8);
+        let np = pmap.world_size();
+        let mk = |k: usize| -> Vec<Vec<Vec<u64>>> {
+            (0..np)
+                .map(|_| (0..np).map(|_| vec![0u64; k]).collect())
+                .collect()
+        };
+        let small = alltoallv(&mk(10), 8, &pmap, &net).cost.total();
+        let big = alltoallv(&mk(10_000), 8, &pmap, &net).cost.total();
+        assert!(big > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "send matrix row per rank")]
+    fn bad_matrix_rejected() {
+        let (pmap, net) = setup(2, 1);
+        let sends: Vec<Vec<Vec<u8>>> = vec![vec![Vec::new(); 2]];
+        alltoallv(&sends, 1, &pmap, &net);
+    }
+}

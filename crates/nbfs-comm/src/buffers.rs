@@ -1,0 +1,264 @@
+//! Node-shared communication buffers — the `mmap` sharing of Section III.A.
+//!
+//! In the paper, the ranks of one node map a single `in_queue` (and later
+//! their `out_queue` segments) into shared memory, so the leader-based
+//! allgather's intra-node gather/broadcast steps disappear: "after step 1,
+//! all processes can see and directly use the result from the shared
+//! space" (Fig. 5b). With ranks as threads, the mapping becomes one
+//! [`AtomicBitmap`] region per simulated node behind an `Arc`.
+//!
+//! The write/read protocol mirrors the MPI program's reliance on the
+//! collective as its only synchronization point:
+//!
+//! 1. every rank [`SharedFrontier::publish_segment`]s its own word range
+//!    into its node's region (disjoint writes, no locks needed);
+//! 2. one [`SharedFrontier::exchange`] call performs the inter-node
+//!    allgather, installing the full frontier into *every* node's region
+//!    and advancing the epoch;
+//! 3. readers obtain the region through [`SharedFrontier::read`], which
+//!    (in debug builds) asserts the epoch they expect — catching
+//!    read-before-exchange bugs that real `mmap` sharing would surface as
+//!    silent data races.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nbfs_simnet::NetworkModel;
+use nbfs_topology::ProcessMap;
+use nbfs_util::{AtomicBitmap, BlockPartition};
+
+use crate::allgather::{allgather_cost_bytes, AllgatherAlgorithm};
+use crate::profile::CommCost;
+
+/// One node's shared mapping of the frontier bitmap.
+pub struct NodeRegion {
+    words: AtomicBitmap,
+    epoch: AtomicU64,
+}
+
+impl NodeRegion {
+    fn new(len_bits: usize) -> Self {
+        Self {
+            words: AtomicBitmap::new(len_bits),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared bitmap of this node.
+    pub fn bitmap(&self) -> &AtomicBitmap {
+        &self.words
+    }
+
+    /// Exchange generation this region currently holds.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// The node-shared frontier: one region per node, plus the partition that
+/// tells each rank which words it owns.
+pub struct SharedFrontier {
+    regions: Vec<Arc<NodeRegion>>,
+    partition: BlockPartition,
+    nodes: usize,
+    ppn: usize,
+}
+
+impl SharedFrontier {
+    /// Allocates one region per node for an `n_bits` frontier distributed
+    /// across `pmap`'s ranks.
+    pub fn new(n_bits: usize, pmap: &ProcessMap) -> Self {
+        Self {
+            regions: (0..pmap.nodes())
+                .map(|_| Arc::new(NodeRegion::new(n_bits)))
+                .collect(),
+            partition: BlockPartition::new(n_bits, pmap.world_size()),
+            nodes: pmap.nodes(),
+            ppn: pmap.ppn(),
+        }
+    }
+
+    /// The ownership partition in force.
+    pub fn partition(&self) -> BlockPartition {
+        self.partition
+    }
+
+    /// Rank `rank` publishes its out-queue segment into its node's shared
+    /// region. Writes are word-disjoint across the ranks of a node.
+    pub fn publish_segment(&self, rank: usize, words: &[u64]) {
+        let node = rank / self.ppn;
+        let (ws, we) = self.partition.word_range(rank);
+        assert_eq!(words.len(), we - ws, "segment length mismatch for rank {rank}");
+        self.regions[node].words.import_words(ws, words);
+    }
+
+    /// Performs the inter-node exchange: every region ends up holding the
+    /// full frontier (the union of all ranks' published segments), and the
+    /// epoch advances. Returns the charged communication cost for the
+    /// given algorithm.
+    ///
+    /// Functionally this reads each segment from its publisher's region
+    /// and installs it into every other region — exactly what the leaders'
+    /// allgather does to the shared mappings in Fig. 5b.
+    pub fn exchange(
+        &self,
+        pmap: &ProcessMap,
+        net: &NetworkModel,
+        algo: AllgatherAlgorithm,
+    ) -> CommCost {
+        let np = pmap.world_size();
+        assert_eq!(np, self.nodes * self.ppn, "process map changed shape");
+        // Collect each rank's segment from its own node's region...
+        let segments: Vec<Vec<u64>> = (0..np)
+            .map(|rank| {
+                let node = rank / self.ppn;
+                let (ws, we) = self.partition.word_range(rank);
+                let mut buf = vec![0u64; we - ws];
+                self.regions[node].words.export_words(ws, &mut buf);
+                buf
+            })
+            .collect();
+        // ...and install every segment into every region.
+        for region in &self.regions {
+            for (rank, seg) in segments.iter().enumerate() {
+                let (ws, _) = self.partition.word_range(rank);
+                region.words.import_words(ws, seg);
+            }
+            region.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        let bytes: Vec<u64> = segments.iter().map(|s| s.len() as u64 * 8).collect();
+        allgather_cost_bytes(&bytes, pmap, net, algo)
+    }
+
+    /// Read access for `rank`, checked against the expected epoch in debug
+    /// builds (a stale read means the caller skipped the exchange barrier).
+    pub fn read(&self, rank: usize, expected_epoch: u64) -> Arc<NodeRegion> {
+        let node = rank / self.ppn;
+        let region = Arc::clone(&self.regions[node]);
+        debug_assert_eq!(
+            region.epoch(),
+            expected_epoch,
+            "rank {rank} reads epoch {} but expected {expected_epoch} — missing exchange?",
+            region.epoch()
+        );
+        region
+    }
+
+    /// Number of per-node regions (== nodes).
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbfs_topology::{presets, PlacementPolicy, ProcessMap};
+    use nbfs_util::Bitmap;
+
+    fn setup(nodes: usize, ppn: usize) -> (ProcessMap, NetworkModel) {
+        let m = presets::xeon_x7550_cluster(nodes);
+        let policy = if ppn == m.sockets_per_node {
+            PlacementPolicy::BindToSocket
+        } else {
+            PlacementPolicy::Interleave
+        };
+        (ProcessMap::new(&m, ppn, policy), NetworkModel::new(&m))
+    }
+
+    /// Builds the frontier every rank should see after the exchange.
+    fn reference_frontier(n: usize, np: usize) -> Bitmap {
+        let mut bm = Bitmap::new(n);
+        for i in (0..n).step_by(np + 1) {
+            bm.set(i);
+        }
+        bm
+    }
+
+    #[test]
+    fn exchange_reassembles_the_full_frontier_everywhere() {
+        let (pmap, net) = setup(4, 8);
+        let np = pmap.world_size();
+        let n = 4096;
+        let reference = reference_frontier(n, np);
+        let shared = SharedFrontier::new(n, &pmap);
+
+        // Each rank publishes only its own slice of the reference.
+        let part = shared.partition();
+        for rank in 0..np {
+            let (ws, we) = part.word_range(rank);
+            shared.publish_segment(rank, &reference.words()[ws..we]);
+        }
+        let cost = shared.exchange(&pmap, &net, AllgatherAlgorithm::ParallelSubgroup);
+        assert!(cost.total().as_secs() > 0.0);
+
+        for rank in 0..np {
+            let region = shared.read(rank, 1);
+            assert_eq!(
+                region.bitmap().snapshot(),
+                reference,
+                "rank {rank} sees a different frontier"
+            );
+        }
+        assert_eq!(shared.num_regions(), 4);
+    }
+
+    #[test]
+    fn epochs_advance_per_exchange() {
+        let (pmap, net) = setup(2, 4);
+        let n = 1024;
+        let shared = SharedFrontier::new(n, &pmap);
+        let part = shared.partition();
+        for round in 0..3u64 {
+            for rank in 0..pmap.world_size() {
+                let (ws, we) = part.word_range(rank);
+                shared.publish_segment(rank, &vec![round + 1; we - ws]);
+            }
+            shared.exchange(&pmap, &net, AllgatherAlgorithm::SharedBoth);
+            let region = shared.read(0, round + 1);
+            assert_eq!(region.epoch(), round + 1);
+            assert_eq!(region.bitmap().load_word(0), round + 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_publishes_are_disjoint_and_safe() {
+        let (pmap, net) = setup(2, 8);
+        let np = pmap.world_size();
+        let n = 64 * np; // one word per rank
+        let shared = SharedFrontier::new(n, &pmap);
+        let part = shared.partition();
+        std::thread::scope(|scope| {
+            for rank in 0..np {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let (ws, we) = part.word_range(rank);
+                    shared.publish_segment(rank, &vec![rank as u64 + 1; we - ws]);
+                });
+            }
+        });
+        shared.exchange(&pmap, &net, AllgatherAlgorithm::SharedDest);
+        let region = shared.read(np - 1, 1);
+        for rank in 0..np {
+            let (ws, _) = part.word_range(rank);
+            assert_eq!(region.bitmap().load_word(ws), rank as u64 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "segment length mismatch")]
+    fn wrong_segment_length_rejected() {
+        let (pmap, _) = setup(2, 4);
+        let shared = SharedFrontier::new(1024, &pmap);
+        shared.publish_segment(0, &[0u64; 1]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "missing exchange")]
+    fn stale_read_caught_in_debug() {
+        let (pmap, _) = setup(2, 4);
+        let shared = SharedFrontier::new(1024, &pmap);
+        let _ = shared.read(0, 5); // nobody exchanged 5 times
+    }
+}

@@ -1,0 +1,42 @@
+//! Message passing substrate for the distributed hybrid BFS.
+//!
+//! Real MPI and InfiniBand are unavailable in this reproduction, so this
+//! crate supplies both halves of the substitution:
+//!
+//! * [`runtime`] — a *functional* rank runtime: each rank is an OS thread
+//!   with a mailbox; point-to-point sends, barriers and a straightforward
+//!   allgather really move data between threads. This demonstrates the SPMD
+//!   programming surface and backs the runtime-focused tests and example.
+//! * [`allgather`] / [`alltoallv`] / [`collectives`] — BSP-style collective
+//!   *simulations*: they perform the actual data movement over all ranks'
+//!   buffers at once (so correctness is exercised end-to-end) while
+//!   charging simulated time to the `nbfs-simnet` models per algorithm
+//!   step. These are what the BFS engine uses, because the paper's
+//!   optimizations are precisely different collective algorithms:
+//!
+//!   | paper | here |
+//!   |---|---|
+//!   | Open MPI 1.5.5 default allgather (ring for large messages) | [`allgather::AllgatherAlgorithm::Ring`] |
+//!   | recursive doubling (Thakur & Gropp \[41\], small messages)   | [`allgather::AllgatherAlgorithm::RecursiveDoubling`] |
+//!   | leader-based (Mamidala et al. \[31\], Fig. 5a)               | [`allgather::AllgatherAlgorithm::LeaderBased`] |
+//!   | shared `in_queue` (Fig. 5b, Section III.A.1)               | [`allgather::AllgatherAlgorithm::SharedDest`] |
+//!   | shared `in_queue` + `out_queue` (Section III.A.2)          | [`allgather::AllgatherAlgorithm::SharedBoth`] |
+//!   | parallelized allgather (Fig. 7, Section III.B)             | [`allgather::AllgatherAlgorithm::ParallelSubgroup`] |
+//!
+//! * [`profile`] — the per-step time split (intra-node gather, inter-node
+//!   exchange, intra-node broadcast) that Figs. 6 and 13 report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allgather;
+pub mod alltoallv;
+pub mod buffers;
+pub mod collectives;
+pub mod profile;
+pub mod runtime;
+
+pub use allgather::{
+    allgather_cost, allgather_cost_bytes, allgather_words, AllgatherAlgorithm, AllgatherOutcome,
+};
+pub use profile::CommCost;

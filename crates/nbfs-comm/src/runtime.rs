@@ -1,0 +1,306 @@
+//! A functional SPMD runtime: ranks as threads with mailboxes.
+//!
+//! This is the "MPI process" half of the substitution: each rank is an OS
+//! thread, point-to-point messages travel over channels, and barriers are
+//! real barriers. It demonstrates the programming surface the paper's code
+//! uses (send/recv/barrier/allgather) with genuine concurrency; the BFS
+//! engine itself uses the deterministic BSP collectives of
+//! [`crate::allgather`] so that simulated clocks are reproducible, but
+//! integration tests run the same frontier exchange on this runtime to show
+//! both agree.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A point-to-point message.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending rank.
+    pub from: usize,
+    /// User tag for matching.
+    pub tag: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Per-rank communication context handed to the SPMD body.
+pub struct RankCtx {
+    rank: usize,
+    world: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Messages received but not yet matched by a `recv` call.
+    stash: VecDeque<Message>,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+impl RankCtx {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Sends `payload` to rank `to` with `tag`. Non-blocking (buffered).
+    pub fn send(&self, to: usize, tag: u64, payload: Vec<u8>) {
+        self.senders[to]
+            .send(Message {
+                from: self.rank,
+                tag,
+                payload,
+            })
+            .expect("receiver thread gone");
+    }
+
+    /// Receives the next message matching `(from, tag)`, blocking until it
+    /// arrives. Unmatched messages are stashed for later `recv`s.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            return self.stash.remove(pos).expect("position valid").payload;
+        }
+        loop {
+            let msg = self.receiver.recv().expect("all senders gone");
+            if msg.from == from && msg.tag == tag {
+                return msg.payload;
+            }
+            self.stash.push_back(msg);
+        }
+    }
+
+    /// Waits for every rank to arrive.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Gathers every rank's contribution at `root`, in rank order; other
+    /// ranks receive an empty vector.
+    pub fn gather_bytes(&mut self, mine: Vec<u8>, root: usize, tag: u64) -> Vec<Vec<u8>> {
+        if self.rank == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.world];
+            out[root] = mine;
+            for _ in 0..self.world - 1 {
+                let msg = self.recv_any(tag);
+                out[msg.0] = msg.1;
+            }
+            out
+        } else {
+            self.send(root, tag, mine);
+            Vec::new()
+        }
+    }
+
+    /// Receives the next message with `tag` from any rank, returning
+    /// `(sender, payload)`.
+    fn recv_any(&mut self, tag: u64) -> (usize, Vec<u8>) {
+        if let Some(pos) = self.stash.iter().position(|m| m.tag == tag) {
+            let m = self.stash.remove(pos).expect("position valid");
+            return (m.from, m.payload);
+        }
+        loop {
+            let msg = self.receiver.recv().expect("all senders gone");
+            if msg.tag == tag {
+                return (msg.from, msg.payload);
+            }
+            self.stash.push_back(msg);
+        }
+    }
+
+    /// Broadcasts `payload` from `root` via a binomial tree (the MPICH
+    /// algorithm); every rank returns the payload. Non-roots pass `None`.
+    pub fn broadcast_bytes(&mut self, payload: Option<Vec<u8>>, root: usize, tag: u64) -> Vec<u8> {
+        let np = self.world;
+        // Rotate so the root is virtual rank 0. A non-root receives from
+        // `vrank - lsb(vrank)` (its parent clears the lowest set bit), then
+        // forwards to `vrank + m` for every m = 2^k below that bit.
+        let vrank = (self.rank + np - root) % np;
+        let mut mask = 1usize;
+        let mut data = payload;
+        if vrank != 0 {
+            while vrank & mask == 0 {
+                mask <<= 1;
+            }
+            let from = (vrank - mask + root) % np;
+            data = Some(self.recv(from, tag));
+        } else {
+            mask = np.next_power_of_two();
+        }
+        let data = data.expect("root must supply the payload");
+        let mut m = mask >> 1;
+        while m > 0 {
+            if vrank + m < np {
+                let to = (vrank + m + root) % np;
+                self.send(to, tag, data.clone());
+            }
+            m >>= 1;
+        }
+        data
+    }
+
+    /// A simple ring allgather built from send/recv: returns every rank's
+    /// contribution, in rank order.
+    pub fn allgather_bytes(&mut self, mine: Vec<u8>, tag: u64) -> Vec<Vec<u8>> {
+        let np = self.world;
+        let mut have: Vec<Option<Vec<u8>>> = vec![None; np];
+        have[self.rank] = Some(mine);
+        let next = (self.rank + 1) % np;
+        let prev = (self.rank + np - 1) % np;
+        for r in 0..np.saturating_sub(1) {
+            let send_idx = (self.rank + np - r) % np;
+            let chunk = have[send_idx].clone().expect("ring invariant");
+            self.send(next, tag.wrapping_add(r as u64), chunk);
+            let recv_idx = (prev + np - r) % np;
+            let got = self.recv(prev, tag.wrapping_add(r as u64));
+            have[recv_idx] = Some(got);
+        }
+        have.into_iter().map(|c| c.expect("chunk missing")).collect()
+    }
+}
+
+/// Runs `body` on `world` rank threads and collects their results in rank
+/// order. Panics in any rank propagate.
+pub fn run_spmd<F, R>(world: usize, body: F) -> Vec<R>
+where
+    F: Fn(&mut RankCtx) -> R + Sync,
+    R: Send,
+{
+    assert!(world >= 1, "world must be non-empty");
+    let channels: Vec<(Sender<Message>, Receiver<Message>)> =
+        (0..world).map(|_| unbounded()).collect();
+    let senders: Vec<Sender<Message>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    let barrier = Arc::new(std::sync::Barrier::new(world));
+
+    let results: Vec<Mutex<Option<R>>> = (0..world).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (rank, (_, receiver)) in channels.iter().enumerate() {
+            let mut ctx = RankCtx {
+                rank,
+                world,
+                senders: senders.clone(),
+                receiver: receiver.clone(),
+                stash: VecDeque::new(),
+                barrier: Arc::clone(&barrier),
+            };
+            let body = &body;
+            let slot = &results[rank];
+            scope.spawn(move || {
+                let r = body(&mut ctx);
+                *slot.lock() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("rank did not finish"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_identify_themselves() {
+        let out = run_spmd(8, |ctx| (ctx.rank(), ctx.world()));
+        for (i, (rank, world)) in out.iter().enumerate() {
+            assert_eq!(*rank, i);
+            assert_eq!(*world, 8);
+        }
+    }
+
+    #[test]
+    fn ring_message_passing() {
+        let out = run_spmd(4, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.world();
+            let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
+            ctx.send(next, 7, vec![ctx.rank() as u8]);
+            ctx.recv(prev, 7)
+        });
+        assert_eq!(out, vec![vec![3], vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let out = run_spmd(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1]);
+                ctx.send(1, 2, vec![2]);
+                vec![]
+            } else {
+                // Receive in the reverse order of sending.
+                let b = ctx.recv(0, 2);
+                let a = ctx.recv(0, 1);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_spmd(8, |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank's increment must be visible.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn gather_collects_at_root_only() {
+        let out = run_spmd(5, |ctx| ctx.gather_bytes(vec![ctx.rank() as u8], 2, 9));
+        for (rank, view) in out.iter().enumerate() {
+            if rank == 2 {
+                let expect: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8]).collect();
+                assert_eq!(view, &expect);
+            } else {
+                assert!(view.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_rank_from_any_root() {
+        for world in [1usize, 2, 3, 5, 8, 13] {
+            for root in [0, world - 1, world / 2] {
+                let out = run_spmd(world, |ctx| {
+                    let payload = (ctx.rank() == root).then(|| vec![0xAB, root as u8]);
+                    ctx.broadcast_bytes(payload, root, 33)
+                });
+                for (rank, got) in out.iter().enumerate() {
+                    assert_eq!(got, &vec![0xAB, root as u8], "world {world} root {root} rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_bytes_collects_in_rank_order() {
+        let out = run_spmd(6, |ctx| {
+            let mine = vec![ctx.rank() as u8; ctx.rank() + 1]; // ragged sizes
+            ctx.allgather_bytes(mine, 100)
+        });
+        let expect: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; i as usize + 1]).collect();
+        for rank_view in out {
+            assert_eq!(rank_view, expect);
+        }
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run_spmd(1, |ctx| ctx.allgather_bytes(vec![42], 0));
+        assert_eq!(out[0], vec![vec![42]]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the collective algorithms.
+
+use proptest::prelude::*;
+
+use nbfs_comm::allgather::{
+    allgather_cost_bytes, allgather_words, allgatherv_items, AllgatherAlgorithm,
+};
+use nbfs_comm::alltoallv::alltoallv;
+use nbfs_simnet::NetworkModel;
+use nbfs_topology::{presets, PlacementPolicy, ProcessMap};
+use nbfs_util::SimTime;
+
+fn setup(nodes: usize, ppn: usize) -> (ProcessMap, NetworkModel) {
+    let m = presets::xeon_x7550_cluster(nodes);
+    let policy = if ppn == m.sockets_per_node {
+        PlacementPolicy::BindToSocket
+    } else {
+        PlacementPolicy::Interleave
+    };
+    (ProcessMap::new(&m, ppn, policy), NetworkModel::new(&m))
+}
+
+const ALGOS: [AllgatherAlgorithm; 6] = [
+    AllgatherAlgorithm::Ring,
+    AllgatherAlgorithm::RecursiveDoubling,
+    AllgatherAlgorithm::LeaderBased,
+    AllgatherAlgorithm::SharedDest,
+    AllgatherAlgorithm::SharedBoth,
+    AllgatherAlgorithm::ParallelSubgroup,
+];
+
+proptest! {
+    /// Every algorithm reassembles ragged random segments identically, and
+    /// charges finite, non-negative time — across node/ppn shapes.
+    #[test]
+    fn allgather_functional_equivalence(
+        nodes_exp in 0u32..3,
+        ppn_sel in 0usize..2,
+        lens in prop::collection::vec(0usize..20, 2..16),
+        seed in any::<u64>(),
+    ) {
+        let nodes = 1usize << nodes_exp;
+        let ppn = [1usize, 8][ppn_sel];
+        let (pmap, net) = setup(nodes, ppn);
+        let np = pmap.world_size();
+        let mut state = seed | 1;
+        let mut next = move || { state = state.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1); state };
+        let parts: Vec<Vec<u64>> = (0..np)
+            .map(|i| (0..lens[i % lens.len()]).map(|_| next()).collect())
+            .collect();
+        let expect: Vec<u64> = parts.iter().flatten().copied().collect();
+        for algo in ALGOS {
+            let out = allgather_words(&parts, &pmap, &net, algo);
+            prop_assert_eq!(&out.words, &expect, "{:?} nodes={} ppn={}", algo, nodes, ppn);
+            prop_assert!(out.cost.total().as_secs().is_finite());
+        }
+    }
+
+    /// Cost grows (weakly) with payload for every algorithm.
+    #[test]
+    fn allgather_cost_monotone_in_bytes(per_rank in 1u64..(1 << 22)) {
+        let (pmap, net) = setup(4, 8);
+        let np = pmap.world_size();
+        let small: Vec<u64> = vec![per_rank; np];
+        let big: Vec<u64> = vec![per_rank * 2; np];
+        for algo in ALGOS {
+            let ts = allgather_cost_bytes(&small, &pmap, &net, algo).total();
+            let tb = allgather_cost_bytes(&big, &pmap, &net, algo).total();
+            prop_assert!(tb >= ts, "{algo:?}");
+        }
+    }
+
+    /// allgatherv over items equals flat concatenation for any item lists.
+    #[test]
+    fn allgatherv_concatenates(
+        lists in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..30), 8),
+    ) {
+        let (pmap, net) = setup(2, 4);
+        prop_assume!(lists.len() == pmap.world_size());
+        let out = allgatherv_items(&lists, 4, &pmap, &net, AllgatherAlgorithm::Ring);
+        let expect: Vec<u32> = lists.iter().flatten().copied().collect();
+        prop_assert_eq!(out.items, expect);
+    }
+
+    /// alltoallv routes every record to exactly its addressee, in sender
+    /// order, for arbitrary send matrices.
+    #[test]
+    fn alltoallv_routes_exactly(
+        density in prop::collection::vec(0usize..5, 64),
+    ) {
+        let (pmap, net) = setup(2, 4);
+        let np = pmap.world_size();
+        let sends: Vec<Vec<Vec<(u32, u32)>>> = (0..np)
+            .map(|i| {
+                (0..np)
+                    .map(|j| {
+                        (0..density[(i * np + j) % density.len()])
+                            .map(|k| (i as u32, (j * 100 + k) as u32))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let out = alltoallv(&sends, 8, &pmap, &net);
+        for (j, inbox) in out.received.iter().enumerate() {
+            let expect: Vec<(u32, u32)> = (0..np)
+                .flat_map(|i| sends[i][j].iter().copied())
+                .collect();
+            prop_assert_eq!(inbox, &expect, "receiver {}", j);
+        }
+        let total_sent: usize = sends.iter().flatten().map(Vec::len).sum();
+        let total_recv: usize = out.received.iter().map(Vec::len).sum();
+        prop_assert_eq!(total_sent, total_recv);
+        prop_assert!(out.cost.total() >= SimTime::ZERO);
+    }
+}

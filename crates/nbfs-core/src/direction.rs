@@ -1,0 +1,130 @@
+//! The hybrid direction-switch heuristic of Beamer et al. \[9\].
+//!
+//! The R-MAT frontier "first ramps up and then down exponentially", giving
+//! the three-phase run the paper describes: top-down while the frontier is
+//! small, bottom-up through the bulge, top-down again for the tail
+//! (Section II.A).
+
+use serde::{Deserialize, Serialize};
+
+/// Traversal direction of one BFS level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Explore from the frontier outward ("for each vertex in the current
+    /// frontier, its adjacent vertices are checked").
+    TopDown,
+    /// Search from unvisited vertices backward ("for each unvisited vertex
+    /// ... it is put into the next frontier only if at least one of its
+    /// adjacent vertices is in the current frontier").
+    BottomUp,
+}
+
+/// The α/β thresholds of \[9\].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwitchPolicy {
+    /// Switch top-down → bottom-up when `m_f > m_u / alpha`.
+    pub alpha: f64,
+    /// Switch bottom-up → top-down when `n_f < n / beta`.
+    pub beta: f64,
+}
+
+impl Default for SwitchPolicy {
+    /// The tuned values from \[9\]: α = 14, β = 24.
+    fn default() -> Self {
+        Self {
+            alpha: 14.0,
+            beta: 24.0,
+        }
+    }
+}
+
+impl SwitchPolicy {
+    /// Chooses the direction for the next level.
+    ///
+    /// * `m_f` — edges incident to the current frontier;
+    /// * `m_u` — edges incident to still-unvisited vertices;
+    /// * `n_f` — vertices in the current frontier;
+    /// * `n` — total vertices.
+    pub fn choose(&self, current: Direction, m_f: u64, m_u: u64, n_f: u64, n: u64) -> Direction {
+        match current {
+            Direction::TopDown => {
+                if (m_f as f64) > m_u as f64 / self.alpha {
+                    Direction::BottomUp
+                } else {
+                    Direction::TopDown
+                }
+            }
+            Direction::BottomUp => {
+                if (n_f as f64) < n as f64 / self.beta {
+                    Direction::TopDown
+                } else {
+                    Direction::BottomUp
+                }
+            }
+        }
+    }
+
+    /// A policy that never leaves top-down (the pure top-down baseline):
+    /// with `alpha = 0`, the threshold `m_u / alpha` is infinite.
+    pub fn always_top_down() -> Self {
+        Self {
+            alpha: 0.0,
+            beta: 24.0,
+        }
+    }
+
+    /// A policy that switches to bottom-up as soon as the frontier is
+    /// non-empty and never returns (the pure bottom-up baseline after the
+    /// root level): `alpha = inf` zeroes the entry threshold, `beta = inf`
+    /// zeroes the exit threshold.
+    pub fn always_bottom_up() -> Self {
+        Self {
+            alpha: f64::INFINITY,
+            beta: f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_up_then_down() {
+        let p = SwitchPolicy::default();
+        // Tiny frontier in a big graph: stay top-down.
+        assert_eq!(
+            p.choose(Direction::TopDown, 10, 1_000_000, 5, 1_000_000),
+            Direction::TopDown
+        );
+        // Frontier edges exceed m_u / alpha: go bottom-up.
+        assert_eq!(
+            p.choose(Direction::TopDown, 100_000, 1_000_000, 5_000, 1_000_000),
+            Direction::BottomUp
+        );
+        // Big frontier: stay bottom-up.
+        assert_eq!(
+            p.choose(Direction::BottomUp, 0, 0, 500_000, 1_000_000),
+            Direction::BottomUp
+        );
+        // Frontier shrank below n / beta: back to top-down.
+        assert_eq!(
+            p.choose(Direction::BottomUp, 0, 0, 100, 1_000_000),
+            Direction::TopDown
+        );
+    }
+
+    #[test]
+    fn forced_policies() {
+        let td = SwitchPolicy::always_top_down();
+        assert_eq!(
+            td.choose(Direction::TopDown, u64::MAX / 2, 1, 1, 2),
+            Direction::TopDown
+        );
+        // Degenerate 0/0 case must also stay top-down.
+        assert_eq!(td.choose(Direction::TopDown, 0, 0, 1, 2), Direction::TopDown);
+        let bu = SwitchPolicy::always_bottom_up();
+        assert_eq!(bu.choose(Direction::TopDown, 1, u64::MAX, 1, 2), Direction::BottomUp);
+        assert_eq!(bu.choose(Direction::BottomUp, 0, 0, 0, 2), Direction::BottomUp);
+    }
+}

@@ -1,0 +1,942 @@
+//! The distributed hybrid BFS engine (Fig. 1 of the paper).
+//!
+//! Execution is BSP: every level, each rank runs the *real* traversal
+//! kernel over its partition of the graph (really setting parents, really
+//! probing the frontier bitmaps), while counting the work it does. The
+//! counts flow into `nbfs-simnet`'s roofline model to produce a simulated
+//! per-rank computation time; the frontier reassembly goes through the
+//! `nbfs-comm` collective whose algorithm the chosen [`OptLevel`] dictates.
+//! Per-level times accumulate into the Fig. 11 breakdown
+//! ([`crate::profile::RunProfile`]).
+//!
+//! Rank kernels execute in parallel via rayon for wall-clock speed, but all
+//! results — parents, bitmaps, simulated times — are bit-reproducible and
+//! independent of the worker-thread count.
+
+use rayon::prelude::*;
+
+use nbfs_comm::allgather::{allgather_cost_bytes, allgather_words, allgatherv_items};
+use nbfs_comm::collectives::allreduce_sum;
+use nbfs_graph::partition::LocalGraph;
+use nbfs_graph::{Csr, PartitionedGraph, NO_PARENT};
+use nbfs_simnet::compute::{ModelParams, ProbeClass};
+use nbfs_simnet::{ComputeContext, ComputeEvents, NetworkModel, Residence};
+use nbfs_topology::{MachineConfig, MemoryProfile, PlacementPolicy, ProcessMap};
+use nbfs_util::{Bitmap, SimTime, SummaryBitmap};
+
+use crate::direction::{Direction, SwitchPolicy};
+use crate::opt::OptLevel;
+use crate::profile::{LevelProfile, RunProfile};
+
+/// How top-down levels move frontier information between ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TdStrategy {
+    /// Replicate the frontier (sparse vertex-list allgatherv, or the
+    /// bitmap when denser) and walk it against the transposed local
+    /// index — the replicated-hybrid structure of Fig. 1. Default.
+    SparseAllgather,
+    /// Scatter `(neighbour, parent)` records to owners with an
+    /// `alltoallv`, like the Graph500 `mpi_simple` top-down code. Message
+    /// volume scales with frontier *edges*, which is why the paper's
+    /// Section II.A pure-top-down baseline loses so badly at scale.
+    Alltoallv,
+}
+
+/// A fully specified experiment: machine, optimization level and the knobs
+/// the paper's figures vary.
+///
+/// ```
+/// use nbfs_core::engine::{DistributedBfs, Scenario};
+/// use nbfs_core::opt::OptLevel;
+/// use nbfs_graph::GraphBuilder;
+/// use nbfs_topology::MachineConfig;
+///
+/// let graph = GraphBuilder::rmat(10, 8).seed(7).build();
+/// let scenario = Scenario::new(
+///     MachineConfig::small_test_cluster(2, 4),
+///     OptLevel::ShareAll,
+/// );
+/// let run = DistributedBfs::new(&graph, &scenario).run(0);
+/// assert_eq!(run.parent[0], 0, "the root is its own parent");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The simulated cluster.
+    pub machine: MachineConfig,
+    /// The optimization rung (Fig. 9 ladder).
+    pub opt: OptLevel,
+    /// Hybrid switch thresholds (α/β of \[9\]).
+    pub switch_policy: SwitchPolicy,
+    /// Overrides the opt level's process map — used by the Fig. 10 study
+    /// of `mpirun`/`numactl` flag combinations on the `Original` code.
+    pub placement_override: Option<(usize, PlacementPolicy)>,
+    /// Cost-model constants (exposed for ablations).
+    pub params: ModelParams,
+    /// Top-down communication strategy (ablation; default sparse
+    /// allgather).
+    pub td_strategy: TdStrategy,
+}
+
+impl Scenario {
+    /// A scenario with default switch policy and model parameters.
+    pub fn new(machine: MachineConfig, opt: OptLevel) -> Self {
+        machine.validate().expect("invalid machine");
+        Self {
+            machine,
+            opt,
+            switch_policy: SwitchPolicy::default(),
+            placement_override: None,
+            params: ModelParams::default(),
+            td_strategy: TdStrategy::SparseAllgather,
+        }
+    }
+
+    /// Selects the top-down communication strategy.
+    pub fn with_td_strategy(mut self, td_strategy: TdStrategy) -> Self {
+        self.td_strategy = td_strategy;
+        self
+    }
+
+    /// Overrides ppn and placement policy (Fig. 10's flag matrix).
+    pub fn with_placement(mut self, ppn: usize, policy: PlacementPolicy) -> Self {
+        self.placement_override = Some((ppn, policy));
+        self
+    }
+
+    /// Overrides the hybrid switch thresholds.
+    pub fn with_switch_policy(mut self, policy: SwitchPolicy) -> Self {
+        self.switch_policy = policy;
+        self
+    }
+
+    /// The process map this scenario spawns.
+    pub fn process_map(&self) -> ProcessMap {
+        match self.placement_override {
+            Some((ppn, policy)) => ProcessMap::new(&self.machine, ppn, policy),
+            None => self.opt.process_map(&self.machine),
+        }
+    }
+
+    /// The effective placement policy.
+    pub fn policy(&self) -> PlacementPolicy {
+        match self.placement_override {
+            Some((_, policy)) => policy,
+            None => self.opt.policy(),
+        }
+    }
+
+    /// Residence of rank-private per-vertex state (parent arrays, the
+    /// local `visited` bits, the graph itself): socket-local when bound,
+    /// spread otherwise.
+    fn private_residence(&self) -> Residence {
+        match self.policy() {
+            PlacementPolicy::BindToSocket => Residence::SocketPrivate,
+            _ => Residence::InterleavedPrivateCache,
+        }
+    }
+
+    /// Residence of `in_queue` during computation.
+    fn in_queue_residence(&self) -> Residence {
+        if self.placement_override.is_some() {
+            self.private_residence() // the Original code keeps private copies
+        } else {
+            self.opt.in_queue_residence()
+        }
+    }
+
+    /// Residence of `in_queue_summary` during computation.
+    fn summary_residence(&self) -> Residence {
+        if self.placement_override.is_some() {
+            self.private_residence()
+        } else {
+            self.opt.summary_residence()
+        }
+    }
+}
+
+/// Per-rank mutable BFS state.
+struct RankState {
+    /// Parent of each owned vertex (global ids; `NO_PARENT` = unvisited).
+    parent: Vec<u32>,
+    /// Owned slice of the next-frontier bitmap (word-aligned segment).
+    out_words: Vec<u64>,
+    /// Owned vertices discovered in the latest level (global ids,
+    /// ascending — the top-down frontier queue).
+    frontier: Vec<u32>,
+    /// Sum of degrees of still-unvisited owned vertices (`m_u` share).
+    unexplored_degree: u64,
+}
+
+/// Per-destination buckets of `(vertex, parent)` records for a scatter.
+type SendBuckets = Vec<Vec<(u32, u32)>>;
+
+/// Output of one rank's level kernel.
+struct KernelOut {
+    events: ComputeEvents,
+    discovered: u64,
+}
+
+/// Result of one distributed BFS.
+#[derive(Clone, Debug)]
+pub struct BfsRun {
+    /// Global parent array, assembled from the ranks' partitions.
+    pub parent: Vec<u32>,
+    /// Time breakdown.
+    pub profile: RunProfile,
+    /// Vertices visited (root included).
+    pub visited: usize,
+}
+
+/// The distributed hybrid BFS engine.
+pub struct DistributedBfs<'g> {
+    graph: &'g Csr,
+    parts: PartitionedGraph,
+    scenario: Scenario,
+    pmap: ProcessMap,
+    net: NetworkModel,
+    profiles: MemoryProfile,
+}
+
+impl<'g> DistributedBfs<'g> {
+    /// Partitions `graph` for the scenario's process map and prepares the
+    /// cost models.
+    pub fn new(graph: &'g Csr, scenario: &Scenario) -> Self {
+        let pmap = scenario.process_map();
+        let parts = PartitionedGraph::new(graph, pmap.world_size());
+        let net = NetworkModel::new(&scenario.machine);
+        let profiles = pmap.memory_profile(&scenario.machine);
+        Self {
+            graph,
+            parts,
+            scenario: scenario.clone(),
+            pmap,
+            net,
+            profiles,
+        }
+    }
+
+    /// The graph being searched.
+    pub fn graph(&self) -> &Csr {
+        self.graph
+    }
+
+    /// The process map in force.
+    pub fn process_map(&self) -> &ProcessMap {
+        &self.pmap
+    }
+
+    fn compute_context(&self) -> ComputeContext {
+        let mut ctx = ComputeContext::new(
+            self.pmap.threads_per_rank(),
+            self.profiles,
+            self.pmap.ppn(),
+        );
+        ctx.params = self.scenario.params;
+        ctx
+    }
+
+    /// Mean/max reduction for one computation sub-phase: the mean is the
+    /// busy slice, the skew (`max - mean`) is stall.
+    fn phase_times(&self, outs: &[KernelOut]) -> (SimTime, SimTime) {
+        let ctx = self.compute_context();
+        let times: Vec<SimTime> = outs
+            .iter()
+            .map(|o| ctx.time(&self.scenario.machine, &o.events))
+            .collect();
+        let max = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let mean = times.iter().copied().sum::<SimTime>() / times.len() as f64;
+        (mean, max - mean)
+    }
+
+    /// Runs a BFS from `root`, producing the tree and the profile.
+    pub fn run(&self, root: usize) -> BfsRun {
+        let n = self.parts.num_vertices();
+        assert!(root < n, "root {root} out of range");
+        let np = self.pmap.world_size();
+        let partition = self.parts.partition();
+        let granularity = self.scenario.opt.granularity();
+
+        // --- state ------------------------------------------------------
+        let mut states: Vec<RankState> = (0..np)
+            .map(|r| {
+                let lg = self.parts.local(r);
+                let (ws, we) = partition.word_range(r);
+                RankState {
+                    parent: vec![NO_PARENT; lg.num_local_vertices()],
+                    out_words: vec![0u64; we - ws],
+                    frontier: Vec::new(),
+                    unexplored_degree: lg
+                        .vertex_range()
+                        .map(|v| lg.degree_global(v) as u64)
+                        .sum(),
+                }
+            })
+            .collect();
+        let mut in_queue = Bitmap::new(n);
+        let mut summary = SummaryBitmap::new(n, granularity);
+
+        // Root installation.
+        {
+            let owner = partition.owner(root);
+            let local = partition.to_local(root);
+            states[owner].parent[local] = root as u32;
+            states[owner].frontier.push(root as u32);
+            states[owner].unexplored_degree -=
+                self.parts.local(owner).degree_global(root) as u64;
+        }
+
+        let mut profile = RunProfile::default();
+        let mut direction = Direction::TopDown;
+        let mut prev_direction: Option<Direction> = None;
+
+        loop {
+            // --- per-level statistics and direction choice ---------------
+            let frontier_counts: Vec<u64> =
+                states.iter().map(|s| s.frontier.len() as u64).collect();
+            let frontier_degrees: Vec<u64> = states
+                .iter()
+                .enumerate()
+                .map(|(r, s)| {
+                    let lg = self.parts.local(r);
+                    s.frontier
+                        .iter()
+                        .map(|&v| lg.degree_global(v as usize) as u64)
+                        .sum()
+                })
+                .collect();
+            let unexplored: Vec<u64> = states.iter().map(|s| s.unexplored_degree).collect();
+            // The real code packs (n_f, m_f, m_u) into one short vector
+            // allreduce, so only one latency-bound collective is charged.
+            let n_f = allreduce_sum(&frontier_counts, &self.pmap, &self.net);
+            let m_f: u64 = frontier_degrees.iter().sum();
+            let m_u: u64 = unexplored.iter().sum();
+            if n_f.value == 0 {
+                break;
+            }
+            direction = self
+                .scenario
+                .switch_policy
+                .choose(direction, m_f, m_u, n_f.value, n as u64);
+            let mut level_comm = SimTime::ZERO;
+            let mut level_comp = SimTime::ZERO;
+            let mut level_stall = SimTime::ZERO;
+            // The control-plane allreduce is charged to the level's direction.
+            let control = n_f.cost.total();
+            level_comm += control;
+
+            let discovered_total;
+            match direction {
+                Direction::BottomUp => {
+                    // If the previous level was top-down (or this is the
+                    // first), the frontier exists only as queues: convert to
+                    // bitmap segments (part of the paper's Switch slice).
+                    if prev_direction != Some(Direction::BottomUp) {
+                        states.par_iter_mut().enumerate().for_each(|(r, st)| {
+                            let (bit_start, _) = partition.item_range(r);
+                            st.out_words.fill(0);
+                            for &v in &st.frontier {
+                                let local_bit = v as usize - bit_start;
+                                st.out_words[local_bit / 64] |= 1u64 << (local_bit % 64);
+                            }
+                        });
+                        profile.switch += self.conversion_time(&partition);
+                    }
+
+                    // The two allgathers of Fig. 1: in_queue, then summary.
+                    let algo = self.scenario.opt.allgather_algorithm();
+                    let parts_vec: Vec<Vec<u64>> =
+                        states.iter().map(|s| s.out_words.clone()).collect();
+                    let outcome = allgather_words(&parts_vec, &self.pmap, &self.net, algo);
+                    in_queue.copy_words_from(0, &outcome.words);
+                    in_queue.repair_padding();
+                    summary.rebuild_from(&in_queue);
+                    let summary_bytes: Vec<u64> = {
+                        // Each rank contributes the summary of its own
+                        // in_queue segment; split evenly (remainder spread).
+                        let total = summary.size_bytes() as u64;
+                        (0..np as u64)
+                            .map(|r| total * (r + 1) / np as u64 - total * r / np as u64)
+                            .collect()
+                    };
+                    let summary_cost =
+                        allgather_cost_bytes(&summary_bytes, &self.pmap, &self.net, algo);
+                    let comm = outcome.cost + summary_cost;
+                    profile.bu_comm_detail += comm;
+                    profile.bu_comm_phases += 1;
+                    level_comm += comm.total();
+                    profile.bu_comm += comm.total() + control;
+
+                    // --- bottom-up kernel --------------------------------
+                    let in_queue_ref = &in_queue;
+                    let summary_ref = &summary;
+                    let outs: Vec<KernelOut> = states
+                        .par_iter_mut()
+                        .enumerate()
+                        .map(|(r, st)| {
+                            self.bottom_up_kernel(self.parts.local(r), st, in_queue_ref, summary_ref)
+                        })
+                        .collect();
+                    let (mean, stall) = self.phase_times(&outs);
+                    profile.bu_comp += mean;
+                    level_comp = mean;
+                    level_stall = stall;
+                    discovered_total = outs.iter().map(|o| o.discovered).sum::<u64>();
+                }
+                Direction::TopDown => {
+                    if prev_direction == Some(Direction::BottomUp) {
+                        // Bitmap -> queue conversion on the way out of
+                        // bottom-up (queues are already maintained; charge
+                        // the sweep that the real code performs).
+                        profile.switch += self.conversion_time(&partition);
+                    }
+
+                    if self.scenario.td_strategy == TdStrategy::Alltoallv {
+                        let (comm, comp, stall, discovered) =
+                            self.top_down_alltoallv_level(&mut states, &partition);
+                        profile.td_comm += comm + control;
+                        profile.td_comp += comp;
+                        level_comm += comm;
+                        level_comp += comp;
+                        level_stall += stall;
+                        profile.stall += level_stall;
+                        profile.levels.push(LevelProfile {
+                            direction,
+                            discovered,
+                            comp: level_comp,
+                            comm: level_comm,
+                            stall: level_stall,
+                        });
+                        prev_direction = Some(direction);
+                        if discovered == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    // Replicate the frontier: sparse allgatherv of the
+                    // newly discovered vertex lists when the frontier is
+                    // sparse (why top-down communication stays off the
+                    // Fig. 11 radar), or the frontier *bitmap* when the
+                    // list would be larger than the bitmap — the dense/
+                    // sparse frontier-representation switch of [9].
+                    let algo = self.scenario.opt.allgather_algorithm();
+                    let list_bytes: usize =
+                        states.iter().map(|s| s.frontier.len() * 4).sum();
+                    let bitmap_bytes = n.div_ceil(8);
+                    let full_frontier: Vec<u32>;
+                    let exchange_cost;
+                    if list_bytes > bitmap_bytes {
+                        // Dense path: allgather the out_words segments and
+                        // extract the sorted vertex list locally.
+                        states.par_iter_mut().enumerate().for_each(|(r, st)| {
+                            let (bit_start, _) = partition.item_range(r);
+                            st.out_words.fill(0);
+                            for &v in &st.frontier {
+                                let local_bit = v as usize - bit_start;
+                                st.out_words[local_bit / 64] |= 1u64 << (local_bit % 64);
+                            }
+                        });
+                        let parts_vec: Vec<Vec<u64>> =
+                            states.iter().map(|s| s.out_words.clone()).collect();
+                        let outcome = allgather_words(&parts_vec, &self.pmap, &self.net, algo);
+                        let mut bm = Bitmap::new(n);
+                        bm.copy_words_from(0, &outcome.words);
+                        bm.repair_padding();
+                        full_frontier = bm.iter_ones().map(|v| v as u32).collect();
+                        exchange_cost = outcome.cost.total();
+                        profile.switch += self.conversion_time(&partition);
+                    } else {
+                        let lists: Vec<Vec<u32>> =
+                            states.iter().map(|s| s.frontier.clone()).collect();
+                        let gathered =
+                            allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
+                        full_frontier = gathered.items;
+                        exchange_cost = gathered.cost.total();
+                    }
+                    profile.td_comm += exchange_cost + control;
+                    level_comm += exchange_cost;
+
+                    // --- top-down kernel over the transposed index -------
+                    let frontier_ref = &full_frontier;
+                    let outs: Vec<KernelOut> = states
+                        .par_iter_mut()
+                        .enumerate()
+                        .map(|(r, st)| {
+                            self.top_down_kernel(self.parts.local(r), st, frontier_ref)
+                        })
+                        .collect();
+                    let (mean, stall) = self.phase_times(&outs);
+                    profile.td_comp += mean;
+                    level_comp += mean;
+                    level_stall += stall;
+                    discovered_total = outs.iter().map(|o| o.discovered).sum::<u64>();
+                }
+            }
+
+            profile.stall += level_stall;
+            profile.levels.push(LevelProfile {
+                direction,
+                discovered: discovered_total,
+                comp: level_comp,
+                comm: level_comm,
+                stall: level_stall,
+            });
+            prev_direction = Some(direction);
+            if discovered_total == 0 {
+                break;
+            }
+        }
+
+        // Assemble the global parent array (partitions are contiguous).
+        let mut parent = Vec::with_capacity(n);
+        for st in &states {
+            parent.extend_from_slice(&st.parent);
+        }
+        parent.truncate(n);
+        let visited = parent.iter().filter(|&&p| p != NO_PARENT).count();
+        BfsRun {
+            parent,
+            profile,
+            visited,
+        }
+    }
+
+    /// Cost of one queue<->bitmap conversion sweep: each rank streams its
+    /// bitmap segment and frontier once.
+    fn conversion_time(&self, partition: &nbfs_util::BlockPartition) -> SimTime {
+        let ctx = self.compute_context();
+        let (ws, we) = partition.word_range(0);
+        let events = ComputeEvents {
+            vertex_scan_bytes: ((we - ws) * 8) as u64 * 2,
+            ..ComputeEvents::default()
+        };
+        ctx.time(&self.scenario.machine, &events)
+    }
+
+    /// The bottom-up level kernel for one rank: scan owned unvisited
+    /// vertices, probe the summary then `in_queue` per neighbour, adopt the
+    /// first frontier neighbour as parent.
+    fn bottom_up_kernel(
+        &self,
+        lg: &LocalGraph,
+        st: &mut RankState,
+        in_queue: &Bitmap,
+        summary: &SummaryBitmap,
+    ) -> KernelOut {
+        let first = lg.first_vertex();
+        let bit_start = first;
+        st.out_words.fill(0);
+        st.frontier.clear();
+
+        let mut summary_probes = 0u64;
+        let mut inqueue_probes = 0u64;
+        let mut edge_bytes = 0u64;
+        let mut write_bytes = 0u64;
+        let mut cpu_ops = 0u64;
+        let mut discovered = 0u64;
+        let mut degree_found = 0u64;
+
+        for v in lg.vertex_range() {
+            let local = v - first;
+            cpu_ops += 2;
+            if st.parent[local] != NO_PARENT {
+                continue;
+            }
+            for &u in lg.neighbours_global(v) {
+                edge_bytes += 4;
+                summary_probes += 1;
+                cpu_ops += 4;
+                if !summary.maybe_set(u as usize) {
+                    continue; // the summary's fast path: provably not in frontier
+                }
+                inqueue_probes += 1;
+                if in_queue.get(u as usize) {
+                    st.parent[local] = u;
+                    let local_bit = v - bit_start;
+                    st.out_words[local_bit / 64] |= 1u64 << (local_bit % 64);
+                    st.frontier.push(v as u32);
+                    write_bytes += 12;
+                    discovered += 1;
+                    degree_found += lg.degree_global(v) as u64;
+                    break;
+                }
+            }
+        }
+        st.unexplored_degree -= degree_found;
+
+        let events = ComputeEvents {
+            vertex_scan_bytes: lg.num_local_vertices() as u64 * 4,
+            edge_bytes,
+            write_bytes,
+            cpu_ops,
+            probes: vec![
+                ProbeClass {
+                    count: summary_probes,
+                    working_set: summary.size_bytes(),
+                    residence: self.scenario.summary_residence(),
+                },
+                ProbeClass {
+                    count: inqueue_probes,
+                    working_set: in_queue.size_bytes(),
+                    residence: self.scenario.in_queue_residence(),
+                },
+            ],
+        };
+        KernelOut { events, discovered }
+    }
+
+    /// One full top-down level under [`TdStrategy::Alltoallv`]: every rank
+    /// expands its own frontier queue, buckets `(neighbour, parent)` pairs
+    /// by owner, exchanges them, and owners adopt first arrivals. Returns
+    /// `(comm, comp, stall, discovered)`.
+    fn top_down_alltoallv_level(
+        &self,
+        states: &mut [RankState],
+        partition: &nbfs_util::BlockPartition,
+    ) -> (SimTime, SimTime, SimTime, u64) {
+        let np = self.pmap.world_size();
+        // --- scatter kernel ------------------------------------------------
+        let results: Vec<(KernelOut, SendBuckets)> = states
+            .par_iter()
+            .enumerate()
+            .map(|(r, st)| {
+                let lg = self.parts.local(r);
+                let mut sends: SendBuckets = vec![Vec::new(); np];
+                let mut edge_bytes = 0u64;
+                let mut cpu_ops = 0u64;
+                for &u in &st.frontier {
+                    for &v in lg.neighbours_global(u as usize) {
+                        edge_bytes += 4;
+                        cpu_ops += 4;
+                        sends[partition.owner(v as usize)].push((v, u));
+                    }
+                }
+                let events = ComputeEvents {
+                    vertex_scan_bytes: st.frontier.len() as u64 * 4,
+                    edge_bytes,
+                    write_bytes: 8 * sends.iter().map(|s| s.len() as u64).sum::<u64>(),
+                    cpu_ops,
+                    probes: Vec::new(),
+                };
+                (
+                    KernelOut {
+                        events,
+                        discovered: 0,
+                    },
+                    sends,
+                )
+            })
+            .collect();
+        let (scatter_outs, sends): (Vec<KernelOut>, Vec<SendBuckets>) =
+            results.into_iter().unzip();
+        let (mean_scatter, stall_scatter) = self.phase_times(&scatter_outs);
+
+        // --- exchange ------------------------------------------------------
+        let exchange = nbfs_comm::alltoallv::alltoallv(&sends, 8, &self.pmap, &self.net);
+
+        // --- inbox processing ------------------------------------------------
+        let outs: Vec<KernelOut> = states
+            .par_iter_mut()
+            .zip(exchange.received.into_par_iter())
+            .enumerate()
+            .map(|(r, (st, inbox))| {
+                let lg = self.parts.local(r);
+                let first = lg.first_vertex();
+                st.frontier.clear();
+                let mut cpu_ops = 0u64;
+                let mut write_bytes = 0u64;
+                let mut discovered = 0u64;
+                let mut degree_found = 0u64;
+                let inbox_len = inbox.len() as u64;
+                for (v, u) in inbox {
+                    debug_assert_eq!(partition.owner(v as usize), r);
+                    let local = v as usize - first;
+                    cpu_ops += 3;
+                    if st.parent[local] == NO_PARENT {
+                        st.parent[local] = u;
+                        st.frontier.push(v);
+                        write_bytes += 12;
+                        discovered += 1;
+                        degree_found += lg.degree_global(v as usize) as u64;
+                    }
+                }
+                st.frontier.sort_unstable();
+                st.unexplored_degree -= degree_found;
+                let events = ComputeEvents {
+                    vertex_scan_bytes: 0,
+                    edge_bytes: 0,
+                    write_bytes,
+                    cpu_ops,
+                    probes: vec![ProbeClass {
+                        count: inbox_len,
+                        working_set: (lg.num_local_vertices() * 4).max(64),
+                        residence: self.scenario.private_residence(),
+                    }],
+                };
+                KernelOut { events, discovered }
+            })
+            .collect();
+        let (mean_inbox, stall_inbox) = self.phase_times(&outs);
+        let discovered = outs.iter().map(|o| o.discovered).sum();
+        (
+            exchange.cost.total(),
+            mean_scatter + mean_inbox,
+            stall_scatter + stall_inbox,
+            discovered,
+        )
+    }
+
+    /// The top-down level kernel for one rank: walk the *replicated*
+    /// frontier queue; for each frontier vertex, look up which of its
+    /// neighbours this rank owns (transposed index) and adopt it as their
+    /// parent if unvisited. First frontier vertex in queue order wins,
+    /// which is deterministic and a valid BFS parent choice.
+    fn top_down_kernel(
+        &self,
+        lg: &LocalGraph,
+        st: &mut RankState,
+        full_frontier: &[u32],
+    ) -> KernelOut {
+        let first = lg.first_vertex();
+        st.frontier.clear();
+        let mut edge_bytes = 0u64;
+        let mut write_bytes = 0u64;
+        let mut cpu_ops = 0u64;
+        let mut lookups = 0u64;
+        let mut discovered = 0u64;
+        let mut degree_found = 0u64;
+        for &u in full_frontier {
+            // The frontier list and the transposed index are both sorted
+            // by vertex id, so the lookup sweep is a streaming merge join:
+            // bandwidth-bound with only an occasional cold jump (charged
+            // below as one probe per 8 frontier vertices), plus ~8 bytes
+            // of index skipped per frontier vertex.
+            edge_bytes += 8;
+            cpu_ops += 8 + (lg.num_local_arcs().max(2) as f64).log2().ceil() as u64;
+            for &(_, v) in lg.incoming_from(u as usize) {
+                edge_bytes += 8;
+                cpu_ops += 3;
+                let local = v as usize - first;
+                if st.parent[local] == NO_PARENT {
+                    st.parent[local] = u;
+                    st.frontier.push(v);
+                    write_bytes += 12;
+                    discovered += 1;
+                    degree_found += lg.degree_global(v as usize) as u64;
+                }
+            }
+        }
+        st.frontier.sort_unstable();
+        st.frontier.dedup();
+        st.unexplored_degree -= degree_found;
+        lookups += full_frontier.len() as u64 / 8 + 1;
+        let events = ComputeEvents {
+            vertex_scan_bytes: full_frontier.len() as u64 * 4,
+            edge_bytes,
+            write_bytes,
+            cpu_ops,
+            probes: vec![ProbeClass {
+                count: lookups,
+                working_set: lg.incoming_size_bytes().max(64),
+                residence: self.scenario.private_residence(),
+            }],
+        };
+        KernelOut { events, discovered }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbfs_graph::validate::validate_bfs_tree;
+    use nbfs_graph::GraphBuilder;
+    use nbfs_topology::presets;
+
+    fn small_machine() -> MachineConfig {
+        MachineConfig::small_test_cluster(2, 4)
+    }
+
+    #[test]
+    fn produces_valid_tree_on_every_opt_level() {
+        let g = GraphBuilder::rmat(11, 8).seed(13).build();
+        for opt in OptLevel::LADDER {
+            let scenario = Scenario::new(small_machine(), opt);
+            let run = DistributedBfs::new(&g, &scenario).run(5);
+            let visited = validate_bfs_tree(&g, 5, &run.parent)
+                .unwrap_or_else(|e| panic!("{opt:?}: {e}"));
+            assert_eq!(visited, run.visited, "{opt:?}");
+            assert_eq!(visited, g.component_of(5).len(), "{opt:?}");
+            assert!(run.profile.total() > SimTime::ZERO, "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_visited_set() {
+        let g = GraphBuilder::rmat(11, 8).seed(21).build();
+        let seq = crate::seq::bfs_top_down(&g, 9);
+        let scenario = Scenario::new(small_machine(), OptLevel::ShareAll);
+        let run = DistributedBfs::new(&g, &scenario).run(9);
+        for v in 0..g.num_vertices() {
+            assert_eq!(
+                seq.parent[v] != NO_PARENT,
+                run.parent[v] != NO_PARENT,
+                "v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let g = GraphBuilder::rmat(10, 8).seed(2).build();
+        let scenario = Scenario::new(small_machine(), OptLevel::Granularity(256));
+        let engine = DistributedBfs::new(&g, &scenario);
+        let a = engine.run(3);
+        let b = engine.run(3);
+        assert_eq!(a.parent, b.parent);
+        assert_eq!(a.profile.total(), b.profile.total());
+        assert_eq!(a.profile.bu_comm, b.profile.bu_comm);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = GraphBuilder::rmat(10, 8).seed(2).build();
+        let scenario = Scenario::new(small_machine(), OptLevel::ParAllgather);
+        let engine = DistributedBfs::new(&g, &scenario);
+        let multi = engine.run(3);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let single = pool.install(|| engine.run(3));
+        assert_eq!(multi.parent, single.parent);
+        assert_eq!(multi.profile.total(), single.profile.total());
+    }
+
+    #[test]
+    fn uses_all_three_phases_on_rmat() {
+        let g = GraphBuilder::rmat(12, 16).seed(4).build();
+        let scenario = Scenario::new(small_machine(), OptLevel::OriginalPpn8);
+        let run = DistributedBfs::new(&g, &scenario).run(3);
+        let dirs: Vec<Direction> = run.profile.levels.iter().map(|l| l.direction).collect();
+        assert_eq!(dirs.first(), Some(&Direction::TopDown));
+        assert!(dirs.contains(&Direction::BottomUp), "{dirs:?}");
+        assert!(run.profile.bu_comm > SimTime::ZERO);
+        assert!(run.profile.bu_comp > SimTime::ZERO);
+        assert!(run.profile.switch > SimTime::ZERO);
+    }
+
+    #[test]
+    fn isolated_root_is_a_one_vertex_tree() {
+        let g = GraphBuilder::rmat(11, 8).seed(13).build();
+        let isolated = (0..g.num_vertices())
+            .find(|&v| g.degree(v) == 0)
+            .expect("R-MAT has isolated vertices");
+        let scenario = Scenario::new(small_machine(), OptLevel::ShareAll);
+        let run = DistributedBfs::new(&g, &scenario).run(isolated);
+        assert_eq!(run.visited, 1);
+        assert_eq!(run.parent[isolated], isolated as u32);
+    }
+
+    #[test]
+    fn optimization_ladder_improves_total_time() {
+        // Fig. 9's overall direction on a multi-node machine: each rung at
+        // least must not be slower, and the ends must differ substantially.
+        let g = GraphBuilder::rmat(13, 16).seed(31).build();
+        let machine = presets::xeon_x7550_cluster(4).scaled_to_graph(13, 28);
+        let mut times = Vec::new();
+        for opt in [
+            OptLevel::OriginalPpn8,
+            OptLevel::ShareInQueue,
+            OptLevel::ShareAll,
+            OptLevel::ParAllgather,
+        ] {
+            let scenario = Scenario::new(machine.clone(), opt);
+            let run = DistributedBfs::new(&g, &scenario).run(3);
+            times.push((opt, run.profile.total()));
+        }
+        for w in times.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 * 1.02,
+                "{:?} ({:?}) should not be slower than {:?} ({:?})",
+                w[1].0,
+                w[1].1,
+                w[0].0,
+                w[0].1
+            );
+        }
+        let end_to_end = times[0].1 / times[3].1;
+        assert!(
+            end_to_end > 1.15,
+            "communication optimizations should pay off visibly, got {end_to_end}"
+        );
+    }
+
+    #[test]
+    fn alltoallv_strategy_produces_the_same_visited_set() {
+        let g = GraphBuilder::rmat(11, 8).seed(13).build();
+        let machine = MachineConfig::small_test_cluster(2, 4);
+        let a = DistributedBfs::new(&g, &Scenario::new(machine.clone(), OptLevel::ShareAll))
+            .run(5);
+        let b = DistributedBfs::new(
+            &g,
+            &Scenario::new(machine, OptLevel::ShareAll).with_td_strategy(TdStrategy::Alltoallv),
+        )
+        .run(5);
+        let visited_a = validate_bfs_tree(&g, 5, &a.parent).unwrap();
+        let visited_b = validate_bfs_tree(&g, 5, &b.parent).unwrap();
+        assert_eq!(visited_a, visited_b);
+        assert!(b.profile.total() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn alltoallv_top_down_costs_more_communication() {
+        // The Section II.A motivation: per-edge scatter traffic loses to
+        // the replicated sparse exchange once the frontier has real volume.
+        let g = GraphBuilder::rmat(14, 16).seed(9).build();
+        let machine = presets::xeon_x7550_cluster(4).scaled_to_graph(14, 28);
+        let root = (0..g.num_vertices())
+            .max_by_key(|&v| g.degree(v))
+            .unwrap();
+        let sparse = DistributedBfs::new(&g, &Scenario::new(machine.clone(), OptLevel::ShareAll))
+            .run(root);
+        let scatter = DistributedBfs::new(
+            &g,
+            &Scenario::new(machine, OptLevel::ShareAll).with_td_strategy(TdStrategy::Alltoallv),
+        )
+        .run(root);
+        assert!(
+            scatter.profile.td_comm > sparse.profile.td_comm,
+            "alltoallv TD comm {:?} should exceed sparse {:?}",
+            scatter.profile.td_comm,
+            sparse.profile.td_comm
+        );
+    }
+
+    #[test]
+    fn fig10_placement_ordering() {
+        // bind-to-socket > interleave > noflag for the Original code on one
+        // node (Fig. 10's ranking).
+        // Fig. 10's regime is scale 28 on one node: computation dominates
+        // fixed per-operation overheads. Scale 17 with caches scaled by the
+        // same 2^11 factor reproduces that regime at test size.
+        let g = GraphBuilder::rmat(17, 16).seed(7).build();
+        let root = (0..g.num_vertices())
+            .max_by_key(|&v| g.degree(v))
+            .expect("non-empty graph");
+        let machine = presets::xeon_x7550_node().scaled_to_graph(17, 28);
+        let mut totals = std::collections::HashMap::new();
+        for (label, ppn, policy) in [
+            ("bind8", 8, PlacementPolicy::BindToSocket),
+            ("inter1", 1, PlacementPolicy::Interleave),
+            ("noflag1", 1, PlacementPolicy::Noflag),
+            ("noflag8", 8, PlacementPolicy::Noflag),
+        ] {
+            let scenario = Scenario::new(machine.clone(), OptLevel::OriginalPpn8)
+                .with_placement(ppn, policy);
+            let run = DistributedBfs::new(&g, &scenario).run(root);
+            totals.insert(label, run.profile.total());
+        }
+        assert!(totals["bind8"] < totals["inter1"], "{totals:?}");
+        assert!(totals["inter1"] < totals["noflag1"], "{totals:?}");
+        assert!(totals["bind8"] < totals["noflag8"], "{totals:?}");
+    }
+}

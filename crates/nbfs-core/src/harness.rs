@@ -1,0 +1,228 @@
+//! The Graph500-style measurement harness.
+//!
+//! Section IV.A of the paper: "64 different vertices are random selected as
+//! the roots of 64 BFS iterations. Each iteration reports its TEPS ... the
+//! final result is calculated as the harmonic mean of the TEPS of 64
+//! iterations." Profiling results are "the average of 64 BFS iterations."
+//! This module reproduces that procedure (root count configurable so tests
+//! stay fast), including the Graph500 rules of sampling only vertices with
+//! at least one edge and validating every search.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use nbfs_graph::validate::validate_bfs_tree;
+use nbfs_graph::Csr;
+use nbfs_util::rng::Xoroshiro128;
+use nbfs_util::stats::RateSummary;
+use nbfs_util::SimTime;
+
+use crate::engine::{DistributedBfs, Scenario};
+use crate::profile::RunProfile;
+
+/// Measurement configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HarnessConfig {
+    /// Number of BFS roots (Graph500 mandates 64).
+    pub roots: usize,
+    /// Root-sampling seed.
+    pub seed: u64,
+    /// Run the Graph500 validation kernel on every tree.
+    pub validate: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            roots: 64,
+            seed: 0x6ea7_500d,
+            validate: true,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A fast configuration for unit tests and quick sweeps.
+    pub fn quick(roots: usize) -> Self {
+        Self {
+            roots,
+            seed: 12345,
+            validate: true,
+        }
+    }
+}
+
+/// Result of one BFS iteration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RootResult {
+    /// The search key.
+    pub root: usize,
+    /// Undirected edges in the traversed component (the TEPS numerator).
+    pub traversed_edges: u64,
+    /// Simulated run time.
+    pub time: SimTime,
+    /// Traversed edges per simulated second.
+    pub teps: f64,
+}
+
+/// Aggregate of a measurement campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarnessResult {
+    /// Harmonic-mean TEPS and friends — the headline number.
+    pub teps: RateSummary,
+    /// Profile averaged over all iterations (the Fig. 11–14 inputs).
+    pub mean_profile: RunProfile,
+    /// Every iteration's details.
+    pub per_root: Vec<RootResult>,
+}
+
+impl HarnessResult {
+    /// The Graph500 headline: harmonic-mean TEPS.
+    pub fn harmonic_teps(&self) -> f64 {
+        self.teps.harmonic_mean
+    }
+}
+
+/// Runs Graph500-style campaigns for one graph and scenario.
+pub struct Graph500Harness<'g> {
+    graph: &'g Csr,
+    engine: DistributedBfs<'g>,
+}
+
+impl<'g> Graph500Harness<'g> {
+    /// Prepares the engine (partitioning happens here, like kernel 1).
+    pub fn new(graph: &'g Csr, scenario: &Scenario) -> Self {
+        Self {
+            graph,
+            engine: DistributedBfs::new(graph, scenario),
+        }
+    }
+
+    /// Samples `count` distinct search keys with degree ≥ 1, as the
+    /// Graph500 run rules require.
+    pub fn sample_roots(&self, count: usize, seed: u64) -> Vec<usize> {
+        let n = self.graph.num_vertices();
+        let candidates = (0..n).filter(|&v| self.graph.degree(v) > 0).count();
+        assert!(
+            candidates >= count,
+            "graph has only {candidates} non-isolated vertices, need {count}"
+        );
+        let mut rng = Xoroshiro128::new(seed);
+        let mut chosen = Vec::with_capacity(count);
+        let mut seen = std::collections::HashSet::new();
+        while chosen.len() < count {
+            let v = rng.next_below(n as u64) as usize;
+            if self.graph.degree(v) > 0 && seen.insert(v) {
+                chosen.push(v);
+            }
+        }
+        chosen
+    }
+
+    /// Runs the full campaign.
+    ///
+    /// # Panics
+    /// If validation is enabled and any BFS tree is invalid.
+    pub fn run(&self, config: &HarnessConfig) -> HarnessResult {
+        let roots = self.sample_roots(config.roots, config.seed);
+        let results: Vec<(RootResult, RunProfile)> = roots
+            .par_iter()
+            .map(|&root| {
+                let run = self.engine.run(root);
+                if config.validate {
+                    let visited = validate_bfs_tree(self.graph, root, &run.parent)
+                        .unwrap_or_else(|e| panic!("validation failed at root {root}: {e}"));
+                    assert_eq!(visited, run.visited);
+                }
+                let traversed_edges = self.graph.component_edges(root) as u64;
+                let time = run.profile.total();
+                (
+                    RootResult {
+                        root,
+                        traversed_edges,
+                        time,
+                        teps: traversed_edges as f64 / time.as_secs(),
+                    },
+                    run.profile,
+                )
+            })
+            .collect();
+        let (per_root, profiles): (Vec<RootResult>, Vec<RunProfile>) =
+            results.into_iter().unzip();
+
+        // Profiles are averaged in root order for determinism.
+        let mut mean_profile = RunProfile::default();
+        for p in &profiles {
+            mean_profile.accumulate(p);
+        }
+        let mean_profile = mean_profile.scaled(roots.len() as f64);
+
+        let teps_samples: Vec<f64> = per_root.iter().map(|r| r.teps).collect();
+        HarnessResult {
+            teps: RateSummary::from_samples(&teps_samples),
+            mean_profile,
+            per_root,
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &DistributedBfs<'g> {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::OptLevel;
+    use nbfs_graph::GraphBuilder;
+    use nbfs_topology::MachineConfig;
+
+    fn harness_setup() -> (Csr, Scenario) {
+        let g = GraphBuilder::rmat(11, 16).seed(3).build();
+        let scenario = Scenario::new(MachineConfig::small_test_cluster(2, 4), OptLevel::ShareAll);
+        (g, scenario)
+    }
+
+    #[test]
+    fn campaign_reports_positive_teps_and_validates() {
+        let (g, scenario) = harness_setup();
+        let h = Graph500Harness::new(&g, &scenario);
+        let result = h.run(&HarnessConfig::quick(4));
+        assert_eq!(result.per_root.len(), 4);
+        assert!(result.harmonic_teps() > 0.0);
+        assert!(result.teps.harmonic_mean <= result.teps.mean * 1.0000001);
+        assert!(result.mean_profile.total() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn roots_are_distinct_and_non_isolated() {
+        let (g, scenario) = harness_setup();
+        let h = Graph500Harness::new(&g, &scenario);
+        let roots = h.sample_roots(16, 99);
+        let set: std::collections::HashSet<_> = roots.iter().collect();
+        assert_eq!(set.len(), 16);
+        for &r in &roots {
+            assert!(g.degree(r) > 0);
+        }
+    }
+
+    #[test]
+    fn root_sampling_is_deterministic() {
+        let (g, scenario) = harness_setup();
+        let h = Graph500Harness::new(&g, &scenario);
+        assert_eq!(h.sample_roots(8, 5), h.sample_roots(8, 5));
+        assert_ne!(h.sample_roots(8, 5), h.sample_roots(8, 6));
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let (g, scenario) = harness_setup();
+        let h = Graph500Harness::new(&g, &scenario);
+        let cfg = HarnessConfig::quick(3);
+        let a = h.run(&cfg);
+        let b = h.run(&cfg);
+        assert_eq!(a.harmonic_teps(), b.harmonic_teps());
+        assert_eq!(a.mean_profile.total(), b.mean_profile.total());
+    }
+}

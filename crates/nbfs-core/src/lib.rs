@@ -1,0 +1,37 @@
+//! The paper's primary contribution: hybrid BFS on a NUMA cluster, with the
+//! full optimization ladder of Section III.
+//!
+//! * [`seq`] — single-address-space top-down, bottom-up and *hybrid*
+//!   (Beamer et al. \[9\]) BFS engines, used for the Section II.A comparison
+//!   and as correctness oracles;
+//! * [`direction`] — the hybrid switch heuristic (α/β thresholds);
+//! * [`opt`] — the optimization ladder of Fig. 9 (`Original.ppn=1` →
+//!   `Original.ppn=8` → `Share in_queue` → `Share all` → `Par allgather` →
+//!   `Granularity`);
+//! * [`engine`] — the distributed hybrid BFS over the simulated cluster:
+//!   real partitioned traversal + counted-work cost model + the collective
+//!   algorithms of `nbfs-comm`;
+//! * [`profile`] — the Fig. 11 execution-time breakdown (top-down
+//!   computation, bottom-up computation, bottom-up communication, switch,
+//!   stall);
+//! * [`harness`] — the Graph500 measurement harness: N random roots,
+//!   per-root validation, harmonic-mean TEPS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod direction;
+pub mod engine;
+pub mod engine2d;
+pub mod ext2d;
+pub mod harness;
+pub mod opt;
+pub mod par;
+pub mod profile;
+pub mod seq;
+pub mod tuning;
+
+pub use engine::{BfsRun, DistributedBfs, Scenario};
+pub use harness::{Graph500Harness, HarnessConfig};
+pub use opt::OptLevel;
+pub use profile::{Phase, RunProfile};

@@ -1,0 +1,178 @@
+//! The optimization ladder of Fig. 9.
+//!
+//! Each variant stacks one more of the paper's Section III optimizations on
+//! the previous one, exactly as the overview figure does:
+//!
+//! 1. `Original.ppn=1` — one rank per node, `numactl --interleave=all`;
+//! 2. `Original.ppn=8` — one rank per socket, bound (Section II.D);
+//! 3. `Share in_queue` — node-shared frontier bitmap (Section III.A.1);
+//! 4. `Share all` — also share `out_queue` and the summaries (III.A.2);
+//! 5. `Par allgather` — subgroup-parallel inter-node exchange (III.B);
+//! 6. `Granularity(g)` — tuned summary-bitmap granularity (III.C).
+
+use serde::{Deserialize, Serialize};
+
+use nbfs_comm::allgather::AllgatherAlgorithm;
+use nbfs_simnet::Residence;
+use nbfs_topology::{MachineConfig, PlacementPolicy, ProcessMap};
+use nbfs_util::SummaryBitmap;
+
+/// One rung of the Fig. 9 ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// One rank per node with interleaved memory — the best unoptimized
+    /// single-process mapping.
+    OriginalPpn1,
+    /// One bound rank per socket, unshared data, default (ring) allgather.
+    OriginalPpn8,
+    /// Plus: node-shared `in_queue` (kills the broadcast step).
+    ShareInQueue,
+    /// Plus: node-shared `out_queue` and summaries (kills the gather step).
+    ShareAll,
+    /// Plus: subgroup-parallel allgather (saturates both IB ports).
+    ParAllgather,
+    /// Plus: summary-bitmap granularity `g` instead of the reference 64.
+    Granularity(
+        /// Bits of `in_queue` covered per summary bit.
+        usize,
+    ),
+}
+
+impl OptLevel {
+    /// The ladder in presentation order, with the paper's best granularity.
+    pub const LADDER: [OptLevel; 6] = [
+        OptLevel::OriginalPpn1,
+        OptLevel::OriginalPpn8,
+        OptLevel::ShareInQueue,
+        OptLevel::ShareAll,
+        OptLevel::ParAllgather,
+        OptLevel::Granularity(256),
+    ];
+
+    /// The figure label.
+    pub fn label(self) -> String {
+        match self {
+            OptLevel::OriginalPpn1 => "Original.ppn=1".into(),
+            OptLevel::OriginalPpn8 => "Original.ppn=8".into(),
+            OptLevel::ShareInQueue => "Share in_queue".into(),
+            OptLevel::ShareAll => "Share all".into(),
+            OptLevel::ParAllgather => "Par allgather".into(),
+            OptLevel::Granularity(g) => format!("Granularity({g})"),
+        }
+    }
+
+    /// The process map this level spawns on `machine`: one rank per node
+    /// for `OriginalPpn1`, one bound rank per socket otherwise.
+    pub fn process_map(self, machine: &MachineConfig) -> ProcessMap {
+        match self {
+            OptLevel::OriginalPpn1 => ProcessMap::one_rank_per_node(machine),
+            _ => ProcessMap::one_rank_per_socket(machine),
+        }
+    }
+
+    /// The placement policy in force.
+    pub fn policy(self) -> PlacementPolicy {
+        match self {
+            OptLevel::OriginalPpn1 => PlacementPolicy::Interleave,
+            _ => PlacementPolicy::BindToSocket,
+        }
+    }
+
+    /// The allgather algorithm used for the big frontier exchange.
+    pub fn allgather_algorithm(self) -> AllgatherAlgorithm {
+        match self {
+            OptLevel::OriginalPpn1 | OptLevel::OriginalPpn8 => AllgatherAlgorithm::Ring,
+            OptLevel::ShareInQueue => AllgatherAlgorithm::SharedDest,
+            OptLevel::ShareAll => AllgatherAlgorithm::SharedBoth,
+            OptLevel::ParAllgather | OptLevel::Granularity(_) => {
+                AllgatherAlgorithm::ParallelSubgroup
+            }
+        }
+    }
+
+    /// Where `in_queue` lives during the computation phase.
+    pub fn in_queue_residence(self) -> Residence {
+        match self {
+            OptLevel::OriginalPpn1 => Residence::InterleavedPrivateCache,
+            OptLevel::OriginalPpn8 => Residence::SocketPrivate,
+            _ => Residence::NodeShared,
+        }
+    }
+
+    /// Where `in_queue_summary` lives. It is only shared once `Share all`
+    /// shares "the `in_queue_summary` and `out_queue_summary` ... in the
+    /// same way".
+    pub fn summary_residence(self) -> Residence {
+        match self {
+            OptLevel::OriginalPpn1 => Residence::InterleavedPrivateCache,
+            OptLevel::OriginalPpn8 | OptLevel::ShareInQueue => Residence::SocketPrivate,
+            _ => Residence::NodeShared,
+        }
+    }
+
+    /// The summary-bitmap granularity (bits of `in_queue` per summary bit).
+    pub fn granularity(self) -> usize {
+        match self {
+            OptLevel::Granularity(g) => g,
+            _ => SummaryBitmap::REFERENCE_GRANULARITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbfs_topology::presets;
+
+    #[test]
+    fn ladder_order_and_labels() {
+        let labels: Vec<String> = OptLevel::LADDER.iter().map(|o| o.label()).collect();
+        assert_eq!(labels[0], "Original.ppn=1");
+        assert_eq!(labels[5], "Granularity(256)");
+    }
+
+    #[test]
+    fn process_maps() {
+        let m = presets::cluster2012();
+        assert_eq!(OptLevel::OriginalPpn1.process_map(&m).ppn(), 1);
+        for o in &OptLevel::LADDER[1..] {
+            assert_eq!(o.process_map(&m).ppn(), 8, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn residences_follow_the_paper() {
+        assert_eq!(
+            OptLevel::OriginalPpn8.in_queue_residence(),
+            Residence::SocketPrivate
+        );
+        assert_eq!(
+            OptLevel::ShareInQueue.in_queue_residence(),
+            Residence::NodeShared
+        );
+        // Summary sharing arrives one rung later than in_queue sharing.
+        assert_eq!(
+            OptLevel::ShareInQueue.summary_residence(),
+            Residence::SocketPrivate
+        );
+        assert_eq!(OptLevel::ShareAll.summary_residence(), Residence::NodeShared);
+    }
+
+    #[test]
+    fn granularity_defaults_to_reference() {
+        assert_eq!(OptLevel::ParAllgather.granularity(), 64);
+        assert_eq!(OptLevel::Granularity(512).granularity(), 512);
+    }
+
+    #[test]
+    fn allgather_ladder() {
+        use AllgatherAlgorithm as A;
+        assert_eq!(OptLevel::OriginalPpn8.allgather_algorithm(), A::Ring);
+        assert_eq!(OptLevel::ShareInQueue.allgather_algorithm(), A::SharedDest);
+        assert_eq!(OptLevel::ShareAll.allgather_algorithm(), A::SharedBoth);
+        assert_eq!(
+            OptLevel::Granularity(256).allgather_algorithm(),
+            A::ParallelSubgroup
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Parallel shared-memory hybrid BFS — the "OpenMP inside the rank" half
+//! of the paper's MPI/OpenMP programming model, as real thread parallelism.
+//!
+//! The distributed engine models intra-rank parallelism as a core count in
+//! the cost model (keeping simulated time deterministic); this module is
+//! the *actual* multithreaded kernel a rank would run: rayon workers share
+//! an [`AtomicBitmap`] frontier and race on parent adoption with
+//! `fetch_or`-style claims, exactly the intra-node scheme of Beamer et al.
+//! \[9\] that the paper adopts ("8 MPI processes, each of 8 OMP threads").
+//!
+//! Parents may differ from the sequential engines between runs (any
+//! frontier neighbour is a valid BFS parent — the claim is made atomic, so
+//! exactly one writer wins), but the visited set and the level structure
+//! are always identical, which the tests pin against the sequential
+//! oracle.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use nbfs_graph::{Csr, NO_PARENT};
+use nbfs_util::{AtomicBitmap, Bitmap};
+
+use crate::direction::{Direction, SwitchPolicy};
+use crate::seq::{LevelTrace, SeqBfs};
+
+/// Chunk of vertices processed per work-stealing task.
+const CHUNK: usize = 1024;
+
+/// Runs the hybrid BFS from `root` using the current rayon thread pool.
+pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
+    let n = graph.num_vertices();
+    assert!(root < n, "root out of range");
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+    parent[root].store(root as u32, Ordering::Relaxed);
+
+    let mut frontier: Vec<u32> = vec![root as u32];
+    let mut in_queue = AtomicBitmap::new(n);
+    in_queue.set(root);
+
+    let total_degree: u64 = (0..n).map(|v| graph.degree(v) as u64).sum();
+    let mut m_u = total_degree - graph.degree(root) as u64;
+    let mut direction = Direction::TopDown;
+    let mut levels = Vec::new();
+
+    loop {
+        let n_f = frontier.len() as u64;
+        if n_f == 0 {
+            break;
+        }
+        let m_f: u64 = frontier
+            .par_iter()
+            .map(|&u| graph.degree(u as usize) as u64)
+            .sum();
+        direction = policy.choose(direction, m_f, m_u, n_f, n as u64);
+
+        let edges = AtomicU64::new(0);
+        let next: Vec<u32> = match direction {
+            Direction::TopDown => {
+                // Workers expand disjoint frontier chunks; parent adoption
+                // is an atomic compare-exchange so each vertex is claimed
+                // exactly once.
+                frontier
+                    .par_chunks(CHUNK)
+                    .flat_map_iter(|chunk| {
+                        let mut local = Vec::new();
+                        let mut local_edges = 0u64;
+                        for &u in chunk {
+                            for &v in graph.neighbours(u as usize) {
+                                local_edges += 1;
+                                if parent[v as usize]
+                                    .compare_exchange(
+                                        NO_PARENT,
+                                        u,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                                {
+                                    local.push(v);
+                                }
+                            }
+                        }
+                        edges.fetch_add(local_edges, Ordering::Relaxed);
+                        local.into_iter()
+                    })
+                    .collect()
+            }
+            Direction::BottomUp => {
+                // Workers scan disjoint unvisited ranges; each vertex is
+                // touched by exactly one worker, so a plain store suffices.
+                let in_q = &in_queue;
+                (0..n)
+                    .into_par_iter()
+                    .chunks(CHUNK)
+                    .flat_map_iter(|chunk| {
+                        let mut local = Vec::new();
+                        let mut local_edges = 0u64;
+                        for v in chunk {
+                            if parent[v].load(Ordering::Relaxed) != NO_PARENT {
+                                continue;
+                            }
+                            for &u in graph.neighbours(v) {
+                                local_edges += 1;
+                                if in_q.get(u as usize) {
+                                    parent[v].store(u, Ordering::Relaxed);
+                                    local.push(v as u32);
+                                    break;
+                                }
+                            }
+                        }
+                        edges.fetch_add(local_edges, Ordering::Relaxed);
+                        local.into_iter()
+                    })
+                    .collect()
+            }
+        };
+
+        m_u -= next
+            .par_iter()
+            .map(|&v| graph.degree(v as usize) as u64)
+            .sum::<u64>();
+        // Rebuild the frontier bitmap for the next level.
+        let fresh = AtomicBitmap::new(n);
+        next.par_iter().for_each(|&v| {
+            fresh.set(v as usize);
+        });
+        in_queue = fresh;
+        levels.push(LevelTrace {
+            direction,
+            discovered: next.len() as u64,
+            edges_examined: edges.load(Ordering::Relaxed),
+        });
+        frontier = next;
+    }
+
+    SeqBfs {
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        levels,
+    }
+}
+
+/// Convenience: the visited set as a bitmap.
+pub fn visited_bitmap(run: &SeqBfs) -> Bitmap {
+    let mut bm = Bitmap::new(run.parent.len());
+    for (v, &p) in run.parent.iter().enumerate() {
+        if p != NO_PARENT {
+            bm.set(v);
+        }
+    }
+    bm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use nbfs_graph::validate::validate_bfs_tree;
+    use nbfs_graph::GraphBuilder;
+
+    fn graph() -> Csr {
+        GraphBuilder::rmat(13, 16).seed(17).build()
+    }
+
+    #[test]
+    fn parallel_tree_validates_and_matches_sequential_levels() {
+        let g = graph();
+        let root = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
+        let par = bfs_hybrid_parallel(&g, root, SwitchPolicy::default());
+        let visited = validate_bfs_tree(&g, root, &par.parent).expect("valid tree");
+        let seq = seq::bfs_hybrid(&g, root, SwitchPolicy::default());
+        assert_eq!(visited, seq.visited());
+        // Same level structure: per-level discovery counts must agree
+        // (parents may differ, depths may not).
+        let pd: Vec<u64> = par.levels.iter().map(|l| l.discovered).collect();
+        let sd: Vec<u64> = seq.levels.iter().map(|l| l.discovered).collect();
+        assert_eq!(pd, sd);
+    }
+
+    #[test]
+    fn parallel_visited_set_equals_sequential() {
+        let g = graph();
+        let par = bfs_hybrid_parallel(&g, 3, SwitchPolicy::default());
+        let seq = seq::bfs_top_down(&g, 3);
+        assert_eq!(visited_bitmap(&par), visited_bitmap(&seq));
+    }
+
+    #[test]
+    fn single_thread_pool_gives_same_visited_set() {
+        let g = graph();
+        let root = 3;
+        let multi = bfs_hybrid_parallel(&g, root, SwitchPolicy::default());
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let single = pool.install(|| bfs_hybrid_parallel(&g, root, SwitchPolicy::default()));
+        assert_eq!(visited_bitmap(&multi), visited_bitmap(&single));
+        assert_eq!(multi.levels.len(), single.levels.len());
+    }
+
+    #[test]
+    fn pure_policies_work_in_parallel_too() {
+        let g = graph();
+        let root = 3;
+        for policy in [SwitchPolicy::always_top_down(), SwitchPolicy::always_bottom_up()] {
+            let run = bfs_hybrid_parallel(&g, root, policy);
+            let visited = validate_bfs_tree(&g, root, &run.parent)
+                .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+            assert_eq!(visited, g.component_of(root).len());
+        }
+    }
+
+    #[test]
+    fn isolated_root() {
+        let g = graph();
+        let isolated = (0..g.num_vertices()).find(|&v| g.degree(v) == 0).unwrap();
+        let run = bfs_hybrid_parallel(&g, isolated, SwitchPolicy::default());
+        assert_eq!(run.visited(), 1);
+    }
+}

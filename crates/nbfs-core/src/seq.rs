@@ -1,0 +1,305 @@
+//! Single-address-space BFS engines: top-down, bottom-up and hybrid.
+//!
+//! These are the algorithmic baselines of Section II.A. They operate on one
+//! [`Csr`] without any distribution and serve three purposes: correctness
+//! oracles for the distributed engine, workload generators for the Fig. 3
+//! single-node study, and the edges-examined comparison behind the paper's
+//! "hybrid is 27.3× faster than top-down, 4.7× than bottom-up" observation
+//! (the hybrid's advantage is precisely that it examines far fewer edges).
+
+use serde::{Deserialize, Serialize};
+
+use nbfs_graph::{Csr, NO_PARENT};
+use nbfs_util::Bitmap;
+
+use crate::direction::{Direction, SwitchPolicy};
+
+/// Per-level trace of a sequential BFS run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LevelTrace {
+    /// Direction used for the level.
+    pub direction: Direction,
+    /// Vertices discovered this level.
+    pub discovered: u64,
+    /// Edges examined this level (adjacency entries touched).
+    pub edges_examined: u64,
+}
+
+/// Result of a sequential BFS.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SeqBfs {
+    /// Parent array (`NO_PARENT` = unvisited; the root is its own parent).
+    pub parent: Vec<u32>,
+    /// Per-level trace.
+    pub levels: Vec<LevelTrace>,
+}
+
+impl SeqBfs {
+    /// Vertices visited (including the root).
+    pub fn visited(&self) -> usize {
+        self.parent.iter().filter(|&&p| p != NO_PARENT).count()
+    }
+
+    /// Total edges examined across all levels — the work metric behind the
+    /// Section II.A algorithm comparison.
+    pub fn edges_examined(&self) -> u64 {
+        self.levels.iter().map(|l| l.edges_examined).sum()
+    }
+}
+
+/// Classic queue-based top-down BFS.
+pub fn bfs_top_down(graph: &Csr, root: usize) -> SeqBfs {
+    let n = graph.num_vertices();
+    let mut parent = vec![NO_PARENT; n];
+    parent[root] = root as u32;
+    let mut frontier = vec![root as u32];
+    let mut levels = Vec::new();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        let mut edges = 0u64;
+        for &u in &frontier {
+            for &v in graph.neighbours(u as usize) {
+                edges += 1;
+                if parent[v as usize] == NO_PARENT {
+                    parent[v as usize] = u;
+                    next.push(v);
+                }
+            }
+        }
+        levels.push(LevelTrace {
+            direction: Direction::TopDown,
+            discovered: next.len() as u64,
+            edges_examined: edges,
+        });
+        frontier = next;
+    }
+    SeqBfs { parent, levels }
+}
+
+/// Pure bottom-up BFS: every level scans all unvisited vertices.
+#[allow(clippy::needless_range_loop)] // the vertex id is the datum, not just an index
+pub fn bfs_bottom_up(graph: &Csr, root: usize) -> SeqBfs {
+    let n = graph.num_vertices();
+    let mut parent = vec![NO_PARENT; n];
+    parent[root] = root as u32;
+    let mut in_queue = Bitmap::new(n);
+    in_queue.set(root);
+    let mut levels = Vec::new();
+    loop {
+        let mut out_queue = Bitmap::new(n);
+        let mut discovered = 0u64;
+        let mut edges = 0u64;
+        for v in 0..n {
+            if parent[v] != NO_PARENT {
+                continue;
+            }
+            for &u in graph.neighbours(v) {
+                edges += 1;
+                if in_queue.get(u as usize) {
+                    parent[v] = u;
+                    out_queue.set(v);
+                    discovered += 1;
+                    break;
+                }
+            }
+        }
+        levels.push(LevelTrace {
+            direction: Direction::BottomUp,
+            discovered,
+            edges_examined: edges,
+        });
+        if discovered == 0 {
+            levels.pop(); // the empty final sweep discovers nothing
+            break;
+        }
+        in_queue = out_queue;
+    }
+    SeqBfs { parent, levels }
+}
+
+/// The hybrid BFS of Beamer et al. \[9\]: per-level direction choice by
+/// [`SwitchPolicy`], frontier kept as both queue and bitmap.
+#[allow(clippy::needless_range_loop)] // the vertex id is the datum, not just an index
+pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
+    let n = graph.num_vertices();
+    let mut parent = vec![NO_PARENT; n];
+    parent[root] = root as u32;
+    let mut frontier: Vec<u32> = vec![root as u32];
+    let mut in_queue = Bitmap::new(n);
+    in_queue.set(root);
+    let mut m_u: u64 = (0..n).map(|v| graph.degree(v) as u64).sum();
+    m_u -= graph.degree(root) as u64;
+    let mut direction = Direction::TopDown;
+    let mut levels = Vec::new();
+
+    loop {
+        let m_f: u64 = frontier.iter().map(|&u| graph.degree(u as usize) as u64).sum();
+        let n_f = frontier.len() as u64;
+        if n_f == 0 {
+            break;
+        }
+        direction = policy.choose(direction, m_f, m_u, n_f, n as u64);
+
+        let mut next = Vec::new();
+        let mut edges = 0u64;
+        match direction {
+            Direction::TopDown => {
+                for &u in &frontier {
+                    for &v in graph.neighbours(u as usize) {
+                        edges += 1;
+                        if parent[v as usize] == NO_PARENT {
+                            parent[v as usize] = u;
+                            next.push(v);
+                        }
+                    }
+                }
+            }
+            Direction::BottomUp => {
+                for v in 0..n {
+                    if parent[v] != NO_PARENT {
+                        continue;
+                    }
+                    for &u in graph.neighbours(v) {
+                        edges += 1;
+                        if in_queue.get(u as usize) {
+                            parent[v] = u;
+                            next.push(v as u32);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        m_u -= next.iter().map(|&v| graph.degree(v as usize) as u64).sum::<u64>();
+        in_queue.clear_all();
+        for &v in &next {
+            in_queue.set(v as usize);
+        }
+        levels.push(LevelTrace {
+            direction,
+            discovered: next.len() as u64,
+            edges_examined: edges,
+        });
+        frontier = next;
+    }
+    SeqBfs { parent, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbfs_graph::validate::validate_bfs_tree;
+    use nbfs_graph::GraphBuilder;
+
+    fn graph() -> Csr {
+        GraphBuilder::rmat(12, 16).seed(7).build()
+    }
+
+    #[test]
+    fn all_engines_produce_valid_trees() {
+        let g = graph();
+        for root in [0usize, 17, 1000] {
+            if g.degree(root) == 0 {
+                continue;
+            }
+            for (name, run) in [
+                ("top-down", bfs_top_down(&g, root)),
+                ("bottom-up", bfs_bottom_up(&g, root)),
+                ("hybrid", bfs_hybrid(&g, root, SwitchPolicy::default())),
+            ] {
+                let visited = validate_bfs_tree(&g, root, &run.parent)
+                    .unwrap_or_else(|e| panic!("{name} root {root}: {e}"));
+                assert_eq!(visited, run.visited(), "{name}");
+                assert_eq!(visited, g.component_of(root).len(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_visited_set() {
+        let g = graph();
+        let root = 3;
+        let td = bfs_top_down(&g, root);
+        let bu = bfs_bottom_up(&g, root);
+        let hy = bfs_hybrid(&g, root, SwitchPolicy::default());
+        for v in 0..g.num_vertices() {
+            let a = td.parent[v] != NO_PARENT;
+            assert_eq!(a, bu.parent[v] != NO_PARENT, "v={v}");
+            assert_eq!(a, hy.parent[v] != NO_PARENT, "v={v}");
+        }
+    }
+
+    #[test]
+    fn hybrid_examines_fewest_edges() {
+        // The Section II.A argument: the hybrid's advantage is a massive
+        // reduction in examined edges on scale-free graphs.
+        let g = graph();
+        let root = 3;
+        let td = bfs_top_down(&g, root).edges_examined();
+        let bu = bfs_bottom_up(&g, root).edges_examined();
+        let hy = bfs_hybrid(&g, root, SwitchPolicy::default()).edges_examined();
+        assert!(hy < td, "hybrid {hy} must beat top-down {td}");
+        assert!(hy < bu, "hybrid {hy} must beat bottom-up {bu}");
+        assert!(
+            td as f64 / hy as f64 > 2.0,
+            "hybrid should examine several times fewer edges than top-down"
+        );
+    }
+
+    #[test]
+    fn hybrid_uses_three_phases_on_rmat() {
+        // "first top-down, then bottom-up, and finally top-down".
+        let g = graph();
+        let hy = bfs_hybrid(&g, 3, SwitchPolicy::default());
+        let dirs: Vec<Direction> = hy.levels.iter().map(|l| l.direction).collect();
+        assert_eq!(dirs.first(), Some(&Direction::TopDown), "{dirs:?}");
+        assert!(
+            dirs.contains(&Direction::BottomUp),
+            "R-MAT bulge must trigger bottom-up: {dirs:?}"
+        );
+        // No BU -> TD -> BU oscillation.
+        let mut phases = 1;
+        for w in dirs.windows(2) {
+            if w[0] != w[1] {
+                phases += 1;
+            }
+        }
+        assert!(phases <= 3, "more than three phases: {dirs:?}");
+    }
+
+    #[test]
+    fn forced_policies_reduce_to_pure_engines() {
+        let g = graph();
+        let root = 3;
+        let pure_td = bfs_top_down(&g, root);
+        let forced_td = bfs_hybrid(&g, root, SwitchPolicy::always_top_down());
+        assert_eq!(pure_td.parent, forced_td.parent);
+        let forced_bu = bfs_hybrid(&g, root, SwitchPolicy::always_bottom_up());
+        // Bottom-up visits the same set (parents may differ).
+        assert_eq!(
+            pure_td.parent.iter().filter(|&&p| p != NO_PARENT).count(),
+            forced_bu.parent.iter().filter(|&&p| p != NO_PARENT).count()
+        );
+    }
+
+    #[test]
+    fn isolated_root_terminates_immediately() {
+        let g = graph();
+        let isolated = (0..g.num_vertices())
+            .find(|&v| g.degree(v) == 0)
+            .expect("R-MAT has isolated vertices");
+        let run = bfs_top_down(&g, isolated);
+        assert_eq!(run.visited(), 1);
+        let run = bfs_hybrid(&g, isolated, SwitchPolicy::default());
+        assert_eq!(run.visited(), 1);
+    }
+
+    #[test]
+    fn level_traces_sum_to_component() {
+        let g = graph();
+        let run = bfs_top_down(&g, 3);
+        let total: u64 = run.levels.iter().map(|l| l.discovered).sum();
+        assert_eq!(total as usize + 1, run.visited(), "+1 for the root");
+    }
+}

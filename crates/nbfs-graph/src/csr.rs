@@ -1,0 +1,220 @@
+//! Compressed sparse row adjacency storage.
+//!
+//! The BFS kernels stream `offsets`/`targets` sequentially per vertex and
+//! probe bitmaps per neighbour; CSR keeps the streamed side dense and
+//! cache-friendly. Graphs are undirected: every deduplicated edge appears
+//! in both endpoints' adjacency lists, sorted ascending (which also makes
+//! the bottom-up "first set neighbour wins" parent rule deterministic).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::edge::EdgeList;
+use crate::VertexId;
+
+/// Undirected graph in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the CSR from an edge list. The list is deduplicated first
+    /// (self loops dropped, duplicate edges collapsed), then both
+    /// directions are inserted.
+    pub fn from_edge_list(edges: &EdgeList) -> Self {
+        let el = edges.deduplicated();
+        let n = el.num_vertices;
+        let mut degree = vec![0u64; n];
+        for e in &el.edges {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut targets = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for e in &el.edges {
+            targets[cursor[e.u as usize] as usize] = e.v;
+            cursor[e.u as usize] += 1;
+            targets[cursor[e.v as usize] as usize] = e.u;
+            cursor[e.v as usize] += 1;
+        }
+        // Sort each adjacency list for deterministic traversal order.
+        {
+            let mut rows: Vec<&mut [u32]> = Vec::with_capacity(n);
+            let mut rest: &mut [u32] = &mut targets;
+            for i in 0..n {
+                let len = (offsets[i + 1] - offsets[i]) as usize;
+                let (row, tail) = rest.split_at_mut(len);
+                rows.push(row);
+                rest = tail;
+            }
+            rows.par_iter_mut().for_each(|row| row.sort_unstable());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *undirected* edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Number of stored directed arcs (twice the undirected edge count).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbours of `v`, ascending.
+    #[inline]
+    pub fn neighbours(&self, v: VertexId) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The raw offsets array (len `n + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw targets array.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Approximate in-memory footprint in bytes (what the cost model calls
+    /// "the graph", to which bitmaps are compared in Section III.A.1a).
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.targets.len() * 4
+    }
+
+    /// Does the undirected edge `(u, v)` exist?
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbours(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Vertices of the connected component containing `root`, found by a
+    /// simple sequential BFS (used by tests and the validator — not one of
+    /// the measured kernels).
+    pub fn component_of(&self, root: VertexId) -> Vec<VertexId> {
+        let mut seen = vec![false; self.num_vertices()];
+        let mut queue = std::collections::VecDeque::from([root]);
+        seen[root] = true;
+        let mut out = vec![root];
+        while let Some(u) = queue.pop_front() {
+            for &w in self.neighbours(u) {
+                let w = w as usize;
+                if !seen[w] {
+                    seen[w] = true;
+                    out.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of undirected edges with both endpoints inside the component
+    /// of `root` — the Graph500 "traversed edges" numerator for TEPS.
+    pub fn component_edges(&self, root: VertexId) -> usize {
+        let comp = self.component_of(root);
+        let mut in_comp = vec![false; self.num_vertices()];
+        for &v in &comp {
+            in_comp[v] = true;
+        }
+        let arcs: usize = comp.iter().map(|&v| self.degree(v)).sum();
+        debug_assert!(
+            comp.iter()
+                .all(|&v| self.neighbours(v).iter().all(|&w| in_comp[w as usize])),
+            "component must be closed"
+        );
+        arcs / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{Edge, EdgeList};
+
+    fn path_graph() -> Csr {
+        // 0 - 1 - 2 - 3, plus isolated 4
+        Csr::from_edge_list(&EdgeList::new(
+            5,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)],
+        ))
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = path_graph();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbours(1), &[0, 2]);
+        assert_eq!(g.neighbours(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn both_directions_present_and_sorted() {
+        let g = Csr::from_edge_list(&EdgeList::new(
+            4,
+            vec![Edge::new(3, 0), Edge::new(2, 0), Edge::new(1, 0)],
+        ));
+        assert_eq!(g.neighbours(0), &[1, 2, 3]);
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn duplicates_and_loops_ignored() {
+        let g = Csr::from_edge_list(&EdgeList::new(
+            3,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 0),
+                Edge::new(0, 1),
+                Edge::new(2, 2),
+            ],
+        ));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn component_discovery() {
+        let g = path_graph();
+        let mut comp = g.component_of(2);
+        comp.sort_unstable();
+        assert_eq!(comp, vec![0, 1, 2, 3]);
+        assert_eq!(g.component_of(4), vec![4]);
+        assert_eq!(g.component_edges(0), 3);
+        assert_eq!(g.component_edges(4), 0);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let g = path_graph();
+        assert_eq!(g.size_bytes(), 6 * 8 + 6 * 4);
+    }
+}

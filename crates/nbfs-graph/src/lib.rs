@@ -1,0 +1,41 @@
+//! Graph substrate: Graph500-style synthetic graphs and their storage.
+//!
+//! The paper evaluates BFS on R-MAT graphs "the distribution of which is
+//! scale-free" (Section II.A), generated per the Graph500 specification:
+//! `SCALE` is log2 of the vertex count and the edge factor is 16. This
+//! crate implements:
+//!
+//! * [`rmat`] — the Kronecker/R-MAT edge generator (A=0.57, B=0.19, C=0.19)
+//!   with deterministic counter-based randomness and vertex-label
+//!   scrambling;
+//! * [`csr`] — compressed sparse row storage with parallel construction;
+//! * [`builder`] — a fluent front door ([`builder::GraphBuilder`]);
+//! * [`partition`] — the 1-D block distribution of rows across ranks used
+//!   by the distributed BFS (each rank owns the adjacency of its vertex
+//!   block, Fig. 1);
+//! * [`validate`] — the Graph500 BFS-tree validation rules;
+//! * [`stats`] — degree statistics used by tests and the figure printers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod edge;
+pub mod io;
+pub mod partition;
+pub mod rmat;
+pub mod stats;
+pub mod validate;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use edge::{Edge, EdgeList};
+pub use partition::PartitionedGraph;
+
+/// Vertex identifier. Graphs up to scale 31 are supported (ids fit `u32`
+/// internally; the API uses `usize` for ergonomics).
+pub type VertexId = usize;
+
+/// Sentinel parent value for unvisited vertices in BFS parent arrays.
+pub const NO_PARENT: u32 = u32::MAX;

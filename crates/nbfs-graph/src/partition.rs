@@ -1,0 +1,264 @@
+//! 1-D block distribution of the graph across ranks.
+//!
+//! Exactly like the Graph500 reference codes the paper builds on: "the
+//! entire graph is partitioned into *np* parts ... each MPI process holds
+//! one part of graph" (Section II.A). Rank `p` owns a contiguous,
+//! word-aligned block of vertex ids and the full adjacency lists of those
+//! vertices; neighbour ids remain global, because frontier bitmaps are
+//! full-length and reassembled by allgather.
+
+use serde::{Deserialize, Serialize};
+
+use nbfs_util::BlockPartition;
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// The rows of the CSR owned by one rank.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalGraph {
+    rank: usize,
+    first_vertex: VertexId,
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+    /// The rank's edges transposed: `(source, owned target)`, sorted by
+    /// source then target. The top-down phase of the replicated hybrid
+    /// implementation iterates the *global* frontier and looks up, per
+    /// frontier vertex, which of its neighbours this rank owns — exactly
+    /// what this index answers (the Graph500 `mpi_replicated` code keeps
+    /// the same transposed structure).
+    incoming: Vec<(u32, u32)>,
+}
+
+impl LocalGraph {
+    /// Owning rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// First owned global vertex id.
+    pub fn first_vertex(&self) -> VertexId {
+        self.first_vertex
+    }
+
+    /// Number of owned vertices.
+    pub fn num_local_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Global ids of the owned vertex range.
+    pub fn vertex_range(&self) -> std::ops::Range<VertexId> {
+        self.first_vertex..self.first_vertex + self.num_local_vertices()
+    }
+
+    /// Degree of the owned vertex with *global* id `v`.
+    #[inline]
+    pub fn degree_global(&self, v: VertexId) -> usize {
+        let l = v - self.first_vertex;
+        (self.offsets[l + 1] - self.offsets[l]) as usize
+    }
+
+    /// Neighbours (global ids, ascending) of the owned vertex with *global*
+    /// id `v`.
+    #[inline]
+    pub fn neighbours_global(&self, v: VertexId) -> &[u32] {
+        let l = v - self.first_vertex;
+        &self.targets[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// Directed arcs stored locally.
+    pub fn num_local_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The owned targets of edges leaving global vertex `u` (ascending),
+    /// looked up in the transposed index. Empty when no edge from `u`
+    /// lands in this rank's block.
+    pub fn incoming_from(&self, u: VertexId) -> &[(u32, u32)] {
+        let u = u as u32;
+        let start = self.incoming.partition_point(|&(s, _)| s < u);
+        let end = start + self.incoming[start..].partition_point(|&(s, _)| s == u);
+        &self.incoming[start..end]
+    }
+
+    /// Size of the transposed index in bytes (per-probe working set of the
+    /// top-down lookup).
+    pub fn incoming_size_bytes(&self) -> usize {
+        self.incoming.len() * 8
+    }
+
+    /// Approximate local memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.targets.len() * 4 + self.incoming.len() * 8
+    }
+}
+
+/// The whole graph, split into per-rank [`LocalGraph`]s.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionedGraph {
+    num_vertices: usize,
+    num_edges: usize,
+    locals: Vec<LocalGraph>,
+}
+
+impl PartitionedGraph {
+    /// Splits `graph` into `parts` word-aligned blocks.
+    pub fn new(graph: &Csr, parts: usize) -> Self {
+        let part = BlockPartition::new(graph.num_vertices(), parts);
+        let locals = (0..parts)
+            .map(|rank| {
+                let (start, end) = part.item_range(rank);
+                let base = graph.offsets()[start.min(graph.num_vertices())];
+                let offsets: Vec<u64> = (start..=end)
+                    .map(|v| graph.offsets()[v.min(graph.num_vertices())] - base)
+                    .collect();
+                let targets =
+                    graph.targets()[base as usize..base as usize + offsets[end - start] as usize]
+                        .to_vec();
+                // Transpose: for every owned target v and neighbour u,
+                // record (u, v). The graph is undirected, so the local CSR
+                // rows already contain every edge incident to the block.
+                let mut incoming: Vec<(u32, u32)> = (start..end)
+                    .flat_map(|v| {
+                        let row = &graph.targets()
+                            [graph.offsets()[v] as usize..graph.offsets()[v + 1] as usize];
+                        row.iter().map(move |&u| (u, v as u32))
+                    })
+                    .collect();
+                incoming.sort_unstable();
+                LocalGraph {
+                    rank,
+                    first_vertex: start,
+                    offsets,
+                    targets,
+                    incoming,
+                }
+            })
+            .collect();
+        Self {
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            locals,
+        }
+    }
+
+    /// The ownership partition (word-aligned blocks).
+    pub fn partition(&self) -> BlockPartition {
+        BlockPartition::new(self.num_vertices, self.locals.len())
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Global vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Global undirected edge count.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The rows owned by `rank`.
+    pub fn local(&self, rank: usize) -> &LocalGraph {
+        &self.locals[rank]
+    }
+
+    /// Owner rank of global vertex `v`.
+    pub fn owner(&self, v: VertexId) -> usize {
+        self.partition().owner(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn partition_preserves_all_adjacency() {
+        let g = GraphBuilder::rmat(9, 8).seed(4).build();
+        for parts in [1usize, 2, 3, 8] {
+            let pg = PartitionedGraph::new(&g, parts);
+            assert_eq!(pg.parts(), parts);
+            assert_eq!(pg.num_vertices(), g.num_vertices());
+            assert_eq!(pg.num_edges(), g.num_edges());
+            let mut covered = 0usize;
+            for rank in 0..parts {
+                let lg = pg.local(rank);
+                for v in lg.vertex_range() {
+                    assert_eq!(
+                        lg.neighbours_global(v),
+                        g.neighbours(v),
+                        "adjacency mismatch at v={v}, parts={parts}"
+                    );
+                    assert_eq!(lg.degree_global(v), g.degree(v));
+                    covered += 1;
+                }
+            }
+            assert_eq!(covered, g.num_vertices(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn arcs_sum_to_total() {
+        let g = GraphBuilder::rmat(10, 8).seed(9).build();
+        let pg = PartitionedGraph::new(&g, 5);
+        let total: usize = (0..5).map(|r| pg.local(r).num_local_arcs()).sum();
+        assert_eq!(total, g.num_arcs());
+    }
+
+    #[test]
+    fn owner_matches_ranges() {
+        let g = GraphBuilder::rmat(8, 8).seed(2).build();
+        let pg = PartitionedGraph::new(&g, 3);
+        for rank in 0..3 {
+            for v in pg.local(rank).vertex_range() {
+                assert_eq!(pg.owner(v), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn incoming_index_matches_forward_adjacency() {
+        let g = GraphBuilder::rmat(9, 8).seed(4).build();
+        let pg = PartitionedGraph::new(&g, 4);
+        for u in 0..g.num_vertices() {
+            // Union over ranks of incoming_from(u) must equal u's
+            // neighbourhood, and every listed target must be owned.
+            let mut collected: Vec<u32> = Vec::new();
+            for rank in 0..4 {
+                let lg = pg.local(rank);
+                for &(src, dst) in lg.incoming_from(u) {
+                    assert_eq!(src as usize, u);
+                    assert_eq!(pg.owner(dst as usize), rank);
+                    collected.push(dst);
+                }
+            }
+            collected.sort_unstable();
+            assert_eq!(collected, g.neighbours(u), "u={u}");
+        }
+    }
+
+    #[test]
+    fn incoming_lookup_of_absent_source_is_empty() {
+        let g = GraphBuilder::rmat(8, 4).seed(11).build();
+        let pg = PartitionedGraph::new(&g, 2);
+        let isolated = (0..g.num_vertices()).find(|&v| g.degree(v) == 0).unwrap();
+        for rank in 0..2 {
+            assert!(pg.local(rank).incoming_from(isolated).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_part_is_whole_graph() {
+        let g = GraphBuilder::rmat(8, 8).seed(2).build();
+        let pg = PartitionedGraph::new(&g, 1);
+        let lg = pg.local(0);
+        assert_eq!(lg.num_local_vertices(), g.num_vertices());
+        assert_eq!(lg.num_local_arcs(), g.num_arcs());
+    }
+}

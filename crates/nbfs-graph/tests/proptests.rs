@@ -1,0 +1,109 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use nbfs_graph::edge::{Edge, EdgeList};
+use nbfs_graph::io;
+use nbfs_graph::rmat::{generate, scramble, RmatParams};
+use nbfs_graph::{Csr, PartitionedGraph};
+
+proptest! {
+    /// The label scrambler is a bijection on [0, 2^scale) for any seed.
+    #[test]
+    fn scramble_bijective(scale in 1u32..14, seed in any::<u64>()) {
+        let n = 1u32 << scale;
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = scramble(x, scale, seed);
+            prop_assert!(y < n, "image out of range");
+            prop_assert!(!seen[y as usize], "collision at {y}");
+            seen[y as usize] = true;
+        }
+    }
+
+    /// CSR adjacency is symmetric (undirected) and sorted for arbitrary
+    /// edge lists.
+    #[test]
+    fn csr_symmetric_and_sorted(
+        edges in prop::collection::vec((0u32..300, 0u32..300), 0..500),
+    ) {
+        let el = EdgeList::new(300, edges.iter().map(|&(u, v)| Edge { u, v }).collect());
+        let g = Csr::from_edge_list(&el);
+        for v in 0..g.num_vertices() {
+            let ns = g.neighbours(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "row {v} not strictly sorted");
+            for &u in ns {
+                prop_assert!(g.has_edge(u as usize, v), "asymmetric edge ({},{})", v, u);
+                prop_assert_ne!(u as usize, v, "self loop survived");
+            }
+        }
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+    }
+
+    /// Partitioning preserves adjacency and the transposed index for any
+    /// part count.
+    #[test]
+    fn partition_preserves_structure(
+        edges in prop::collection::vec((0u32..200, 0u32..200), 1..300),
+        parts in 1usize..9,
+    ) {
+        let el = EdgeList::new(200, edges.iter().map(|&(u, v)| Edge { u, v }).collect());
+        let g = Csr::from_edge_list(&el);
+        let pg = PartitionedGraph::new(&g, parts);
+        for rank in 0..parts {
+            let lg = pg.local(rank);
+            for v in lg.vertex_range() {
+                prop_assert_eq!(lg.neighbours_global(v), g.neighbours(v));
+            }
+        }
+        // Transposed index: union over ranks equals the adjacency.
+        for u in 0..g.num_vertices() {
+            let mut collected: Vec<u32> = (0..parts)
+                .flat_map(|r| pg.local(r).incoming_from(u).iter().map(|&(_, v)| v))
+                .collect();
+            collected.sort_unstable();
+            prop_assert_eq!(collected, g.neighbours(u).to_vec(), "u={}", u);
+        }
+    }
+
+    /// Binary and text I/O round-trip arbitrary edge lists.
+    #[test]
+    fn io_roundtrips(
+        edges in prop::collection::vec((0u32..100, 0u32..100), 0..200),
+    ) {
+        let el = EdgeList::new(100, edges.iter().map(|&(u, v)| Edge { u, v }).collect());
+        let mut bin = Vec::new();
+        io::write_binary(&mut bin, &el).unwrap();
+        prop_assert_eq!(&io::read_binary(&mut bin.as_slice()).unwrap(), &el);
+        let mut txt = Vec::new();
+        io::write_text(&mut txt, &el).unwrap();
+        prop_assert_eq!(&io::read_text(txt.as_slice(), Some(100)).unwrap(), &el);
+    }
+
+    /// The generator is deterministic and in-range for arbitrary seeds.
+    #[test]
+    fn generator_deterministic(seed in any::<u64>()) {
+        let p = RmatParams::graph500(8, 4, seed);
+        let a = generate(&p);
+        let b = generate(&p);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.check_bounds().is_ok());
+        prop_assert_eq!(a.len(), 256 * 4);
+    }
+
+    /// Deduplication is idempotent and never grows the list.
+    #[test]
+    fn dedup_idempotent(
+        edges in prop::collection::vec((0u32..50, 0u32..50), 0..300),
+    ) {
+        let el = EdgeList::new(50, edges.iter().map(|&(u, v)| Edge { u, v }).collect());
+        let once = el.deduplicated();
+        let twice = once.deduplicated();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.len() <= el.len());
+        // Canonical, sorted, loop-free.
+        for e in &once.edges {
+            prop_assert!(e.u < e.v);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Roofline-style cost model for the BFS computation phases.
+//!
+//! The engines in `nbfs-core` execute the real algorithm and *count* what it
+//! did — vertices scanned, summary/`in_queue` probes issued, adjacency bytes
+//! streamed, queue bits written. This module converts those counts into
+//! simulated time for one rank by finding the binding bottleneck:
+//!
+//! * exposed latency of random bitmap probes (BFS is latency-bound; this is
+//!   usually the roof),
+//! * streaming bandwidth for the CSR adjacency scan,
+//! * DRAM bandwidth consumed by probe misses,
+//! * cross-socket QPI bandwidth (what strangles the `interleave`/`noflag`
+//!   policies in Figs. 3, 10 and 11),
+//! * instruction throughput.
+//!
+//! The max-of-bottlenecks form is the standard roofline argument: a
+//! well-pipelined loop overlaps these resources, so the slowest one sets the
+//! pace.
+
+use nbfs_topology::{MachineConfig, MemoryProfile};
+use nbfs_util::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheModel, Residence};
+
+/// Microarchitectural constants of the model, exposed for ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Outstanding misses one core overlaps (memory-level parallelism).
+    pub mlp: f64,
+    /// Sustained copy/stream bandwidth of a single core, bytes/s.
+    pub core_stream_bw: f64,
+    /// Average instructions per cycle for the scalar BFS inner loops.
+    pub ipc: f64,
+    /// Fraction of the raw QPI fabric usable by *loaded* mixed traffic —
+    /// bulk remote streaming plus random misses with ownership transfers,
+    /// as the `interleave`/`noflag` policies generate. Snoop storms and
+    /// coherence overhead eat most of the raw rate on Nehalem-EX \[39\].
+    pub qpi_loaded_efficiency: f64,
+    /// Fraction of the raw QPI fabric usable by read-only sharing traffic
+    /// (cache-to-cache forwards of a node-shared bitmap): no ownership
+    /// transfers, no writebacks, much higher achievable utilization.
+    pub qpi_shared_read_efficiency: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        Self {
+            // Dependent loads plus a mispredicted hit-check branch per
+            // neighbour barely overlap misses; effective MLP for
+            // Nehalem-class BFS inner loops sits near 1.5.
+            mlp: 1.5,
+            core_stream_bw: 4.5e9,
+            ipc: 1.3,
+            qpi_loaded_efficiency: 0.06,
+            qpi_shared_read_efficiency: 0.55,
+        }
+    }
+}
+
+/// One class of uniform random probes (e.g. all `in_queue` probes of a
+/// level share a working set and a residence).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProbeClass {
+    /// Number of probes issued.
+    pub count: u64,
+    /// Size of the probed structure, bytes.
+    pub working_set: usize,
+    /// Where the structure lives.
+    pub residence: Residence,
+}
+
+/// Work counted for one rank during one computation phase.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComputeEvents {
+    /// Bytes streamed sequentially over per-vertex state (parent array,
+    /// visited bitmap words).
+    pub vertex_scan_bytes: u64,
+    /// Bytes streamed from the CSR adjacency arrays.
+    pub edge_bytes: u64,
+    /// Bytes written to queues / parent entries.
+    pub write_bytes: u64,
+    /// Abstract ALU/branch operations retired.
+    pub cpu_ops: u64,
+    /// Random-probe classes (summary bitmap, frontier bitmap, ...).
+    pub probes: Vec<ProbeClass>,
+}
+
+impl ComputeEvents {
+    /// Merges another event record into this one (same rank, same context).
+    pub fn merge(&mut self, other: &ComputeEvents) {
+        self.vertex_scan_bytes += other.vertex_scan_bytes;
+        self.edge_bytes += other.edge_bytes;
+        self.write_bytes += other.write_bytes;
+        self.cpu_ops += other.cpu_ops;
+        self.probes.extend(other.probes.iter().copied());
+    }
+
+    /// Total sequentially streamed bytes.
+    pub fn stream_bytes(&self) -> u64 {
+        self.vertex_scan_bytes + self.edge_bytes + self.write_bytes
+    }
+}
+
+/// Execution context of one rank during a computation phase.
+#[derive(Clone, Debug)]
+pub struct ComputeContext {
+    /// Cores driving this rank ("OpenMP threads" of the paper's hybrid
+    /// programming model).
+    pub cores: usize,
+    /// Placement profile of the rank's graph data.
+    pub graph_profile: MemoryProfile,
+    /// Ranks concurrently active on the same node (they share the node's
+    /// memory channels and QPI fabric).
+    pub ranks_on_node: usize,
+    /// Model constants.
+    pub params: ModelParams,
+}
+
+impl ComputeContext {
+    /// Context with default parameters.
+    pub fn new(cores: usize, graph_profile: MemoryProfile, ranks_on_node: usize) -> Self {
+        assert!(cores >= 1 && ranks_on_node >= 1);
+        Self {
+            cores,
+            graph_profile,
+            ranks_on_node,
+            params: ModelParams::default(),
+        }
+    }
+
+    /// Simulated duration of the counted work on `machine`.
+    pub fn time(&self, machine: &MachineConfig, events: &ComputeEvents) -> SimTime {
+        let cache = CacheModel::new(machine);
+        let p = self.params;
+        let cores = self.cores as f64;
+        let prof = &self.graph_profile;
+
+        // --- exposed probe latency -------------------------------------
+        let mut probe_ns_total = 0.0;
+        let mut probe_miss_bytes = 0.0;
+        let mut loaded_qpi_bytes = 0.0;
+        let mut shared_qpi_bytes = 0.0;
+        let line = machine.socket.cache.line_bytes as f64;
+        for pc in &events.probes {
+            let b = cache.probe_breakdown(pc.working_set, pc.residence);
+            probe_ns_total += pc.count as f64 * b.mean_ns;
+            probe_miss_bytes += pc.count as f64 * b.dram_fraction * line;
+            let qpi = pc.count as f64 * b.cross_socket_fraction * line;
+            match pc.residence {
+                Residence::NodeShared => shared_qpi_bytes += qpi,
+                _ => loaded_qpi_bytes += qpi,
+            }
+        }
+        let t_lat = SimTime::from_nanos(
+            probe_ns_total / (cores * p.mlp) / prof.scheduling_efficiency,
+        );
+
+        // --- streaming bandwidth ----------------------------------------
+        let stream_bytes = events.stream_bytes() as f64;
+        let rank_stream_bw = (cores * p.core_stream_bw)
+            .min(prof.node_stream_bw(machine) / self.ranks_on_node as f64);
+        let t_stream = SimTime::from_secs(stream_bytes / rank_stream_bw);
+
+        // --- DRAM bandwidth (random misses + streams) --------------------
+        let dram_bytes = probe_miss_bytes + stream_bytes;
+        let node_dram_bw = machine.socket.mem_bw * prof.channels;
+        let t_dram = SimTime::from_secs(dram_bytes / (node_dram_bw / self.ranks_on_node as f64));
+
+        // --- QPI fabric ---------------------------------------------------
+        // Raw node fabric: every socket's links, each link shared by its
+        // two endpoints.
+        let raw_fabric = machine.sockets_per_node as f64
+            * machine.socket.qpi_links as f64
+            * machine.socket.qpi_bw
+            / 2.0;
+        let t_qpi = if machine.sockets_per_node > 1 {
+            let loaded = loaded_qpi_bytes + (1.0 - prof.local_fraction) * stream_bytes;
+            let ranks = self.ranks_on_node as f64;
+            // Unbound threads (noflag) migrate between sockets, dragging
+            // cached lines behind them — the scheduling haircut applies to
+            // fabric efficiency too.
+            let t_loaded = SimTime::from_secs(
+                loaded
+                    / (raw_fabric
+                        * p.qpi_loaded_efficiency
+                        * prof.scheduling_efficiency
+                        / ranks),
+            );
+            let t_shared = SimTime::from_secs(
+                shared_qpi_bytes / (raw_fabric * p.qpi_shared_read_efficiency / ranks),
+            );
+            t_loaded.max(t_shared)
+        } else {
+            SimTime::ZERO
+        };
+
+        // --- instruction throughput --------------------------------------
+        let t_cpu = SimTime::from_secs(
+            events.cpu_ops as f64 / (cores * machine.socket.ghz * 1e9 * p.ipc),
+        );
+
+        t_lat.max(t_stream).max(t_dram).max(t_qpi).max(t_cpu)
+    }
+}
+
+/// Detailed result of a probe-class analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeBreakdown {
+    /// Expected latency per probe, ns.
+    pub mean_ns: f64,
+    /// Fraction of probes that miss every cache and touch DRAM.
+    pub dram_fraction: f64,
+    /// Fraction of probes whose line crosses a QPI link (remote-L3 hit or
+    /// remote DRAM access).
+    pub cross_socket_fraction: f64,
+}
+
+impl CacheModel {
+    /// Probe statistics for the compute model; consistent with
+    /// [`CacheModel::probe_ns`].
+    pub fn probe_breakdown(&self, working_set: usize, residence: Residence) -> ProbeBreakdown {
+        let m = self.machine();
+        let c = m.socket.cache;
+        let ws = working_set.max(1) as f64;
+        let sockets = m.sockets_per_node as f64;
+        let l3 = c.l3_bytes as f64 * crate::cache::effective_capacity_factor();
+        let (dram_fraction, cross_socket_fraction) = match residence {
+            Residence::SocketPrivate => {
+                let p_l3 = (l3 / ws).min(1.0);
+                (1.0 - p_l3, 0.0)
+            }
+            Residence::NodeShared => {
+                // Replication model (see CacheModel::probe_ns): local-L3
+                // hits stay on-socket; remote-L3 forwards and the remote
+                // share of interleaved DRAM misses cross QPI.
+                let p_l3_local = (l3 / ws).min(1.0);
+                let p_l3_any = (l3 * sockets / ws).min(1.0);
+                let dram = 1.0 - p_l3_any;
+                let cross = (p_l3_any - p_l3_local) + dram * (sockets - 1.0) / sockets;
+                (dram, cross)
+            }
+            Residence::InterleavedPrivateCache => {
+                let p_l3 = (l3 / ws).min(1.0);
+                let dram = 1.0 - p_l3;
+                (dram, dram * (sockets - 1.0) / sockets)
+            }
+        };
+        ProbeBreakdown {
+            mean_ns: self.probe_ns(working_set, residence, 1),
+            dram_fraction,
+            cross_socket_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbfs_topology::{presets, PlacementPolicy, ProcessMap};
+
+    fn machine() -> MachineConfig {
+        presets::xeon_x7550_node()
+    }
+
+    /// A synthetic bottom-up-like workload: probe-heavy, stream-moderate.
+    fn workload(scale_bytes: usize) -> ComputeEvents {
+        let n = 4_000_000u64;
+        ComputeEvents {
+            vertex_scan_bytes: n,
+            edge_bytes: 16 * n,
+            write_bytes: n / 4,
+            cpu_ops: 20 * n,
+            probes: vec![ProbeClass {
+                count: 2 * n,
+                working_set: scale_bytes,
+                residence: Residence::SocketPrivate,
+            }],
+        }
+    }
+
+    #[test]
+    fn more_cores_is_faster_with_diminishing_returns() {
+        let m = machine();
+        let prof = ProcessMap::new(&m, 8, PlacementPolicy::BindToSocket).memory_profile(&m);
+        let ev = workload(64 << 20);
+        let t1 = ComputeContext::new(1, prof, 1).time(&m, &ev);
+        let t8 = ComputeContext::new(8, prof, 1).time(&m, &ev);
+        let speedup = t1 / t8;
+        assert!(
+            (4.0..=8.0).contains(&speedup),
+            "8-core speedup {speedup} out of band"
+        );
+    }
+
+    #[test]
+    fn interleave_slower_than_bind_per_socket() {
+        // Fig. 3 / Fig. 10 direction: the same work is slower when graph
+        // accesses are interleaved across sockets.
+        let m = machine();
+        let bind = ProcessMap::new(&m, 8, PlacementPolicy::BindToSocket).memory_profile(&m);
+        let inter = ProcessMap::new(&m, 1, PlacementPolicy::Interleave).memory_profile(&m);
+        let mut ev = workload(64 << 20);
+        let t_bind = ComputeContext::new(8, bind, 8).time(&m, &ev);
+        // Interleaved run probes a full-size in_queue with remote DRAM mix.
+        for pc in &mut ev.probes {
+            pc.residence = Residence::InterleavedPrivateCache;
+        }
+        let t_inter = ComputeContext::new(8, inter, 8).time(&m, &ev);
+        let ratio = t_inter / t_bind;
+        assert!(
+            ratio > 1.3,
+            "interleaved must be clearly slower, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = workload(1 << 20);
+        let b = workload(1 << 20);
+        let edge_before = a.edge_bytes;
+        a.merge(&b);
+        assert_eq!(a.edge_bytes, 2 * edge_before);
+        assert_eq!(a.probes.len(), 2);
+    }
+
+    #[test]
+    fn empty_events_cost_nothing() {
+        let m = machine();
+        let prof = ProcessMap::new(&m, 8, PlacementPolicy::BindToSocket).memory_profile(&m);
+        let t = ComputeContext::new(8, prof, 8).time(&m, &ComputeEvents::default());
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn probe_breakdown_consistency() {
+        let cache = CacheModel::new(&machine());
+        for residence in [
+            Residence::SocketPrivate,
+            Residence::NodeShared,
+            Residence::InterleavedPrivateCache,
+        ] {
+            for ws in [1usize << 12, 1 << 20, 1 << 25, 1 << 30] {
+                let b = cache.probe_breakdown(ws, residence);
+                assert!((0.0..=1.0).contains(&b.dram_fraction));
+                assert!((0.0..=1.0).contains(&b.cross_socket_fraction));
+                assert!(b.mean_ns > 0.0);
+                assert!(
+                    (b.mean_ns - cache.probe_ns(ws, residence, 1)).abs() < 1e-9,
+                    "breakdown latency must equal probe_ns"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_socket_traffic_zero_when_private() {
+        let cache = CacheModel::new(&machine());
+        let b = cache.probe_breakdown(1 << 30, Residence::SocketPrivate);
+        assert_eq!(b.cross_socket_fraction, 0.0);
+        let b = cache.probe_breakdown(1 << 30, Residence::InterleavedPrivateCache);
+        assert!(b.cross_socket_fraction > 0.5, "interleaved misses cross QPI");
+    }
+
+    #[test]
+    fn single_socket_machine_has_no_qpi_term() {
+        let mut m = machine();
+        m.sockets_per_node = 1;
+        let prof = ProcessMap::new(&m, 1, PlacementPolicy::Interleave).memory_profile(&m);
+        let ev = workload(64 << 20);
+        // Must not panic or produce infinite time.
+        let t = ComputeContext::new(8, prof, 1).time(&m, &ev);
+        assert!(t.as_secs().is_finite() && t.as_secs() > 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Round-based contention solver for inter-node transfers.
+//!
+//! Collective algorithms decompose into *rounds* of concurrent point-to-point
+//! flows. A round finishes when its slowest flow finishes; a flow is slowed
+//! by whichever resource saturates first:
+//!
+//! * the single-stream cap (`NicSpec::per_stream_bw`) — one sender cannot
+//!   drive both IB ports, which is the Fig. 4 effect that motivates the
+//!   parallelized allgather of Section III.B;
+//! * the sending node's aggregate egress bandwidth (all ports);
+//! * the receiving node's aggregate ingress bandwidth.
+//!
+//! The weak node of Section IV.A simply has a smaller aggregate.
+
+use nbfs_topology::MachineConfig;
+use nbfs_util::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One point-to-point transfer within a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Sending node.
+    pub src_node: usize,
+    /// Receiving node.
+    pub dst_node: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+impl Flow {
+    /// Convenience constructor.
+    pub fn new(src_node: usize, dst_node: usize, bytes: u64) -> Self {
+        Self {
+            src_node,
+            dst_node,
+            bytes,
+        }
+    }
+}
+
+/// Computes round completion times for sets of concurrent flows.
+#[derive(Clone, Debug)]
+pub struct FlowSolver {
+    machine: MachineConfig,
+}
+
+impl FlowSolver {
+    /// Builds a solver for a machine.
+    pub fn new(machine: &MachineConfig) -> Self {
+        Self {
+            machine: machine.clone(),
+        }
+    }
+
+    /// Completion time of one round of concurrent flows.
+    ///
+    /// Intra-node flows (`src == dst`) are rejected: those are shared-memory
+    /// copies and must be costed by [`crate::NetworkModel::shm_copy_time`].
+    pub fn round_time(&self, flows: &[Flow]) -> SimTime {
+        if flows.is_empty() {
+            return SimTime::ZERO;
+        }
+        let nodes = self.machine.nodes;
+        let mut egress = vec![0u64; nodes];
+        let mut ingress = vec![0u64; nodes];
+        let mut egress_streams = vec![0u32; nodes];
+        let mut ingress_streams = vec![0u32; nodes];
+        for f in flows {
+            assert!(
+                f.src_node != f.dst_node,
+                "intra-node flow {f:?}: use shm_copy_time"
+            );
+            assert!(f.src_node < nodes && f.dst_node < nodes, "flow {f:?} out of range");
+            egress[f.src_node] += f.bytes;
+            ingress[f.dst_node] += f.bytes;
+            // Zero-byte flows complete in one latency and consume no
+            // bandwidth share.
+            if f.bytes > 0 {
+                egress_streams[f.src_node] += 1;
+                ingress_streams[f.dst_node] += 1;
+            }
+        }
+
+        let mut worst = SimTime::ZERO;
+        for f in flows {
+            if f.bytes == 0 {
+                worst = worst.max(SimTime::from_secs(self.machine.nic.latency_s));
+                continue;
+            }
+            // Per-stream cap: a single connection cannot stripe both ports.
+            let stream_bw = self.machine.nic.per_stream_bw;
+            // Fair share of the saturating endpoint aggregates.
+            let src_share = self.machine.node_net_bw(f.src_node)
+                / f64::from(egress_streams[f.src_node].max(1));
+            let dst_share = self.machine.node_net_bw(f.dst_node)
+                / f64::from(ingress_streams[f.dst_node].max(1));
+            let bw = stream_bw.min(src_share).min(dst_share);
+            let t = SimTime::from_secs(self.machine.nic.latency_s + f.bytes as f64 / bw);
+            worst = worst.max(t);
+        }
+
+        // Endpoint aggregates can also bind when shares are uneven.
+        for n in 0..nodes {
+            let agg = self.machine.node_net_bw(n);
+            let t_out = SimTime::from_secs(egress[n] as f64 / agg);
+            let t_in = SimTime::from_secs(ingress[n] as f64 / agg);
+            worst = worst.max(t_out).max(t_in);
+        }
+        worst
+    }
+
+    /// The machine this solver models.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbfs_topology::presets;
+
+    fn solver(nodes: usize) -> FlowSolver {
+        FlowSolver::new(&presets::xeon_x7550_cluster(nodes))
+    }
+
+    #[test]
+    fn empty_round_is_free() {
+        assert_eq!(solver(2).round_time(&[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_flow_is_stream_capped() {
+        let s = solver(2);
+        let bytes = 1u64 << 30;
+        let t = s.round_time(&[Flow::new(0, 1, bytes)]);
+        let expect = s.machine().nic.latency_s
+            + bytes as f64
+                / s.machine()
+                    .nic
+                    .per_stream_bw
+                    .min(s.machine().node_net_bw(0));
+        assert!((t.as_secs() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn parallel_streams_beat_single_stream() {
+        // Heart of Fig. 4 / Section III.B: the same total bytes move faster
+        // when split over many concurrent streams, up to port saturation.
+        let s = solver(2);
+        let total = 1u64 << 30;
+        let one = s.round_time(&[Flow::new(0, 1, total)]);
+        let eight: Vec<Flow> = (0..8).map(|_| Flow::new(0, 1, total / 8)).collect();
+        let eight_t = s.round_time(&eight);
+        let speedup = one / eight_t;
+        assert!(
+            (1.5..=2.4).contains(&speedup),
+            "8-stream speedup {speedup} outside the Fig. 4 band (~2x)"
+        );
+    }
+
+    #[test]
+    fn aggregate_egress_binds() {
+        // One node sending to many: limited by its own aggregate, not by
+        // the receivers.
+        let s = solver(4);
+        let per = 1u64 << 28;
+        let flows: Vec<Flow> = (1..4).map(|d| Flow::new(0, d, per)).collect();
+        let t = s.round_time(&flows);
+        let floor = (3 * per) as f64 / s.machine().node_net_bw(0);
+        assert!(t.as_secs() >= floor * 0.999);
+    }
+
+    #[test]
+    fn weak_node_slows_its_flows_only() {
+        let m = presets::xeon_x7550_cluster(4).with_weak_node(2, 0.4);
+        let s = FlowSolver::new(&m);
+        let bytes = 1u64 << 29;
+        let healthy = s.round_time(&[Flow::new(0, 1, bytes)]);
+        let weak_src = s.round_time(&[Flow::new(2, 1, bytes)]);
+        let weak_dst = s.round_time(&[Flow::new(0, 2, bytes)]);
+        assert!(weak_src > healthy);
+        assert!(weak_dst > healthy);
+        // An unrelated pair is unaffected.
+        let other = s.round_time(&[Flow::new(3, 1, bytes)]);
+        assert_eq!(other, healthy);
+    }
+
+    #[test]
+    fn disjoint_pairs_run_fully_parallel() {
+        let s = solver(4);
+        let bytes = 1u64 << 29;
+        let single = s.round_time(&[Flow::new(0, 1, bytes)]);
+        let pairs = s.round_time(&[Flow::new(0, 1, bytes), Flow::new(2, 3, bytes)]);
+        assert_eq!(single, pairs, "disjoint pairs must not slow each other");
+    }
+
+    #[test]
+    #[should_panic(expected = "use shm_copy_time")]
+    fn intra_node_flow_rejected() {
+        solver(2).round_time(&[Flow::new(1, 1, 100)]);
+    }
+
+    #[test]
+    fn latency_floors_small_messages() {
+        let s = solver(2);
+        let t = s.round_time(&[Flow::new(0, 1, 1)]);
+        assert!(t.as_secs() >= s.machine().nic.latency_s);
+    }
+}

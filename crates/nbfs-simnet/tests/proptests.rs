@@ -1,0 +1,136 @@
+//! Property-based tests for the cost models: costs must behave like
+//! physical quantities (non-negative, monotone in work, additive-ish).
+
+use proptest::prelude::*;
+
+use nbfs_simnet::compute::ProbeClass;
+use nbfs_simnet::{
+    CacheModel, ComputeContext, ComputeEvents, Flow, FlowSolver, NetworkModel, Residence,
+};
+use nbfs_topology::{presets, PlacementPolicy, ProcessMap};
+use nbfs_util::SimTime;
+
+fn residences() -> impl Strategy<Value = Residence> {
+    prop_oneof![
+        Just(Residence::SocketPrivate),
+        Just(Residence::NodeShared),
+        Just(Residence::InterleavedPrivateCache),
+    ]
+}
+
+proptest! {
+    /// Probe latency is positive, finite and monotone in the working set.
+    #[test]
+    fn probe_latency_sane(res in residences(), ws in 1usize..(1 << 30)) {
+        let cache = CacheModel::new(&presets::cluster2012());
+        let lat = cache.probe_ns(ws, res, 1);
+        prop_assert!(lat.is_finite() && lat > 0.0);
+        let bigger = cache.probe_ns(ws.saturating_mul(2), res, 1);
+        prop_assert!(bigger + 1e-9 >= lat);
+    }
+
+    /// Probe breakdown fractions are probabilities consistent with the
+    /// latency model.
+    #[test]
+    fn probe_breakdown_fractions(res in residences(), ws in 1usize..(1 << 30)) {
+        let cache = CacheModel::new(&presets::cluster2012());
+        let b = cache.probe_breakdown(ws, res);
+        prop_assert!((0.0..=1.0).contains(&b.dram_fraction));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&b.cross_socket_fraction));
+        prop_assert!((b.mean_ns - cache.probe_ns(ws, res, 1)).abs() < 1e-9);
+    }
+
+    /// More of any work component never makes a phase faster.
+    #[test]
+    fn compute_time_monotone_in_work(
+        base_edges in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+        probes in 0u64..1_000_000,
+    ) {
+        let m = presets::xeon_x7550_node();
+        let pmap = ProcessMap::new(&m, 8, PlacementPolicy::BindToSocket);
+        let prof = pmap.memory_profile(&m);
+        let ctx = ComputeContext::new(8, prof, 8);
+        let ev = |edges: u64, p: u64| ComputeEvents {
+            vertex_scan_bytes: 1000,
+            edge_bytes: edges,
+            write_bytes: 0,
+            cpu_ops: edges,
+            probes: vec![ProbeClass {
+                count: p,
+                working_set: 1 << 22,
+                residence: Residence::SocketPrivate,
+            }],
+        };
+        let t0 = ctx.time(&m, &ev(base_edges, probes));
+        let t1 = ctx.time(&m, &ev(base_edges + extra, probes));
+        let t2 = ctx.time(&m, &ev(base_edges, probes + extra));
+        prop_assert!(t1 >= t0);
+        prop_assert!(t2 >= t0);
+    }
+
+    /// More cores never slow a rank down.
+    #[test]
+    fn compute_time_monotone_in_cores(cores in 1usize..8, edges in 1u64..1_000_000) {
+        let m = presets::xeon_x7550_node();
+        let pmap = ProcessMap::new(&m, 8, PlacementPolicy::BindToSocket);
+        let prof = pmap.memory_profile(&m);
+        let ev = ComputeEvents {
+            vertex_scan_bytes: edges,
+            edge_bytes: edges * 4,
+            write_bytes: edges / 8,
+            cpu_ops: edges * 3,
+            probes: vec![ProbeClass {
+                count: edges,
+                working_set: 1 << 20,
+                residence: Residence::SocketPrivate,
+            }],
+        };
+        let t_few = ComputeContext::new(cores, prof, 8).time(&m, &ev);
+        let t_more = ComputeContext::new(cores + 1, prof, 8).time(&m, &ev);
+        prop_assert!(t_more <= t_few + SimTime::from_nanos(1.0));
+    }
+
+    /// A round with strictly more bytes on some flow takes at least as long.
+    #[test]
+    fn flow_round_monotone(
+        flows in prop::collection::vec((0usize..4, 0usize..4, 0u64..(1 << 28)), 1..12),
+        bump in 1u64..(1 << 20),
+    ) {
+        let solver = FlowSolver::new(&presets::xeon_x7550_cluster(4));
+        let clean: Vec<Flow> = flows
+            .iter()
+            .filter(|&&(s, d, _)| s != d)
+            .map(|&(s, d, b)| Flow::new(s, d, b))
+            .collect();
+        prop_assume!(!clean.is_empty());
+        let t0 = solver.round_time(&clean);
+        let mut bigger = clean.clone();
+        bigger[0].bytes += bump;
+        let t1 = solver.round_time(&bigger);
+        prop_assert!(t1 >= t0);
+    }
+
+    /// Adding a flow never speeds the round up.
+    #[test]
+    fn extra_flow_never_helps(
+        s in 0usize..4, d in 0usize..4, bytes in 1u64..(1 << 28),
+        s2 in 0usize..4, d2 in 0usize..4, bytes2 in 1u64..(1 << 28),
+    ) {
+        prop_assume!(s != d && s2 != d2);
+        let solver = FlowSolver::new(&presets::xeon_x7550_cluster(4));
+        let one = solver.round_time(&[Flow::new(s, d, bytes)]);
+        let two = solver.round_time(&[Flow::new(s, d, bytes), Flow::new(s2, d2, bytes2)]);
+        prop_assert!(two >= one);
+    }
+
+    /// Shared-memory copy time grows with bytes and with copier count.
+    #[test]
+    fn shm_copy_monotone(bytes in 1u64..(1 << 28), copiers in 1usize..32) {
+        let net = NetworkModel::new(&presets::xeon_x7550_node());
+        let t = net.shm_copy_time(bytes, copiers, 8);
+        prop_assert!(t > SimTime::ZERO);
+        prop_assert!(net.shm_copy_time(bytes * 2, copiers, 8) >= t);
+        prop_assert!(net.shm_copy_time(bytes, copiers + 1, 8) >= t);
+    }
+}

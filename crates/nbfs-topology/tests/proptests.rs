@@ -1,0 +1,135 @@
+//! Property-based tests for the machine model and placement logic.
+
+use proptest::prelude::*;
+
+use nbfs_topology::{presets, MachineConfig, PlacementPolicy, ProcessMap, QpiTopology};
+
+fn socket_counts() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]
+}
+
+proptest! {
+    /// QPI link graphs are symmetric, self-loop free and connected with
+    /// consistent hop metrics for every supported socket count.
+    #[test]
+    fn qpi_topology_invariants(sockets in socket_counts()) {
+        let t = QpiTopology::for_sockets(sockets);
+        for a in 0..sockets {
+            prop_assert!(!t.neighbours(a).contains(&a));
+            for &b in t.neighbours(a) {
+                prop_assert!(t.neighbours(b).contains(&a));
+                prop_assert_eq!(t.hops(a, b), 1);
+            }
+            prop_assert_eq!(t.hops(a, a), 0);
+            for b in 0..sockets {
+                // Triangle inequality through any intermediate c.
+                for c in 0..sockets {
+                    prop_assert!(t.hops(a, b) <= t.hops(a, c) + t.hops(c, b));
+                }
+            }
+        }
+        prop_assert!(t.diameter() <= 2);
+    }
+
+    /// Rank layout is a bijection onto (node, local index) for any shape.
+    #[test]
+    fn process_map_layout(nodes in 1usize..20, ppn_exp in 0u32..4) {
+        let ppn = 1usize << ppn_exp;
+        let machine = presets::xeon_x7550_cluster(nodes);
+        let pm = ProcessMap::new(&machine, ppn, PlacementPolicy::Interleave);
+        prop_assert_eq!(pm.world_size(), nodes * ppn);
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..pm.world_size() {
+            let key = (pm.node_of(rank), pm.local_index(rank));
+            prop_assert!(seen.insert(key), "duplicate placement {key:?}");
+            prop_assert!(pm.node_of(rank) < nodes);
+            prop_assert!(pm.local_index(rank) < ppn);
+            prop_assert!(pm.ranks_of_node(pm.node_of(rank)).contains(&rank));
+        }
+    }
+
+    /// Subgroups partition the rank space: each rank appears in exactly
+    /// one subgroup, and each subgroup has one rank per node.
+    #[test]
+    fn subgroups_partition_ranks(nodes in 1usize..10) {
+        let machine = presets::xeon_x7550_cluster(nodes);
+        let pm = ProcessMap::one_rank_per_socket(&machine);
+        let mut seen = vec![false; pm.world_size()];
+        for li in 0..pm.ppn() {
+            let group = pm.subgroup_peers(li);
+            prop_assert_eq!(group.len(), nodes);
+            for (n, &r) in group.iter().enumerate() {
+                prop_assert_eq!(pm.node_of(r), n);
+                prop_assert!(!seen[r]);
+                seen[r] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Memory profiles are always physically sensible, and the policy
+    /// ordering (bind fastest, noflag slowest) holds for every shape.
+    #[test]
+    fn memory_profile_sanity(nodes in 1usize..17) {
+        let m = presets::xeon_x7550_cluster(nodes);
+        let bind = ProcessMap::one_rank_per_socket(&m).memory_profile(&m);
+        let inter = ProcessMap::one_rank_per_node(&m).memory_profile(&m);
+        let noflag = ProcessMap::new(&m, 1, PlacementPolicy::Noflag).memory_profile(&m);
+        for p in [bind, inter, noflag] {
+            prop_assert!((0.0..=1.0).contains(&p.local_fraction));
+            prop_assert!(p.channels >= 1.0);
+            prop_assert!(p.node_stream_bw(&m) > 0.0);
+            prop_assert!(p.mean_dram_latency_ns(&m) >= m.socket.mem_lat_local_ns * 0.999);
+        }
+        prop_assert!(bind.node_stream_bw(&m) >= inter.node_stream_bw(&m));
+        prop_assert!(inter.node_stream_bw(&m) > noflag.node_stream_bw(&m));
+        prop_assert!(bind.mean_dram_latency_ns(&m) <= inter.mean_dram_latency_ns(&m));
+    }
+
+    /// Scaling knobs preserve validity and weak-node bookkeeping.
+    #[test]
+    fn config_transforms_stay_valid(
+        nodes in 1usize..17,
+        scale_exp in 0i32..16,
+        weak in 0usize..16,
+    ) {
+        let f = 1.0 / (1u32 << scale_exp) as f64;
+        let m = presets::xeon_x7550_cluster(nodes)
+            .with_cache_scale(f)
+            .with_latency_scale(f);
+        prop_assert!(m.validate().is_ok());
+        if weak < nodes {
+            let w = m.clone().with_weak_node(weak, 0.5);
+            prop_assert!(w.validate().is_ok());
+            prop_assert!(w.node_net_bw(weak) < m.node_net_bw(weak));
+            // Shrinking the cluster below the weak node drops it.
+            if weak >= 1 {
+                let shrunk = w.with_nodes(weak);
+                prop_assert!(shrunk.validate().is_ok());
+                prop_assert!(shrunk.weak_node.is_none());
+            }
+        }
+    }
+
+    /// scaled_to_graph is the identity at equal scales and monotone in the
+    /// scale gap.
+    #[test]
+    fn scaled_to_graph_behaviour(gap in 0u32..20) {
+        let base = presets::cluster2012();
+        let same = base.clone().scaled_to_graph(28, 28);
+        prop_assert_eq!(same.socket.cache.l3_bytes, base.socket.cache.l3_bytes);
+        let scaled = base.clone().scaled_to_graph(28 - gap.min(20), 28);
+        prop_assert!(scaled.socket.cache.l3_bytes <= base.socket.cache.l3_bytes);
+        prop_assert!(scaled.nic.latency_s <= base.nic.latency_s);
+        prop_assert!(scaled.validate().is_ok());
+    }
+}
+
+#[test]
+fn bind_requires_socket_multiple() {
+    let m: MachineConfig = presets::cluster2012();
+    let result = std::panic::catch_unwind(|| {
+        ProcessMap::new(&m, 3, PlacementPolicy::BindToSocket)
+    });
+    assert!(result.is_err());
+}

@@ -1,0 +1,39 @@
+//! Foundation utilities shared by every `numa-bfs` crate.
+//!
+//! This crate deliberately has no knowledge of graphs, topology or the
+//! simulator; it provides the bit-level building blocks the paper's data
+//! structures are made of:
+//!
+//! * [`Bitmap`] — the `in_queue` / `out_queue` frontier bitmaps of Fig. 1,
+//! * [`AtomicBitmap`] — a thread-safe variant for shared `out_queue` segments,
+//! * [`SummaryBitmap`] — the `in_queue_summary` structure whose granularity
+//!   Section III.C of the paper tunes,
+//! * [`ownership`] — the contiguous 1-D block partition arithmetic used to
+//!   split vertices (and therefore bitmap words) across ranks,
+//! * [`rng`] — deterministic, counter-based random number generation so that
+//!   graph generation is reproducible and independent of thread count,
+//! * [`stats`] — the harmonic-mean TEPS statistics mandated by the Graph500
+//!   run rules,
+//! * [`SimTime`] — the simulated-seconds newtype threaded through the cost
+//!   models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic_bitmap;
+pub mod bitmap;
+pub mod ownership;
+pub mod rng;
+pub mod simtime;
+pub mod stats;
+pub mod summary;
+pub mod units;
+
+pub use atomic_bitmap::AtomicBitmap;
+pub use bitmap::Bitmap;
+pub use ownership::BlockPartition;
+pub use simtime::SimTime;
+pub use summary::SummaryBitmap;
+
+/// Number of bits in one storage word of every bitmap in this workspace.
+pub const WORD_BITS: usize = 64;

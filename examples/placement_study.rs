@@ -1,0 +1,76 @@
+//! The Fig. 10 experiment: the `Original` hybrid BFS on a single
+//! eight-socket node under every `mpirun`/`numactl` flag combination —
+//! `noflag`, `--interleave=all` and `--bind-to-socket --bysocket` at
+//! 1, 2, 4 and 8 processes per node.
+//!
+//! ```text
+//! cargo run --release --example placement_study [scale]
+//! ```
+
+use numa_bfs::core::engine::{DistributedBfs, Scenario};
+use numa_bfs::core::opt::OptLevel;
+use numa_bfs::graph::GraphBuilder;
+use numa_bfs::topology::{presets, PlacementPolicy};
+use numa_bfs::util::stats::format_teps;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(16);
+
+    println!("== placement study (Fig. 10): Original implementation, 1 node ==");
+    let graph = GraphBuilder::rmat(scale, 16).seed(28).build();
+    let machine = presets::xeon_x7550_node()
+        .scaled_to_graph(scale, 28);
+    let root = (0..graph.num_vertices())
+        .max_by_key(|&v| graph.degree(v))
+        .expect("non-empty graph");
+    let traversed = graph.component_edges(root) as f64;
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for ppn in [1usize, 2, 4, 8] {
+        for policy in [PlacementPolicy::Noflag, PlacementPolicy::Interleave] {
+            let label = format!("ppn={ppn}.{}", policy.label());
+            let scenario =
+                Scenario::new(machine.clone(), OptLevel::OriginalPpn8).with_placement(ppn, policy);
+            let t = DistributedBfs::new(&graph, &scenario).run(root).profile.total();
+            rows.push((label, traversed / t.as_secs()));
+        }
+    }
+    // bind-to-socket "only works when more than 8 processes are spawned":
+    // every socket must receive a rank.
+    let scenario = Scenario::new(machine.clone(), OptLevel::OriginalPpn8)
+        .with_placement(8, PlacementPolicy::BindToSocket);
+    let t = DistributedBfs::new(&graph, &scenario).run(root).profile.total();
+    rows.push(("ppn=8.bind-to-socket".into(), traversed / t.as_secs()));
+
+    let best = rows
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("\n{:<24} {:>14} {:>10}", "configuration", "TEPS", "vs best");
+    for (label, teps) in &rows {
+        println!(
+            "{:<24} {:>14} {:>9.2}x",
+            label,
+            format_teps(*teps),
+            teps / best
+        );
+    }
+
+    let find = |label: &str| {
+        rows.iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, teps)| *teps)
+            .expect("row present")
+    };
+    println!(
+        "\npaper's headline ratios (scale 28, Fig. 10): bind/interleave = 1.74x, bind/noflag(ppn=8) = 2.08x"
+    );
+    println!(
+        "this run:                                  bind/interleave = {:.2}x, bind/noflag(ppn=8) = {:.2}x",
+        find("ppn=8.bind-to-socket") / find("ppn=1.interleave"),
+        find("ppn=8.bind-to-socket") / find("ppn=8.noflag"),
+    );
+}

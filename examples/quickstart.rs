@@ -1,0 +1,71 @@
+//! Quickstart: generate a Graph500 R-MAT graph, run the fully optimized
+//! hybrid BFS on a simulated 16-node NUMA cluster, and print the execution
+//! breakdown of Fig. 11.
+//!
+//! ```text
+//! cargo run --release --example quickstart [scale]
+//! ```
+
+use numa_bfs::prelude::*;
+use numa_bfs::topology::presets;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(16);
+
+    println!("== numa-bfs quickstart ==");
+    println!("generating R-MAT graph: scale {scale}, edge factor 16 ...");
+    let graph = GraphBuilder::rmat(scale, 16).seed(42).build();
+    println!(
+        "  {} vertices, {} undirected edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // The paper's platform: 16 eight-socket Xeon X7550 nodes (Table I),
+    // with caches scaled to keep the paper's size regimes at this scale.
+    let machine = presets::cluster2012().scaled_to_graph(scale, 28);
+    println!(
+        "machine: {} nodes x {} sockets x {} cores = {} cores",
+        machine.nodes,
+        machine.sockets_per_node,
+        machine.socket.cores,
+        machine.total_cores()
+    );
+
+    // Run the best configuration: one bound rank per socket, all shared
+    // buffers, parallel allgather, granularity 256.
+    let scenario = Scenario::new(machine, OptLevel::Granularity(256));
+    let engine = DistributedBfs::new(&graph, &scenario);
+
+    let root = (0..graph.num_vertices())
+        .max_by_key(|&v| graph.degree(v))
+        .expect("graph is non-empty");
+    println!("running hybrid BFS from root {root} ...");
+    let run = engine.run(root);
+
+    let visited = validate_bfs_tree(&graph, root, &run.parent).expect("tree must validate");
+    println!("  visited {visited} vertices; BFS tree validated (Graph500 rules)");
+
+    let p = &run.profile;
+    println!("\nexecution breakdown (simulated time):");
+    for phase in Phase::ALL {
+        let t = p.phase(phase);
+        println!(
+            "  {:<16} {:>12}   {:>5.1}%",
+            phase.label(),
+            format!("{t}"),
+            100.0 * (t / p.total())
+        );
+    }
+    println!("  {:<16} {:>12}", "total", format!("{}", p.total()));
+
+    let traversed = graph.component_edges(root) as f64;
+    println!(
+        "\nperformance: {}",
+        format_teps(traversed / p.total().as_secs())
+    );
+    println!("levels: {} ({} bottom-up communication phases)", p.levels.len(), p.bu_comm_phases);
+}

@@ -1,0 +1,185 @@
+//! Shape-level checks of the paper's headline claims, run end to end on
+//! the simulated cluster. Absolute numbers differ (our substrate is a
+//! model), but the *directions and rough factors* the paper reports must
+//! hold. Each test names the claim it guards.
+
+use numa_bfs::core::engine::{DistributedBfs, Scenario};
+use numa_bfs::core::harness::{Graph500Harness, HarnessConfig};
+use numa_bfs::core::opt::OptLevel;
+use numa_bfs::graph::GraphBuilder;
+use numa_bfs::topology::{presets, PlacementPolicy};
+
+const GRAPH_SCALE: u32 = 15;
+const PAPER_SCALE_1NODE: u32 = 28;
+
+fn best_root(graph: &numa_bfs::graph::Csr) -> usize {
+    (0..graph.num_vertices())
+        .max_by_key(|&v| graph.degree(v))
+        .unwrap()
+}
+
+/// Section II.D / Fig. 9: "simply spawning and binding one MPI process for
+/// each socket can achieve the best performance ... 1.53X of performance on
+/// 16 nodes" (and 1.74x on one node, Fig. 10).
+#[test]
+fn one_process_per_socket_beats_one_per_node() {
+    let graph = GraphBuilder::rmat(GRAPH_SCALE, 16).seed(1).build();
+    let root = best_root(&graph);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(GRAPH_SCALE, PAPER_SCALE_1NODE);
+    let t = |opt| {
+        let s = Scenario::new(machine.clone(), opt);
+        DistributedBfs::new(&graph, &s).run(root).profile.total()
+    };
+    let ppn1 = t(OptLevel::OriginalPpn1);
+    let ppn8 = t(OptLevel::OriginalPpn8);
+    let speedup = ppn1 / ppn8;
+    // Paper: 1.74x on one node (Fig. 10). Our loaded-QPI model penalizes
+    // the interleaved baseline harder than the real machine did at scale
+    // 28 (the same constants reproduce the scale-32 Fig. 9 headline), so
+    // the accepted band is wider upward; see EXPERIMENTS.md.
+    assert!(
+        (1.3..=4.5).contains(&speedup),
+        "ppn=8 speedup over ppn=1 is {speedup:.2}, paper: 1.74"
+    );
+}
+
+/// Fig. 12: "spawning one process per socket results in 2.34 times of
+/// execution time in each bottom-up communication phase, compared to one
+/// process per node" (8 nodes).
+#[test]
+fn ppn8_communication_costs_more_per_phase() {
+    let graph = GraphBuilder::rmat(GRAPH_SCALE, 16).seed(2).build();
+    let root = best_root(&graph);
+    let machine = presets::xeon_x7550_cluster(8).scaled_to_graph(GRAPH_SCALE, 31);
+    let phase = |opt| {
+        let s = Scenario::new(machine.clone(), opt);
+        DistributedBfs::new(&graph, &s)
+            .run(root)
+            .profile
+            .mean_bu_comm_phase()
+    };
+    let ratio = phase(OptLevel::OriginalPpn8) / phase(OptLevel::OriginalPpn1);
+    assert!(
+        (1.5..=4.0).contains(&ratio),
+        "comm phase ratio {ratio:.2}, paper: 2.34"
+    );
+}
+
+/// Fig. 13: the communication optimizations reduce the bottom-up
+/// communication phase time "4.07X for eight nodes".
+#[test]
+fn communication_ladder_reduces_phase_time_several_fold() {
+    let graph = GraphBuilder::rmat(GRAPH_SCALE, 16).seed(3).build();
+    let root = best_root(&graph);
+    let machine = presets::xeon_x7550_cluster(8).scaled_to_graph(GRAPH_SCALE, 31);
+    let phase = |opt| {
+        let s = Scenario::new(machine.clone(), opt);
+        DistributedBfs::new(&graph, &s)
+            .run(root)
+            .profile
+            .mean_bu_comm_phase()
+    };
+    let original = phase(OptLevel::OriginalPpn8);
+    let share_in = phase(OptLevel::ShareInQueue);
+    let share_all = phase(OptLevel::ShareAll);
+    let par = phase(OptLevel::ParAllgather);
+    assert!(share_in < original, "share in_queue must cut comm");
+    assert!(share_all <= share_in * 1.001);
+    assert!(par < share_all, "parallel allgather must cut the wire time");
+    let reduction = original / par;
+    assert!(
+        (2.0..=8.0).contains(&reduction),
+        "total reduction {reduction:.2}, paper: 4.07"
+    );
+    // "Share in_queue has the most significant effect, which can cut off
+    // about half of the communication cost."
+    let first_cut = original / share_in;
+    assert!(
+        (1.5..=4.5).contains(&first_cut),
+        "share in_queue cut {first_cut:.2}, paper: ~2"
+    );
+}
+
+/// Fig. 14: the proportion of time in bottom-up communication drops from
+/// ~54% to ~18% on eight nodes.
+#[test]
+fn communication_share_of_total_drops() {
+    let graph = GraphBuilder::rmat(GRAPH_SCALE, 16).seed(4).build();
+    let root = best_root(&graph);
+    let machine = presets::xeon_x7550_cluster(8).scaled_to_graph(GRAPH_SCALE, 31);
+    let frac = |opt| {
+        let s = Scenario::new(machine.clone(), opt);
+        DistributedBfs::new(&graph, &s)
+            .run(root)
+            .profile
+            .bu_comm_fraction()
+    };
+    let before = frac(OptLevel::OriginalPpn8);
+    let after = frac(OptLevel::ParAllgather);
+    assert!(
+        before > 0.3,
+        "unoptimized comm share {before:.2} should be large (paper: 0.54)"
+    );
+    // Paper: 0.54 -> 0.18 (3x). At test scale the drop is weaker (~1.7x):
+    // small graphs have few bottom-up levels, so compute is relatively
+    // lighter against wire-optimal bitmap transfers. Direction and a
+    // substantial drop are the reproducible shape; see EXPERIMENTS.md.
+    assert!(
+        after < before / 1.4 && after < 0.45,
+        "optimized share {after:.2} must drop well below {before:.2} (paper: 0.54 -> 0.18)"
+    );
+}
+
+/// Fig. 9 end to end: "With all the optimizations together, the speedup is
+/// up to 2.44X relative to Original.ppn=1 and 1.60X relative to
+/// Original.ppn=8."
+#[test]
+fn full_ladder_speedup_in_band() {
+    let graph = GraphBuilder::rmat(GRAPH_SCALE, 16).seed(5).build();
+    let machine = presets::cluster2012().scaled_to_graph(GRAPH_SCALE, 32);
+    let teps = |opt| {
+        let s = Scenario::new(machine.clone(), opt);
+        let h = Graph500Harness::new(&graph, &s);
+        h.run(&HarnessConfig::quick(3)).harmonic_teps()
+    };
+    let ppn1 = teps(OptLevel::OriginalPpn1);
+    let ppn8 = teps(OptLevel::OriginalPpn8);
+    let best = teps(OptLevel::Granularity(256));
+    let overall = best / ppn1;
+    let vs_ppn8 = best / ppn8;
+    assert!(
+        (1.5..=4.5).contains(&overall),
+        "overall speedup {overall:.2}, paper: 2.44"
+    );
+    assert!(
+        (1.1..=3.6).contains(&vs_ppn8),
+        "speedup vs ppn=8 {vs_ppn8:.2}, paper: 1.60 (our ring model charges the
+         128-rank Original allgather slightly dearer at small payloads)"
+    );
+}
+
+/// Fig. 10: the Original code is fastest with bind-to-socket, and noflag
+/// loses to interleave.
+#[test]
+fn placement_ranking_matches_fig10() {
+    let graph = GraphBuilder::rmat(GRAPH_SCALE, 16).seed(6).build();
+    let root = best_root(&graph);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(GRAPH_SCALE, PAPER_SCALE_1NODE);
+    let t = |ppn, policy| {
+        let s =
+            Scenario::new(machine.clone(), OptLevel::OriginalPpn8).with_placement(ppn, policy);
+        DistributedBfs::new(&graph, &s).run(root).profile.total()
+    };
+    let bind8 = t(8, PlacementPolicy::BindToSocket);
+    let inter1 = t(1, PlacementPolicy::Interleave);
+    let noflag1 = t(1, PlacementPolicy::Noflag);
+    let noflag8 = t(8, PlacementPolicy::Noflag);
+    assert!(bind8 < inter1, "bind must beat interleave");
+    assert!(inter1 < noflag1, "interleave must beat noflag (ppn=1)");
+    assert!(bind8 < noflag8, "bind must beat noflag (ppn=8)");
+    let r1 = inter1 / bind8;
+    assert!(
+        (1.3..=4.5).contains(&r1),
+        "bind/interleave speedup {r1:.2}, paper: 1.74 (see EXPERIMENTS.md on the interleave penalty)"
+    );
+}
