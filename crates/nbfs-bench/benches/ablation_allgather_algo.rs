@@ -24,11 +24,9 @@ fn bench(c: &mut Criterion) {
         AllgatherAlgorithm::ParallelK(4),
         AllgatherAlgorithm::ParallelSubgroup,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("algo", algo.label()),
-            &algo,
-            |b, &algo| b.iter(|| allgather_cost_bytes(&bytes, &pmap, &net, algo)),
-        );
+        group.bench_with_input(BenchmarkId::new("algo", algo.label()), &algo, |b, &algo| {
+            b.iter(|| allgather_cost_bytes(&bytes, &pmap, &net, algo))
+        });
     }
     group.finish();
 }

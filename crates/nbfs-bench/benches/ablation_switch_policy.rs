@@ -15,8 +15,20 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let cases: [(&str, SwitchPolicy); 5] = [
         ("alpha14_beta24", SwitchPolicy::default()),
-        ("alpha4_beta24", SwitchPolicy { alpha: 4.0, beta: 24.0 }),
-        ("alpha56_beta24", SwitchPolicy { alpha: 56.0, beta: 24.0 }),
+        (
+            "alpha4_beta24",
+            SwitchPolicy {
+                alpha: 4.0,
+                beta: 24.0,
+            },
+        ),
+        (
+            "alpha56_beta24",
+            SwitchPolicy {
+                alpha: 56.0,
+                beta: 24.0,
+            },
+        ),
         ("pure_top_down", SwitchPolicy::always_top_down()),
         ("pure_bottom_up", SwitchPolicy::always_bottom_up()),
     ];

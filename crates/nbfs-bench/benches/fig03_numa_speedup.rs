@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
     let cases = [
         (
             "1core",
-            scaled(presets::xeon_x7550_node().with_sockets_per_node(1).with_cores_per_socket(1)),
+            scaled(
+                presets::xeon_x7550_node()
+                    .with_sockets_per_node(1)
+                    .with_cores_per_socket(1),
+            ),
             OptLevel::OriginalPpn1,
         ),
         (
@@ -24,8 +28,16 @@ fn bench(c: &mut Criterion) {
             scaled(presets::xeon_x7550_node().with_sockets_per_node(1)),
             OptLevel::OriginalPpn1,
         ),
-        ("64core_interleave", scaled(presets::xeon_x7550_node()), OptLevel::OriginalPpn1),
-        ("64core_bind", scaled(presets::xeon_x7550_node()), OptLevel::OriginalPpn8),
+        (
+            "64core_interleave",
+            scaled(presets::xeon_x7550_node()),
+            OptLevel::OriginalPpn1,
+        ),
+        (
+            "64core_bind",
+            scaled(presets::xeon_x7550_node()),
+            OptLevel::OriginalPpn8,
+        ),
     ];
     for (label, machine, opt) in cases {
         group.bench_function(label, |b| b.iter(|| scenarios::run_once(g, &machine, opt)));

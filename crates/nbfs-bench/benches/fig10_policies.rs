@@ -10,8 +10,7 @@ use nbfs_topology::{presets, PlacementPolicy};
 fn bench(c: &mut Criterion) {
     let cfg = BenchConfig::tiny();
     let g = scenarios::graph(cfg.base_scale);
-    let machine =
-        presets::xeon_x7550_node().scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
     let mut group = c.benchmark_group("fig10_policies");
     group.sample_size(10);
     let cases = [

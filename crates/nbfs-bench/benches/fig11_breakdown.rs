@@ -10,8 +10,7 @@ use nbfs_topology::{presets, PlacementPolicy};
 fn bench(c: &mut Criterion) {
     let cfg = BenchConfig::tiny();
     let g = scenarios::graph(cfg.base_scale);
-    let machine =
-        presets::xeon_x7550_node().scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
     let root = scenarios::best_root(g);
     let mut group = c.benchmark_group("fig11_breakdown");
     group.sample_size(10);

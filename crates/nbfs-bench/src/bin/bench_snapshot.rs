@@ -1,0 +1,28 @@
+//! Writes the committed wall-clock benchmark snapshot (`BENCH_BFS.json`).
+//!
+//! ```text
+//! cargo run -p nbfs-bench --release --bin bench-snapshot [-- PATH]
+//! ```
+//!
+//! The optional `PATH` overrides the default `BENCH_BFS.json` in the
+//! current directory.
+
+use std::path::PathBuf;
+
+use nbfs_bench::wallclock::{self, SnapshotConfig};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("BENCH_BFS.json"), PathBuf::from);
+    let cfg = SnapshotConfig::default();
+    eprintln!(
+        "running wall-clock snapshot: scale {}, {} repeats per kernel ...",
+        cfg.scale, cfg.repeats
+    );
+    let snap = wallclock::run_snapshot(&cfg);
+    wallclock::write_snapshot(&path, &snap)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("{}", wallclock::summary(&snap));
+    println!("wrote {}", path.display());
+}

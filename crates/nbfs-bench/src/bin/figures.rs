@@ -69,9 +69,15 @@ fn main() {
                 } else {
                     println!("{}", report.to_text());
                 }
-                eprintln!("# {id} regenerated in {:.1}s wall", t0.elapsed().as_secs_f64());
+                eprintln!(
+                    "# {id} regenerated in {:.1}s wall",
+                    t0.elapsed().as_secs_f64()
+                );
             }
-            None => die(&format!("unknown figure id {id} (known: {})", ALL_IDS.join(", "))),
+            None => die(&format!(
+                "unknown figure id {id} (known: {})",
+                ALL_IDS.join(", ")
+            )),
         }
     }
 }

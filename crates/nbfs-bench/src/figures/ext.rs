@@ -26,7 +26,14 @@ pub fn ext2d(cfg: &BenchConfig) -> FigureReport {
         "1-D vs 2-D partitioning: bottom-up communication per level",
         "Section V / Buluc & Madduri [11]: 2-D partitioning reduced BFS \
          communication ~3.5x; the paper calls the approaches orthogonal",
-        &["BU level", "discovered", "1-D comm", "2-D expand", "2-D fold", "2-D total"],
+        &[
+            "BU level",
+            "discovered",
+            "1-D comm",
+            "2-D expand",
+            "2-D fold",
+            "2-D total",
+        ],
     );
     for (i, l) in cmp.levels.iter().enumerate() {
         r.push_row(vec![
@@ -44,7 +51,9 @@ pub fn ext2d(cfg: &BenchConfig) -> FigureReport {
         cmp.cols,
         cmp.reduction()
     ));
-    r.note(format!("graph scale {scale} on {nodes} nodes, Par-allgather baseline"));
+    r.note(format!(
+        "graph scale {scale} on {nodes} nodes, Par-allgather baseline"
+    ));
     r
 }
 

@@ -36,8 +36,8 @@ use crate::scenarios::BenchConfig;
 
 /// All figure ids in paper order, plus extensions.
 pub const ALL_IDS: [&str; 15] = [
-    "table1", "fig2", "fig3", "fig4", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "hybrid", "ext2d",
+    "table1", "fig2", "fig3", "fig4", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "hybrid", "ext2d",
 ];
 
 /// Dispatches a figure by id.

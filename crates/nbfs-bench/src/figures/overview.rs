@@ -25,7 +25,12 @@ pub fn fig9(cfg: &BenchConfig) -> FigureReport {
         "Fig. 9: Original.ppn=8 = 1.53x of ppn=1; all optimizations together \
          2.44x of ppn=1 (1.60x of ppn=8); Share in_queue +34.1%, Share all \
          +6.5%, Par allgather +4.6%, Granularity +14.8%",
-        &["implementation", "TEPS (harmonic mean)", "vs Original.ppn=1", "vs previous"],
+        &[
+            "implementation",
+            "TEPS (harmonic mean)",
+            "vs Original.ppn=1",
+            "vs previous",
+        ],
     );
     let mut prev: Option<f64> = None;
     let mut base: Option<f64> = None;

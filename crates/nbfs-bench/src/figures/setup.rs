@@ -18,19 +18,50 @@ pub fn table1() -> FigureReport {
     );
     let rows: Vec<(&str, String)> = vec![
         ("CPUs per node", format!("{} sockets", m.sockets_per_node)),
-        ("cores per socket", format!("{} @ {:.1} GHz (SMT off)", s.cores, s.ghz)),
+        (
+            "cores per socket",
+            format!("{} @ {:.1} GHz (SMT off)", s.cores, s.ghz),
+        ),
         ("L1D per core", format_bytes(s.cache.l1_bytes)),
         ("L2 per core", format_bytes(s.cache.l2_bytes)),
         ("L3 per socket (shared)", format_bytes(s.cache.l3_bytes)),
-        ("QPI links per socket", format!("{} x {}", s.qpi_links, format_bandwidth(s.qpi_bw))),
+        (
+            "QPI links per socket",
+            format!("{} x {}", s.qpi_links, format_bandwidth(s.qpi_bw)),
+        ),
         ("memory bandwidth per socket", format_bandwidth(s.mem_bw)),
-        ("local DRAM latency", format!("{:.0} ns", s.mem_lat_local_ns)),
-        ("remote DRAM latency", format!("{:.0} ns", s.mem_lat_remote_ns)),
-        ("remote L3 latency", format!("{:.0} ns", s.remote_cache_lat_ns)),
-        ("network ports per node", format!("{} x {}", m.nic.ports, format_bandwidth(m.nic.port_bw))),
-        ("single-stream network cap", format_bandwidth(m.nic.per_stream_bw)),
-        ("network latency", format!("{:.1} us", m.nic.latency_s * 1e6)),
-        ("cluster", format!("{} nodes = {} cores", presets::cluster2012().nodes, presets::cluster2012().total_cores())),
+        (
+            "local DRAM latency",
+            format!("{:.0} ns", s.mem_lat_local_ns),
+        ),
+        (
+            "remote DRAM latency",
+            format!("{:.0} ns", s.mem_lat_remote_ns),
+        ),
+        (
+            "remote L3 latency",
+            format!("{:.0} ns", s.remote_cache_lat_ns),
+        ),
+        (
+            "network ports per node",
+            format!("{} x {}", m.nic.ports, format_bandwidth(m.nic.port_bw)),
+        ),
+        (
+            "single-stream network cap",
+            format_bandwidth(m.nic.per_stream_bw),
+        ),
+        (
+            "network latency",
+            format!("{:.1} us", m.nic.latency_s * 1e6),
+        ),
+        (
+            "cluster",
+            format!(
+                "{} nodes = {} cores",
+                presets::cluster2012().nodes,
+                presets::cluster2012().total_cores()
+            ),
+        ),
     ];
     for (k, v) in rows {
         r.push_row(vec![k.into(), v]);

@@ -14,9 +14,8 @@ use crate::scenarios::{best_root, graph, run_scenario, BenchConfig};
 /// sockets, interleaved vs bound).
 pub fn fig3(cfg: &BenchConfig) -> FigureReport {
     let g = graph(cfg.base_scale);
-    let scaled = |m: nbfs_topology::MachineConfig| {
-        m.scaled_to_graph(cfg.base_scale, cfg.paper_base_scale)
-    };
+    let scaled =
+        |m: nbfs_topology::MachineConfig| m.scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
     let one_socket = |cores: usize| {
         scaled(
             presets::xeon_x7550_node()
@@ -58,7 +57,10 @@ pub fn fig3(cfg: &BenchConfig) -> FigureReport {
         t64_inter / t8,
         t64_bind / t8
     ));
-    r.note(format!("graph scale {}, regime of paper scale {}", cfg.base_scale, cfg.paper_base_scale));
+    r.note(format!(
+        "graph scale {}, regime of paper scale {}",
+        cfg.base_scale, cfg.paper_base_scale
+    ));
     r
 }
 
@@ -66,8 +68,7 @@ pub fn fig3(cfg: &BenchConfig) -> FigureReport {
 /// combination on one node.
 pub fn fig10(cfg: &BenchConfig) -> FigureReport {
     let g = graph(cfg.base_scale);
-    let machine =
-        presets::xeon_x7550_node().scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
     let mut r = FigureReport::new(
         "fig10",
         "Original implementation under various execution policies (1 node)",
@@ -78,9 +79,12 @@ pub fn fig10(cfg: &BenchConfig) -> FigureReport {
     let mut rows: Vec<(String, f64)> = Vec::new();
     for ppn in [1usize, 2, 4, 8] {
         for policy in [PlacementPolicy::Noflag, PlacementPolicy::Interleave] {
-            let s = Scenario::new(machine.clone(), OptLevel::OriginalPpn8)
-                .with_placement(ppn, policy);
-            rows.push((format!("ppn={ppn}.{}", policy.label()), run_scenario(g, &s).1));
+            let s =
+                Scenario::new(machine.clone(), OptLevel::OriginalPpn8).with_placement(ppn, policy);
+            rows.push((
+                format!("ppn={ppn}.{}", policy.label()),
+                run_scenario(g, &s).1,
+            ));
         }
     }
     let s = Scenario::new(machine.clone(), OptLevel::OriginalPpn8)
@@ -89,7 +93,11 @@ pub fn fig10(cfg: &BenchConfig) -> FigureReport {
 
     let best = rows.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
     for (label, teps) in &rows {
-        r.push_row(vec![label.clone(), teps_cell(*teps), ratio_cell(teps / best)]);
+        r.push_row(vec![
+            label.clone(),
+            teps_cell(*teps),
+            ratio_cell(teps / best),
+        ]);
     }
     let find = |l: &str| rows.iter().find(|(x, _)| x == l).unwrap().1;
     r.note(format!(
@@ -104,8 +112,7 @@ pub fn fig10(cfg: &BenchConfig) -> FigureReport {
 /// `ppn=1.interleave` vs `ppn=8.bind-to-socket` on one node.
 pub fn fig11(cfg: &BenchConfig) -> FigureReport {
     let g = graph(cfg.base_scale);
-    let machine =
-        presets::xeon_x7550_node().scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(cfg.base_scale, cfg.paper_base_scale);
     let root = best_root(g);
 
     let profile = |ppn, policy| {

@@ -13,3 +13,4 @@
 pub mod figures;
 pub mod report;
 pub mod scenarios;
+pub mod wallclock;

@@ -47,8 +47,7 @@ impl BenchConfig {
     /// latencies scaled so graph scale `base + log2(nodes)` sits in the
     /// same regime as paper scale `28 + log2(nodes)`.
     pub fn machine(&self, nodes: usize) -> MachineConfig {
-        presets::xeon_x7550_cluster(nodes)
-            .scaled_to_graph(self.base_scale, self.paper_base_scale)
+        presets::xeon_x7550_cluster(nodes).scaled_to_graph(self.base_scale, self.paper_base_scale)
     }
 
     /// Graph scale for a `nodes`-node weak-scaling point.

@@ -1,0 +1,285 @@
+//! Wall-clock benchmark snapshot: reference vs word-level bottom-up kernel.
+//!
+//! Simulated time answers "what would the 2012 cluster do"; this module
+//! answers "how fast does the *host* actually run the real kernels". It
+//! pins one fixed scenario — the scale-19 R-MAT on one 8-socket Xeon X7550
+//! node at `Original.ppn=8` (8 ranks, ring allgather, private bitmaps) —
+//! runs the engine once per kernel implementation, and writes the
+//! before/after comparison to `BENCH_BFS.json` at the repository root.
+//!
+//! Regenerate with either of:
+//!
+//! ```text
+//! cargo run -p nbfs-bench --release --bin bench-snapshot
+//! cargo run -p nbfs-cli   --release --bin nbfs -- bench --json BENCH_BFS.json
+//! ```
+//!
+//! Timings take the minimum over `repeats` runs (minimum, not mean: noise
+//! on a shared host only ever adds time). The two kernels must produce
+//! bit-identical trees and simulated profiles; the snapshot asserts this
+//! and records it under `identical_results`.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+use nbfs_core::engine::{BottomUpKernel, DistributedBfs, Scenario, WallClock};
+use nbfs_core::opt::OptLevel;
+use nbfs_graph::Csr;
+use nbfs_topology::presets;
+
+use crate::scenarios;
+
+/// Knobs of the snapshot run. [`Default`] is the committed configuration;
+/// tests shrink the scale to stay fast.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotConfig {
+    /// R-MAT scale (log2 vertices) of the benchmark graph.
+    pub scale: u32,
+    /// Runs per kernel; the per-field minimum is reported.
+    pub repeats: usize,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        Self {
+            scale: 19,
+            repeats: 5,
+        }
+    }
+}
+
+/// The scenario block of the snapshot — everything needed to reproduce it.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioInfo {
+    /// Graph generator ("rmat").
+    pub generator: String,
+    /// R-MAT scale.
+    pub scale: u32,
+    /// Edges per vertex fed to the generator.
+    pub edge_factor: usize,
+    /// Vertices in the built graph.
+    pub vertices: usize,
+    /// Directed adjacency entries in the built graph.
+    pub edges: usize,
+    /// Simulated machine.
+    pub machine: String,
+    /// Optimization rung (Fig. 9 label).
+    pub opt_level: String,
+    /// MPI ranks the scenario spawns.
+    pub ranks: usize,
+    /// BFS root (highest-degree vertex).
+    pub root: usize,
+    /// Runs per kernel (minimum reported).
+    pub repeats: usize,
+}
+
+/// Wall-clock timings of one kernel implementation.
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelTiming {
+    /// Which bottom-up kernel ran.
+    pub kernel: String,
+    /// Seconds in bottom-up kernel dispatch (min over repeats).
+    pub bottom_up_secs: f64,
+    /// Seconds in top-down kernel dispatch (min over repeats).
+    pub top_down_secs: f64,
+    /// Whole-run seconds (min over repeats).
+    pub total_secs: f64,
+    /// Bottom-up levels per run.
+    pub bottom_up_levels: u32,
+    /// Real adjacency entries the bottom-up kernels examined per run.
+    pub bottom_up_edges: u64,
+}
+
+/// Derived throughput numbers.
+#[derive(Clone, Debug, Serialize)]
+pub struct Throughput {
+    /// Real bottom-up adjacency entries per host second (word-level kernel).
+    pub real_bottom_up_edges_per_sec: f64,
+    /// Simulated traversed-edges-per-second on the modelled 2012 cluster.
+    pub simulated_teps: f64,
+}
+
+/// The whole `BENCH_BFS.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct Snapshot {
+    /// Schema version of this document.
+    pub schema_version: u32,
+    /// What the numbers are.
+    pub benchmark: String,
+    /// The pinned scenario.
+    pub scenario: ScenarioInfo,
+    /// Per-bit reference kernel timings (before).
+    pub baseline: KernelTiming,
+    /// Word-level kernel timings (after).
+    pub optimized: KernelTiming,
+    /// `baseline.bottom_up_secs / optimized.bottom_up_secs`.
+    pub bottom_up_speedup: f64,
+    /// `baseline.total_secs / optimized.total_secs`.
+    pub total_speedup: f64,
+    /// Derived rates.
+    pub throughput: Throughput,
+    /// Both kernels produced identical trees and simulated profiles.
+    pub identical_results: bool,
+}
+
+/// Runs the engine `repeats` times and keeps the per-field minimum wall
+/// clock (results are deterministic, so the last run's tree stands in for
+/// all of them).
+fn measure(
+    bfs: &DistributedBfs<'_>,
+    root: usize,
+    repeats: usize,
+) -> (nbfs_core::engine::BfsRun, WallClock) {
+    assert!(repeats > 0, "need at least one repeat");
+    let (mut run, mut best) = bfs.run_timed(root);
+    for _ in 1..repeats {
+        let (r, w) = bfs.run_timed(root);
+        best.bottom_up_secs = best.bottom_up_secs.min(w.bottom_up_secs);
+        best.top_down_secs = best.top_down_secs.min(w.top_down_secs);
+        best.total_secs = best.total_secs.min(w.total_secs);
+        run = r;
+    }
+    (run, best)
+}
+
+fn timing(kernel: &str, wall: &WallClock) -> KernelTiming {
+    KernelTiming {
+        kernel: kernel.to_string(),
+        bottom_up_secs: wall.bottom_up_secs,
+        top_down_secs: wall.top_down_secs,
+        total_secs: wall.total_secs,
+        bottom_up_levels: wall.bottom_up_levels,
+        bottom_up_edges: wall.bottom_up_edges,
+    }
+}
+
+/// Runs the pinned before/after comparison on `graph` and returns the
+/// snapshot document.
+pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
+    let machine = presets::xeon_x7550_node().scaled_to_graph(cfg.scale, 28);
+    let scenario = Scenario::new(machine, OptLevel::OriginalPpn8);
+    let root = scenarios::best_root(graph);
+
+    let engine = DistributedBfs::new(graph, &scenario);
+    let ranks = engine.process_map().world_size();
+
+    let baseline = engine.with_bottom_up_kernel(BottomUpKernel::Reference);
+    let (ref_run, ref_wall) = measure(&baseline, root, cfg.repeats);
+    let optimized =
+        DistributedBfs::new(graph, &scenario).with_bottom_up_kernel(BottomUpKernel::WordLevel);
+    let (opt_run, opt_wall) = measure(&optimized, root, cfg.repeats);
+
+    let identical = ref_run.parent == opt_run.parent
+        && ref_run.visited == opt_run.visited
+        && ref_run.profile.total() == opt_run.profile.total();
+    assert!(
+        identical,
+        "kernel implementations diverged: the word-level kernel must be \
+         bit-identical to the reference"
+    );
+    assert_eq!(
+        ref_wall.bottom_up_edges, opt_wall.bottom_up_edges,
+        "kernels examined different edge counts"
+    );
+
+    let sim_teps = graph.component_edges(root) as f64 / ref_run.profile.total().as_secs();
+    Snapshot {
+        schema_version: 1,
+        benchmark: "bottom-up kernel wall clock, reference vs word-level".into(),
+        scenario: ScenarioInfo {
+            generator: "rmat".into(),
+            scale: cfg.scale,
+            edge_factor: 16,
+            vertices: graph.num_vertices(),
+            edges: graph.num_edges(),
+            machine: "xeon_x7550_node (1 node, 8 sockets)".into(),
+            opt_level: OptLevel::OriginalPpn8.label(),
+            ranks,
+            root,
+            repeats: cfg.repeats,
+        },
+        baseline: timing("reference (per-bit serial)", &ref_wall),
+        optimized: timing("word-level (chunked, probe-cached)", &opt_wall),
+        bottom_up_speedup: ref_wall.bottom_up_secs / opt_wall.bottom_up_secs,
+        total_speedup: ref_wall.total_secs / opt_wall.total_secs,
+        throughput: Throughput {
+            real_bottom_up_edges_per_sec: opt_wall.bottom_up_edges as f64 / opt_wall.bottom_up_secs,
+            simulated_teps: sim_teps,
+        },
+        identical_results: identical,
+    }
+}
+
+/// Generates (or fetches from the process cache) the benchmark graph and
+/// runs [`run_snapshot_on`].
+pub fn run_snapshot(cfg: &SnapshotConfig) -> Snapshot {
+    run_snapshot_on(scenarios::graph(cfg.scale), cfg)
+}
+
+/// Writes `snapshot` as pretty JSON (with a trailing newline) to `path`.
+pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(snapshot)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{json}")
+}
+
+/// One-line human summary for CLI output.
+pub fn summary(s: &Snapshot) -> String {
+    format!(
+        "scale {} | {} ranks | bottom-up {:.1} ms -> {:.1} ms ({:.2}x) | \
+         {:.1} M real BU edges/s | identical results: {}",
+        s.scenario.scale,
+        s.scenario.ranks,
+        s.baseline.bottom_up_secs * 1e3,
+        s.optimized.bottom_up_secs * 1e3,
+        s.bottom_up_speedup,
+        s.throughput.real_bottom_up_edges_per_sec / 1e6,
+        s.identical_results
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_runs_and_serializes_at_small_scale() {
+        let cfg = SnapshotConfig {
+            scale: 12,
+            repeats: 1,
+        };
+        let snap = run_snapshot(&cfg);
+        assert!(snap.identical_results);
+        assert_eq!(snap.scenario.ranks, 8, "ppn=8 on one 8-socket node");
+        assert!(snap.optimized.bottom_up_secs > 0.0);
+        assert!(snap.bottom_up_speedup > 0.0);
+        let json = serde_json::to_string(&snap).unwrap();
+        for key in [
+            "schema_version",
+            "bottom_up_speedup",
+            "real_bottom_up_edges_per_sec",
+            "simulated_teps",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn write_snapshot_emits_valid_json() {
+        let cfg = SnapshotConfig {
+            scale: 11,
+            repeats: 1,
+        };
+        let snap = run_snapshot(&cfg);
+        let path = std::env::temp_dir().join("nbfs-bench-snapshot-test.json");
+        write_snapshot(&path, &snap).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value["schema_version"], 1);
+        assert_eq!(value["scenario"]["scale"], 11);
+        std::fs::remove_file(path).unwrap();
+    }
+}

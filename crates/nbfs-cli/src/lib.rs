@@ -63,7 +63,7 @@ pub enum Command {
         /// Use the mpi_simple-style alltoallv top-down.
         td_alltoallv: bool,
     },
-    /// `bench [--scale N] [--nodes N] [--opt NAME] [--roots K]`
+    /// `bench [--scale N] [--nodes N] [--opt NAME] [--roots K] [--json PATH]`
     Bench {
         /// Scale to generate.
         scale: u32,
@@ -73,6 +73,10 @@ pub enum Command {
         opt: OptLevel,
         /// Number of search keys.
         roots: usize,
+        /// With `--json PATH`: run the wall-clock benchmark snapshot
+        /// (reference vs word-level bottom-up kernel) and write the
+        /// `BENCH_BFS.json` document there instead of the TEPS campaign.
+        json: Option<PathBuf>,
     },
     /// `tune [--scale N] [--density D]`
     Tune {
@@ -148,10 +152,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             td_alltoallv: has("--td-alltoallv"),
         },
         "bench" => Command::Bench {
-            scale: num("--scale", 16)? as u32,
+            // The snapshot's pinned scenario is scale 19; the TEPS
+            // campaign keeps its historical default of 16.
+            scale: num("--scale", if flag("--json").is_some() { 19 } else { 16 })? as u32,
             nodes: num("--nodes", 16)? as usize,
             opt: parse_opt(flag("--opt").unwrap_or("best"))?,
             roots: num("--roots", 8)? as usize,
+            json: flag("--json").map(PathBuf::from),
         },
         "tune" => Command::Tune {
             scale: num("--scale", 20)? as u32,
@@ -172,7 +179,8 @@ USAGE:
   nbfs generate --scale N [--edge-factor E] [--seed S] --out FILE
   nbfs info FILE
   nbfs run   [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--td-alltoallv]
-  nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K]
+  nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K] [--json PATH]
+             (--json PATH runs the wall-clock kernel snapshot and writes BENCH_BFS.json there)
   nbfs tune  [--scale N] [--density D]
 
 OPT: ppn1 | ppn8 | share-in-queue | share-all | par-allgather | best | granularity=G"
@@ -206,8 +214,12 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             let el = io::load(&path).map_err(err)?;
             let g = Csr::from_edge_list(&el);
             let s = DegreeStats::compute(&g);
-            writeln!(out, "{}", serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?)
-                .map_err(err)?;
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?
+            )
+            .map_err(err)?;
         }
         Command::Run {
             scale,
@@ -222,14 +234,15 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 None => GraphBuilder::rmat(scale, 16).seed(1).build(),
             };
             let actual_scale = (g.num_vertices() as f64).log2().ceil() as u32;
-            let machine =
-                presets::xeon_x7550_cluster(nodes).scaled_to_graph(actual_scale, 28);
+            let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(actual_scale, 28);
             let mut scenario = Scenario::new(machine, opt);
             if td_alltoallv {
                 scenario = scenario.with_td_strategy(TdStrategy::Alltoallv);
             }
             let root = root.unwrap_or_else(|| {
-                (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).expect("non-empty")
+                (0..g.num_vertices())
+                    .max_by_key(|&v| g.degree(v))
+                    .expect("non-empty")
             });
             let run = DistributedBfs::new(&g, &scenario).run(root);
             writeln!(
@@ -252,15 +265,32 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 .map_err(err)?;
             }
             let teps = g.component_edges(root) as f64 / run.profile.total().as_secs();
-            writeln!(out, "  total {} -> {}", run.profile.total(), format_teps(teps))
-                .map_err(err)?;
+            writeln!(
+                out,
+                "  total {} -> {}",
+                run.profile.total(),
+                format_teps(teps)
+            )
+            .map_err(err)?;
         }
         Command::Bench {
             scale,
             nodes,
             opt,
             roots,
+            json,
         } => {
+            if let Some(path) = json {
+                let cfg = nbfs_bench::wallclock::SnapshotConfig {
+                    scale,
+                    ..Default::default()
+                };
+                let snap = nbfs_bench::wallclock::run_snapshot(&cfg);
+                nbfs_bench::wallclock::write_snapshot(&path, &snap).map_err(err)?;
+                writeln!(out, "{}", nbfs_bench::wallclock::summary(&snap)).map_err(err)?;
+                writeln!(out, "wrote {}", path.display()).map_err(err)?;
+                return Ok(());
+            }
             let g = GraphBuilder::rmat(scale, 16).seed(1).build();
             let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(scale, 28);
             let scenario = Scenario::new(machine, opt);
@@ -276,8 +306,12 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 opt.label()
             )
             .map_err(err)?;
-            writeln!(out, "harmonic-mean TEPS: {}", format_teps(result.harmonic_teps()))
-                .map_err(err)?;
+            writeln!(
+                out,
+                "harmonic-mean TEPS: {}",
+                format_teps(result.harmonic_teps())
+            )
+            .map_err(err)?;
             writeln!(
                 out,
                 "bottom-up comm share: {:.1}%",
@@ -350,7 +384,10 @@ mod tests {
 
     #[test]
     fn parse_run_flags() {
-        let cmd = parse(&argv("run --scale 14 --nodes 4 --opt share-all --td-alltoallv")).unwrap();
+        let cmd = parse(&argv(
+            "run --scale 14 --nodes 4 --opt share-all --td-alltoallv",
+        ))
+        .unwrap();
         match cmd {
             Command::Run {
                 scale,
@@ -371,7 +408,10 @@ mod tests {
     #[test]
     fn parse_opt_names() {
         assert_eq!(parse_opt("best").unwrap(), OptLevel::Granularity(256));
-        assert_eq!(parse_opt("granularity=512").unwrap(), OptLevel::Granularity(512));
+        assert_eq!(
+            parse_opt("granularity=512").unwrap(),
+            OptLevel::Granularity(512)
+        );
         assert!(parse_opt("nope").is_err());
         assert!(parse_opt("granularity=x").is_err());
     }
@@ -379,7 +419,10 @@ mod tests {
     #[test]
     fn parse_errors() {
         assert!(parse(&[]).is_err());
-        assert!(parse(&argv("generate --scale 12")).is_err(), "--out required");
+        assert!(
+            parse(&argv("generate --scale 12")).is_err(),
+            "--out required"
+        );
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("info")).is_err());
     }
@@ -396,11 +439,48 @@ mod tests {
 
     #[test]
     fn bench_command_end_to_end() {
-        let cmd = parse(&argv("bench --scale 10 --nodes 2 --roots 2 --opt share-all")).unwrap();
+        let cmd = parse(&argv(
+            "bench --scale 10 --nodes 2 --roots 2 --opt share-all",
+        ))
+        .unwrap();
         let mut buf = Vec::new();
         execute(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("harmonic-mean TEPS"), "{text}");
+    }
+
+    #[test]
+    fn bench_json_defaults_to_snapshot_scale() {
+        match parse(&argv("bench --json out.json")).unwrap() {
+            Command::Bench { scale, json, .. } => {
+                assert_eq!(scale, 19, "snapshot default scale");
+                assert_eq!(json, Some(PathBuf::from("out.json")));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("bench --scale 12 --json out.json")).unwrap() {
+            Command::Bench { scale, .. } => assert_eq!(scale, 12),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bench_json_snapshot_end_to_end() {
+        let path = std::env::temp_dir().join("nbfs-cli-bench-snapshot.json");
+        let cmd = parse(&argv(&format!(
+            "bench --scale 11 --json {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("identical results: true"), "{text}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc["scenario"]["scale"], 11);
+        assert!(doc["bottom_up_speedup"].as_f64().unwrap() > 0.0);
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]
@@ -410,7 +490,10 @@ mod tests {
         execute(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("recommended"), "{text}");
-        let bad = Command::Tune { scale: 16, density: 2.0 };
+        let bad = Command::Tune {
+            scale: 16,
+            density: 2.0,
+        };
         assert!(execute(bad, &mut Vec::new()).is_err());
     }
 
@@ -426,11 +509,7 @@ mod tests {
         .unwrap();
         execute(cmd, &mut Vec::new()).unwrap();
         let mut buf = Vec::new();
-        execute(
-            Command::Info { path: path.clone() },
-            &mut buf,
-        )
-        .unwrap();
+        execute(Command::Info { path: path.clone() }, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("num_vertices"), "{text}");
         std::fs::remove_file(path).unwrap();

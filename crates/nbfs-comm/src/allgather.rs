@@ -121,14 +121,39 @@ pub fn allgather_words(
     net: &NetworkModel,
     algo: AllgatherAlgorithm,
 ) -> AllgatherOutcome {
-    assert_eq!(
-        parts.len(),
-        pmap.world_size(),
-        "need one segment per rank"
-    );
+    assert_eq!(parts.len(), pmap.world_size(), "need one segment per rank");
     let words: Vec<u64> = parts.iter().flat_map(|p| p.iter().copied()).collect();
     let cost = allgather_cost(parts, pmap, net, algo);
     AllgatherOutcome { words, cost }
+}
+
+/// In-place variant of [`allgather_words`]: concatenates the segments into
+/// `dst` (which must hold exactly the total word count) and returns only the
+/// cost. The engine calls this every bottom-up level with persistent
+/// buffers — the receiving bitmap's own words — so the staging path does no
+/// per-level allocation.
+pub fn allgather_words_into(
+    dst: &mut [u64],
+    parts: &[&[u64]],
+    pmap: &ProcessMap,
+    net: &NetworkModel,
+    algo: AllgatherAlgorithm,
+) -> CommCost {
+    assert_eq!(parts.len(), pmap.world_size(), "need one segment per rank");
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    assert_eq!(
+        dst.len(),
+        total,
+        "dst must hold exactly the concatenated segments"
+    );
+    let mut at = 0usize;
+    let mut bytes = Vec::with_capacity(parts.len());
+    for p in parts {
+        dst[at..at + p.len()].copy_from_slice(p);
+        at += p.len();
+        bytes.push(p.len() as u64 * 8);
+    }
+    allgather_cost_bytes(&bytes, pmap, net, algo)
 }
 
 /// Cost-only variant of [`allgather_words`].
@@ -471,6 +496,25 @@ mod tests {
     }
 
     #[test]
+    fn in_place_variant_matches_allocating_one() {
+        let (_, pmap, net) = setup(4, 8);
+        let mut parts = equal_parts(32, 7);
+        parts[31].truncate(3); // ragged tail segment
+        let refs: Vec<&[u64]> = parts.iter().map(|p| p.as_slice()).collect();
+        for algo in [
+            AllgatherAlgorithm::Ring,
+            AllgatherAlgorithm::SharedBoth,
+            AllgatherAlgorithm::ParallelSubgroup,
+        ] {
+            let out = allgather_words(&parts, &pmap, &net, algo);
+            let mut dst = vec![u64::MAX; out.words.len()];
+            let cost = allgather_words_into(&mut dst, &refs, &pmap, &net, algo);
+            assert_eq!(dst, out.words, "{algo:?}");
+            assert_eq!(cost.total(), out.cost.total(), "{algo:?}");
+        }
+    }
+
+    #[test]
     fn functional_ring_matches_concatenation() {
         let parts = equal_parts(6, 3);
         let expect: Vec<u64> = parts.iter().flatten().copied().collect();
@@ -495,7 +539,10 @@ mod tests {
         let shared = cost(AllgatherAlgorithm::SharedDest);
         let shared_all = cost(AllgatherAlgorithm::SharedBoth);
         let par = cost(AllgatherAlgorithm::ParallelSubgroup);
-        assert!(shared < leader, "shared dest {shared:?} < leader {leader:?}");
+        assert!(
+            shared < leader,
+            "shared dest {shared:?} < leader {leader:?}"
+        );
         assert!(shared_all < shared, "{shared_all:?} < {shared:?}");
         assert!(par < shared_all, "{par:?} < {shared_all:?}");
         // Overall reduction vs the Original ring: the paper measures 4.07x
@@ -521,7 +568,10 @@ mod tests {
             c.intra(),
             c.inter
         );
-        assert!(c.intra_bcast > c.intra_gather, "broadcast is the heavy step");
+        assert!(
+            c.intra_bcast > c.intra_gather,
+            "broadcast is the heavy step"
+        );
     }
 
     #[test]
@@ -547,8 +597,7 @@ mod tests {
         let (_, pmap, net) = setup(8, 8);
         let parts = equal_parts(64, 64 * 1024);
         let one = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::SharedBoth).total();
-        let par = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::ParallelSubgroup)
-            .total();
+        let par = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::ParallelSubgroup).total();
         let speedup = one / par;
         assert!(
             (1.3..=2.5).contains(&speedup),
@@ -564,7 +613,10 @@ mod tests {
         let k2 = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::ParallelK(2)).total();
         let k4 = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::ParallelK(4)).total();
         let k8 = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::ParallelK(8)).total();
-        assert!(k1 >= k2 && k2 >= k4 && k4 >= k8, "{k1:?} {k2:?} {k4:?} {k8:?}");
+        assert!(
+            k1 >= k2 && k2 >= k4 && k4 >= k8,
+            "{k1:?} {k2:?} {k4:?} {k8:?}"
+        );
     }
 
     #[test]
@@ -604,8 +656,7 @@ mod tests {
         // Thakur & Gropp's rule: fewer rounds win when latency dominates.
         let (_, pmap, net) = setup(8, 8);
         let parts = equal_parts(64, 2); // 16 bytes each
-        let rd = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::RecursiveDoubling)
-            .total();
+        let rd = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::RecursiveDoubling).total();
         let ring = allgather_cost(&parts, &pmap, &net, AllgatherAlgorithm::Ring).total();
         assert!(rd < ring, "rd {rd:?} vs ring {ring:?}");
     }

@@ -91,7 +91,11 @@ pub fn alltoallv<T: Clone>(
         .filter(|&n| shm_copiers[n] > 0)
         .map(|n| {
             let per_copier = shm_bytes[n] / shm_copiers[n] as u64;
-            net.shm_copy_time(2 * per_copier, shm_copiers[n], shm_copiers[n].clamp(1, sockets))
+            net.shm_copy_time(
+                2 * per_copier,
+                shm_copiers[n],
+                shm_copiers[n].clamp(1, sockets),
+            )
         })
         .fold(SimTime::ZERO, SimTime::max);
 
@@ -113,10 +117,7 @@ mod tests {
         } else {
             PlacementPolicy::Interleave
         };
-        (
-            ProcessMap::new(&m, ppn, policy),
-            NetworkModel::new(&m),
-        )
+        (ProcessMap::new(&m, ppn, policy), NetworkModel::new(&m))
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl SharedFrontier {
     pub fn publish_segment(&self, rank: usize, words: &[u64]) {
         let node = rank / self.ppn;
         let (ws, we) = self.partition.word_range(rank);
-        assert_eq!(words.len(), we - ws, "segment length mismatch for rank {rank}");
+        assert_eq!(
+            words.len(),
+            we - ws,
+            "segment length mismatch for rank {rank}"
+        );
         self.regions[node].words.import_words(ws, words);
     }
 

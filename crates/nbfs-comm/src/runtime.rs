@@ -163,7 +163,9 @@ impl RankCtx {
             let got = self.recv(prev, tag.wrapping_add(r as u64));
             have[recv_idx] = Some(got);
         }
-        have.into_iter().map(|c| c.expect("chunk missing")).collect()
+        have.into_iter()
+            .map(|c| c.expect("chunk missing"))
+            .collect()
     }
 }
 
@@ -280,7 +282,11 @@ mod tests {
                     ctx.broadcast_bytes(payload, root, 33)
                 });
                 for (rank, got) in out.iter().enumerate() {
-                    assert_eq!(got, &vec![0xAB, root as u8], "world {world} root {root} rank {rank}");
+                    assert_eq!(
+                        got,
+                        &vec![0xAB, root as u8],
+                        "world {world} root {root} rank {rank}"
+                    );
                 }
             }
         }

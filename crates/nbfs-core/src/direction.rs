@@ -122,9 +122,18 @@ mod tests {
             Direction::TopDown
         );
         // Degenerate 0/0 case must also stay top-down.
-        assert_eq!(td.choose(Direction::TopDown, 0, 0, 1, 2), Direction::TopDown);
+        assert_eq!(
+            td.choose(Direction::TopDown, 0, 0, 1, 2),
+            Direction::TopDown
+        );
         let bu = SwitchPolicy::always_bottom_up();
-        assert_eq!(bu.choose(Direction::TopDown, 1, u64::MAX, 1, 2), Direction::BottomUp);
-        assert_eq!(bu.choose(Direction::BottomUp, 0, 0, 0, 2), Direction::BottomUp);
+        assert_eq!(
+            bu.choose(Direction::TopDown, 1, u64::MAX, 1, 2),
+            Direction::BottomUp
+        );
+        assert_eq!(
+            bu.choose(Direction::BottomUp, 0, 0, 0, 2),
+            Direction::BottomUp
+        );
     }
 }

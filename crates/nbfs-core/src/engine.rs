@@ -13,16 +13,18 @@
 //! results — parents, bitmaps, simulated times — are bit-reproducible and
 //! independent of the worker-thread count.
 
+use std::time::Instant;
+
 use rayon::prelude::*;
 
-use nbfs_comm::allgather::{allgather_cost_bytes, allgather_words, allgatherv_items};
+use nbfs_comm::allgather::{allgather_cost_bytes, allgather_words_into, allgatherv_items};
 use nbfs_comm::collectives::allreduce_sum;
 use nbfs_graph::partition::LocalGraph;
 use nbfs_graph::{Csr, PartitionedGraph, NO_PARENT};
 use nbfs_simnet::compute::{ModelParams, ProbeClass};
 use nbfs_simnet::{ComputeContext, ComputeEvents, NetworkModel, Residence};
 use nbfs_topology::{MachineConfig, MemoryProfile, PlacementPolicy, ProcessMap};
-use nbfs_util::{Bitmap, SimTime, SummaryBitmap};
+use nbfs_util::{Bitmap, SimTime, SummaryBitmap, WORD_BITS};
 
 use crate::direction::{Direction, SwitchPolicy};
 use crate::opt::OptLevel;
@@ -158,6 +160,16 @@ impl Scenario {
 struct RankState {
     /// Parent of each owned vertex (global ids; `NO_PARENT` = unvisited).
     parent: Vec<u32>,
+    /// Visited flags over owned vertices (bit set ⇔ parent assigned),
+    /// maintained incrementally so the bottom-up kernel can skip fully
+    /// explored 64-vertex blocks with one word load.
+    visited: Bitmap,
+    /// Owned vertices with at least one edge. A degree-0 vertex can never
+    /// be adopted bottom-up, so the word-level kernel scans
+    /// `!visited & has_edges` and skips isolated vertices forever — R-MAT
+    /// graphs leave a large fraction of ids isolated, and rescanning them
+    /// every level is where the per-bit kernel spends most of its time.
+    has_edges: Bitmap,
     /// Owned slice of the next-frontier bitmap (word-aligned segment).
     out_words: Vec<u64>,
     /// Owned vertices discovered in the latest level (global ids,
@@ -167,6 +179,38 @@ struct RankState {
     unexplored_degree: u64,
 }
 
+/// Which bottom-up kernel implementation the engine runs.
+///
+/// Both produce bit-identical trees, frontiers, counters and therefore
+/// simulated times; they differ only in host wall-clock speed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BottomUpKernel {
+    /// The original per-bit serial scan over `parent[]`. Kept as the
+    /// differential-test oracle and the benchmark snapshot's baseline.
+    Reference,
+    /// Word-level unvisited scan with probe-word caching and deterministic
+    /// chunked parallelism within each rank.
+    #[default]
+    WordLevel,
+}
+
+/// Host wall-clock timing of the real kernels, separate from simulated
+/// time. Nondeterministic by nature, so it is returned alongside — never
+/// inside — [`BfsRun`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WallClock {
+    /// Seconds spent in bottom-up kernel dispatch across all levels.
+    pub bottom_up_secs: f64,
+    /// Seconds spent in top-down kernel dispatch across all levels.
+    pub top_down_secs: f64,
+    /// Whole-run seconds (kernels, simulated collectives, bookkeeping).
+    pub total_secs: f64,
+    /// Bottom-up levels executed.
+    pub bottom_up_levels: u32,
+    /// Real adjacency entries examined by the bottom-up kernels.
+    pub bottom_up_edges: u64,
+}
+
 /// Per-destination buckets of `(vertex, parent)` records for a scatter.
 type SendBuckets = Vec<Vec<(u32, u32)>>;
 
@@ -174,6 +218,115 @@ type SendBuckets = Vec<Vec<(u32, u32)>>;
 struct KernelOut {
     events: ComputeEvents,
     discovered: u64,
+}
+
+/// Words per intra-rank bottom-up chunk (4096 vertices). Boundaries are a
+/// pure function of the partition, so the chunk decomposition — and with it
+/// every merged result — is independent of the rayon worker count.
+const BU_CHUNK_WORDS: usize = 64;
+
+/// Read-only inputs shared by every chunk of one bottom-up scan.
+#[derive(Clone, Copy)]
+struct BuScanInputs<'a> {
+    lg: &'a LocalGraph,
+    visited: &'a Bitmap,
+    candidates: &'a Bitmap,
+    in_queue: &'a Bitmap,
+    summary: &'a SummaryBitmap,
+}
+
+/// Per-chunk output of the word-level bottom-up scan, merged in chunk order.
+/// The chunk's newly discovered vertices are not listed here: they are
+/// exactly the set bits of the chunk's `out` words, so the caller rebuilds
+/// the frontier queue from those (ascending — the reference push order)
+/// instead of growing a `Vec` inside the hot loop.
+#[derive(Clone, Copy, Default)]
+struct BuChunkOut {
+    discovered: u64,
+    degree_found: u64,
+    summary_probes: u64,
+    inqueue_probes: u64,
+    edge_bytes: u64,
+    write_bytes: u64,
+    cpu_ops: u64,
+}
+
+/// Scans one word-aligned chunk of a rank's vertex range bottom-up.
+///
+/// `base` is the chunk's first local vertex id; `parent` and `out` are the
+/// chunk's slices of the rank's parent array and out-queue words. The scan
+/// walks words of `!visited & candidates` — one load skips 64 vertices that
+/// are explored or isolated (degree-0 vertices can never be adopted bottom
+/// up, so masking them out is invisible to every counter: they contribute
+/// no edges, probes or writes, and the 2-op visited check is charged for
+/// the whole chunk regardless). Summary and `in_queue` probes go through
+/// word caches. Counters reproduce the per-bit reference kernel exactly:
+/// every examined neighbour pays its probe whether or not the probe word
+/// was cached, with the per-edge tallies hoisted out of the loop (the
+/// examined-prefix length is known once the scan of a vertex ends).
+fn bu_scan_chunk(
+    inp: &BuScanInputs<'_>,
+    base: usize,
+    parent: &mut [u32],
+    out: &mut [u64],
+) -> BuChunkOut {
+    let BuScanInputs {
+        lg,
+        visited,
+        candidates,
+        in_queue,
+        summary,
+    } = *inp;
+    let first = lg.first_vertex();
+    let mut o = BuChunkOut {
+        cpu_ops: 2 * parent.len() as u64,
+        ..BuChunkOut::default()
+    };
+    // Direct word loads beat the branchy cached probes here: neighbour ids
+    // jump words almost every probe, so the "same word as last time?" test
+    // is a steady branch misprediction, while an unconditional load from
+    // the summary (1 KB at reference granularity) and `in_queue` (L2-sized)
+    // words is served from cache. Probe *counts* are identical either way.
+    let sum_words = summary.as_bitmap().words();
+    let sum_shift = summary.granularity_shift();
+    let iq_words = in_queue.words();
+    let word_base = base / WORD_BITS;
+    let vis_words = &visited.words()[word_base..word_base + out.len()];
+    let cand_words = &candidates.words()[word_base..word_base + out.len()];
+    for (wo, ((out_word, &vis), &cand)) in out.iter_mut().zip(vis_words).zip(cand_words).enumerate()
+    {
+        let wi = word_base + wo;
+        // `candidates` padding bits are zero, so no tail mask is needed.
+        let mut pending = !vis & cand;
+        while pending != 0 {
+            let bit = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            let local = wi * WORD_BITS + bit;
+            let v = first + local;
+            let neigh = lg.neighbours_global(v);
+            let mut examined = neigh.len() as u64;
+            for (i, &u) in neigh.iter().enumerate() {
+                let g = u as usize >> sum_shift;
+                if (sum_words[g >> 6] >> (g & 63)) & 1 == 0 {
+                    continue; // the summary's fast path: provably not in frontier
+                }
+                o.inqueue_probes += 1;
+                if (iq_words[u as usize >> 6] >> (u as usize & 63)) & 1 == 1 {
+                    parent[local - base] = u;
+                    *out_word |= 1u64 << bit;
+                    o.write_bytes += 12;
+                    o.discovered += 1;
+                    o.degree_found += neigh.len() as u64;
+                    examined = i as u64 + 1;
+                    break;
+                }
+            }
+            o.edge_bytes += 4 * examined;
+            o.summary_probes += examined;
+            o.cpu_ops += 4 * examined;
+        }
+    }
+    o
 }
 
 /// Result of one distributed BFS.
@@ -195,6 +348,7 @@ pub struct DistributedBfs<'g> {
     pmap: ProcessMap,
     net: NetworkModel,
     profiles: MemoryProfile,
+    bu_kernel: BottomUpKernel,
 }
 
 impl<'g> DistributedBfs<'g> {
@@ -212,7 +366,15 @@ impl<'g> DistributedBfs<'g> {
             pmap,
             net,
             profiles,
+            bu_kernel: BottomUpKernel::default(),
         }
+    }
+
+    /// Selects the bottom-up kernel implementation (results are identical
+    /// either way; only wall-clock speed differs).
+    pub fn with_bottom_up_kernel(mut self, kernel: BottomUpKernel) -> Self {
+        self.bu_kernel = kernel;
+        self
     }
 
     /// The graph being searched.
@@ -226,11 +388,8 @@ impl<'g> DistributedBfs<'g> {
     }
 
     fn compute_context(&self) -> ComputeContext {
-        let mut ctx = ComputeContext::new(
-            self.pmap.threads_per_rank(),
-            self.profiles,
-            self.pmap.ppn(),
-        );
+        let mut ctx =
+            ComputeContext::new(self.pmap.threads_per_rank(), self.profiles, self.pmap.ppn());
         ctx.params = self.scenario.params;
         ctx
     }
@@ -250,6 +409,13 @@ impl<'g> DistributedBfs<'g> {
 
     /// Runs a BFS from `root`, producing the tree and the profile.
     pub fn run(&self, root: usize) -> BfsRun {
+        self.run_timed(root).0
+    }
+
+    /// Like [`Self::run`], also reporting host wall-clock kernel timings.
+    pub fn run_timed(&self, root: usize) -> (BfsRun, WallClock) {
+        let run_start = Instant::now();
+        let mut wall = WallClock::default();
         let n = self.parts.num_vertices();
         assert!(root < n, "root {root} out of range");
         let np = self.pmap.world_size();
@@ -261,28 +427,36 @@ impl<'g> DistributedBfs<'g> {
             .map(|r| {
                 let lg = self.parts.local(r);
                 let (ws, we) = partition.word_range(r);
+                let mut has_edges = Bitmap::new(lg.num_local_vertices());
+                for v in lg.vertex_range() {
+                    if lg.degree_global(v) > 0 {
+                        has_edges.set(v - lg.first_vertex());
+                    }
+                }
                 RankState {
                     parent: vec![NO_PARENT; lg.num_local_vertices()],
+                    visited: Bitmap::new(lg.num_local_vertices()),
+                    has_edges,
                     out_words: vec![0u64; we - ws],
                     frontier: Vec::new(),
-                    unexplored_degree: lg
-                        .vertex_range()
-                        .map(|v| lg.degree_global(v) as u64)
-                        .sum(),
+                    unexplored_degree: lg.vertex_range().map(|v| lg.degree_global(v) as u64).sum(),
                 }
             })
             .collect();
         let mut in_queue = Bitmap::new(n);
         let mut summary = SummaryBitmap::new(n, granularity);
+        // Persistent staging for the dense top-down exchange, so no level
+        // allocates a full-length bitmap.
+        let mut td_scratch = Bitmap::new(n);
 
         // Root installation.
         {
             let owner = partition.owner(root);
             let local = partition.to_local(root);
             states[owner].parent[local] = root as u32;
+            states[owner].visited.set(local);
             states[owner].frontier.push(root as u32);
-            states[owner].unexplored_degree -=
-                self.parts.local(owner).degree_global(root) as u64;
+            states[owner].unexplored_degree -= self.parts.local(owner).degree_global(root) as u64;
         }
 
         let mut profile = RunProfile::default();
@@ -343,11 +517,18 @@ impl<'g> DistributedBfs<'g> {
                     }
 
                     // The two allgathers of Fig. 1: in_queue, then summary.
+                    // Segments are installed straight into the persistent
+                    // in_queue words — no per-level staging vectors.
                     let algo = self.scenario.opt.allgather_algorithm();
-                    let parts_vec: Vec<Vec<u64>> =
-                        states.iter().map(|s| s.out_words.clone()).collect();
-                    let outcome = allgather_words(&parts_vec, &self.pmap, &self.net, algo);
-                    in_queue.copy_words_from(0, &outcome.words);
+                    let parts_ref: Vec<&[u64]> =
+                        states.iter().map(|s| s.out_words.as_slice()).collect();
+                    let words_cost = allgather_words_into(
+                        in_queue.words_mut(),
+                        &parts_ref,
+                        &self.pmap,
+                        &self.net,
+                        algo,
+                    );
                     in_queue.repair_padding();
                     summary.rebuild_from(&in_queue);
                     let summary_bytes: Vec<u64> = {
@@ -360,7 +541,7 @@ impl<'g> DistributedBfs<'g> {
                     };
                     let summary_cost =
                         allgather_cost_bytes(&summary_bytes, &self.pmap, &self.net, algo);
-                    let comm = outcome.cost + summary_cost;
+                    let comm = words_cost + summary_cost;
                     profile.bu_comm_detail += comm;
                     profile.bu_comm_phases += 1;
                     level_comm += comm.total();
@@ -369,13 +550,34 @@ impl<'g> DistributedBfs<'g> {
                     // --- bottom-up kernel --------------------------------
                     let in_queue_ref = &in_queue;
                     let summary_ref = &summary;
+                    let t0 = Instant::now();
                     let outs: Vec<KernelOut> = states
                         .par_iter_mut()
                         .enumerate()
-                        .map(|(r, st)| {
-                            self.bottom_up_kernel(self.parts.local(r), st, in_queue_ref, summary_ref)
+                        .map(|(r, st)| match self.bu_kernel {
+                            BottomUpKernel::WordLevel => self.bottom_up_kernel(
+                                self.parts.local(r),
+                                st,
+                                in_queue_ref,
+                                summary_ref,
+                            ),
+                            BottomUpKernel::Reference => self.bottom_up_kernel_reference(
+                                self.parts.local(r),
+                                st,
+                                in_queue_ref,
+                                summary_ref,
+                            ),
                         })
                         .collect();
+                    wall.bottom_up_secs += t0.elapsed().as_secs_f64();
+                    wall.bottom_up_levels += 1;
+                    wall.bottom_up_edges +=
+                        outs.iter().map(|o| o.events.edge_bytes / 4).sum::<u64>();
+                    // Fold the level's discoveries into the visited bits the
+                    // next bottom-up scan will skip.
+                    for st in states.iter_mut() {
+                        st.visited.or_words_from(0, &st.out_words);
+                    }
                     let (mean, stall) = self.phase_times(&outs);
                     profile.bu_comp += mean;
                     level_comp = mean;
@@ -391,8 +593,10 @@ impl<'g> DistributedBfs<'g> {
                     }
 
                     if self.scenario.td_strategy == TdStrategy::Alltoallv {
+                        let t0 = Instant::now();
                         let (comm, comp, stall, discovered) =
                             self.top_down_alltoallv_level(&mut states, &partition);
+                        wall.top_down_secs += t0.elapsed().as_secs_f64();
                         profile.td_comm += comm + control;
                         profile.td_comp += comp;
                         level_comm += comm;
@@ -419,8 +623,7 @@ impl<'g> DistributedBfs<'g> {
                     // list would be larger than the bitmap — the dense/
                     // sparse frontier-representation switch of [9].
                     let algo = self.scenario.opt.allgather_algorithm();
-                    let list_bytes: usize =
-                        states.iter().map(|s| s.frontier.len() * 4).sum();
+                    let list_bytes: usize = states.iter().map(|s| s.frontier.len() * 4).sum();
                     let bitmap_bytes = n.div_ceil(8);
                     let full_frontier: Vec<u32>;
                     let exchange_cost;
@@ -435,20 +638,23 @@ impl<'g> DistributedBfs<'g> {
                                 st.out_words[local_bit / 64] |= 1u64 << (local_bit % 64);
                             }
                         });
-                        let parts_vec: Vec<Vec<u64>> =
-                            states.iter().map(|s| s.out_words.clone()).collect();
-                        let outcome = allgather_words(&parts_vec, &self.pmap, &self.net, algo);
-                        let mut bm = Bitmap::new(n);
-                        bm.copy_words_from(0, &outcome.words);
-                        bm.repair_padding();
-                        full_frontier = bm.iter_ones().map(|v| v as u32).collect();
-                        exchange_cost = outcome.cost.total();
+                        let parts_ref: Vec<&[u64]> =
+                            states.iter().map(|s| s.out_words.as_slice()).collect();
+                        let cost = allgather_words_into(
+                            td_scratch.words_mut(),
+                            &parts_ref,
+                            &self.pmap,
+                            &self.net,
+                            algo,
+                        );
+                        td_scratch.repair_padding();
+                        full_frontier = td_scratch.iter_ones().map(|v| v as u32).collect();
+                        exchange_cost = cost.total();
                         profile.switch += self.conversion_time(&partition);
                     } else {
                         let lists: Vec<Vec<u32>> =
                             states.iter().map(|s| s.frontier.clone()).collect();
-                        let gathered =
-                            allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
+                        let gathered = allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
                         full_frontier = gathered.items;
                         exchange_cost = gathered.cost.total();
                     }
@@ -457,13 +663,13 @@ impl<'g> DistributedBfs<'g> {
 
                     // --- top-down kernel over the transposed index -------
                     let frontier_ref = &full_frontier;
+                    let t0 = Instant::now();
                     let outs: Vec<KernelOut> = states
                         .par_iter_mut()
                         .enumerate()
-                        .map(|(r, st)| {
-                            self.top_down_kernel(self.parts.local(r), st, frontier_ref)
-                        })
+                        .map(|(r, st)| self.top_down_kernel(self.parts.local(r), st, frontier_ref))
                         .collect();
+                    wall.top_down_secs += t0.elapsed().as_secs_f64();
                     let (mean, stall) = self.phase_times(&outs);
                     profile.td_comp += mean;
                     level_comp += mean;
@@ -493,11 +699,15 @@ impl<'g> DistributedBfs<'g> {
         }
         parent.truncate(n);
         let visited = parent.iter().filter(|&&p| p != NO_PARENT).count();
-        BfsRun {
-            parent,
-            profile,
-            visited,
-        }
+        wall.total_secs = run_start.elapsed().as_secs_f64();
+        (
+            BfsRun {
+                parent,
+                profile,
+                visited,
+            },
+            wall,
+        )
     }
 
     /// Cost of one queue<->bitmap conversion sweep: each rank streams its
@@ -515,7 +725,114 @@ impl<'g> DistributedBfs<'g> {
     /// The bottom-up level kernel for one rank: scan owned unvisited
     /// vertices, probe the summary then `in_queue` per neighbour, adopt the
     /// first frontier neighbour as parent.
+    ///
+    /// Word-level implementation: the vertex scan walks the zero words of
+    /// the rank's `visited` bitmap (one load skips 64 explored vertices),
+    /// the summary and `in_queue` probes go through word caches (sorted
+    /// adjacency lists make consecutive neighbours hit the same word), and
+    /// the rank's vertex range is split into fixed word-aligned chunks that
+    /// run on the rayon pool. Chunk boundaries depend only on the partition
+    /// — never the worker count — and the per-chunk outputs are merged in
+    /// chunk order, so parents, frontiers and every [`ComputeEvents`]
+    /// counter are bit-identical to [`Self::bottom_up_kernel_reference`].
     fn bottom_up_kernel(
+        &self,
+        lg: &LocalGraph,
+        st: &mut RankState,
+        in_queue: &Bitmap,
+        summary: &SummaryBitmap,
+    ) -> KernelOut {
+        let RankState {
+            parent,
+            visited,
+            has_edges,
+            out_words,
+            frontier,
+            unexplored_degree,
+        } = st;
+        out_words.fill(0);
+        frontier.clear();
+        let nlv = lg.num_local_vertices();
+
+        let chunk_bits = BU_CHUNK_WORDS * WORD_BITS;
+        let inputs = BuScanInputs {
+            lg,
+            visited,
+            candidates: has_edges,
+            in_queue,
+            summary,
+        };
+        let tasks: Vec<(usize, &mut [u32], &mut [u64])> = parent
+            .chunks_mut(chunk_bits)
+            .zip(out_words.chunks_mut(BU_CHUNK_WORDS))
+            .enumerate()
+            .map(|(ci, (p, o))| (ci, p, o))
+            .collect();
+        let chunk_outs: Vec<BuChunkOut> = tasks
+            .into_par_iter()
+            .map(|(ci, parent_chunk, out_chunk)| {
+                bu_scan_chunk(&inputs, ci * chunk_bits, parent_chunk, out_chunk)
+            })
+            .collect();
+
+        // Order-preserving merge: chunk order is vertex order, u64 counter
+        // sums are exact regardless of grouping.
+        let mut summary_probes = 0u64;
+        let mut inqueue_probes = 0u64;
+        let mut edge_bytes = 0u64;
+        let mut write_bytes = 0u64;
+        let mut cpu_ops = 0u64;
+        let mut discovered = 0u64;
+        let mut degree_found = 0u64;
+        for c in &chunk_outs {
+            summary_probes += c.summary_probes;
+            inqueue_probes += c.inqueue_probes;
+            edge_bytes += c.edge_bytes;
+            write_bytes += c.write_bytes;
+            cpu_ops += c.cpu_ops;
+            discovered += c.discovered;
+            degree_found += c.degree_found;
+        }
+        *unexplored_degree -= degree_found;
+
+        // The frontier queue is the set bits of `out_words` in ascending
+        // order — exactly the order the per-bit reference pushes them.
+        let first = lg.first_vertex();
+        frontier.reserve(discovered as usize);
+        for (wo, &word) in out_words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                frontier.push((first + wo * WORD_BITS + bit) as u32);
+            }
+        }
+
+        let events = ComputeEvents {
+            vertex_scan_bytes: nlv as u64 * 4,
+            edge_bytes,
+            write_bytes,
+            cpu_ops,
+            probes: vec![
+                ProbeClass {
+                    count: summary_probes,
+                    working_set: summary.size_bytes(),
+                    residence: self.scenario.summary_residence(),
+                },
+                ProbeClass {
+                    count: inqueue_probes,
+                    working_set: in_queue.size_bytes(),
+                    residence: self.scenario.in_queue_residence(),
+                },
+            ],
+        };
+        KernelOut { events, discovered }
+    }
+
+    /// The original per-bit serial bottom-up kernel, kept verbatim as the
+    /// oracle for the word-level rewrite (differential tests) and as the
+    /// wall-clock baseline of the benchmark snapshot.
+    fn bottom_up_kernel_reference(
         &self,
         lg: &LocalGraph,
         st: &mut RankState,
@@ -626,8 +943,7 @@ impl<'g> DistributedBfs<'g> {
                 )
             })
             .collect();
-        let (scatter_outs, sends): (Vec<KernelOut>, Vec<SendBuckets>) =
-            results.into_iter().unzip();
+        let (scatter_outs, sends): (Vec<KernelOut>, Vec<SendBuckets>) = results.into_iter().unzip();
         let (mean_scatter, stall_scatter) = self.phase_times(&scatter_outs);
 
         // --- exchange ------------------------------------------------------
@@ -653,6 +969,7 @@ impl<'g> DistributedBfs<'g> {
                     cpu_ops += 3;
                     if st.parent[local] == NO_PARENT {
                         st.parent[local] = u;
+                        st.visited.set(local);
                         st.frontier.push(v);
                         write_bytes += 12;
                         discovered += 1;
@@ -718,6 +1035,7 @@ impl<'g> DistributedBfs<'g> {
                 let local = v as usize - first;
                 if st.parent[local] == NO_PARENT {
                     st.parent[local] = u;
+                    st.visited.set(local);
                     st.frontier.push(v);
                     write_bytes += 12;
                     discovered += 1;
@@ -761,8 +1079,8 @@ mod tests {
         for opt in OptLevel::LADDER {
             let scenario = Scenario::new(small_machine(), opt);
             let run = DistributedBfs::new(&g, &scenario).run(5);
-            let visited = validate_bfs_tree(&g, 5, &run.parent)
-                .unwrap_or_else(|e| panic!("{opt:?}: {e}"));
+            let visited =
+                validate_bfs_tree(&g, 5, &run.parent).unwrap_or_else(|e| panic!("{opt:?}: {e}"));
             assert_eq!(visited, run.visited, "{opt:?}");
             assert_eq!(visited, g.component_of(5).len(), "{opt:?}");
             assert!(run.profile.total() > SimTime::ZERO, "{opt:?}");
@@ -874,8 +1192,7 @@ mod tests {
     fn alltoallv_strategy_produces_the_same_visited_set() {
         let g = GraphBuilder::rmat(11, 8).seed(13).build();
         let machine = MachineConfig::small_test_cluster(2, 4);
-        let a = DistributedBfs::new(&g, &Scenario::new(machine.clone(), OptLevel::ShareAll))
-            .run(5);
+        let a = DistributedBfs::new(&g, &Scenario::new(machine.clone(), OptLevel::ShareAll)).run(5);
         let b = DistributedBfs::new(
             &g,
             &Scenario::new(machine, OptLevel::ShareAll).with_td_strategy(TdStrategy::Alltoallv),
@@ -893,11 +1210,9 @@ mod tests {
         // the replicated sparse exchange once the frontier has real volume.
         let g = GraphBuilder::rmat(14, 16).seed(9).build();
         let machine = presets::xeon_x7550_cluster(4).scaled_to_graph(14, 28);
-        let root = (0..g.num_vertices())
-            .max_by_key(|&v| g.degree(v))
-            .unwrap();
-        let sparse = DistributedBfs::new(&g, &Scenario::new(machine.clone(), OptLevel::ShareAll))
-            .run(root);
+        let root = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
+        let sparse =
+            DistributedBfs::new(&g, &Scenario::new(machine.clone(), OptLevel::ShareAll)).run(root);
         let scatter = DistributedBfs::new(
             &g,
             &Scenario::new(machine, OptLevel::ShareAll).with_td_strategy(TdStrategy::Alltoallv),
@@ -930,8 +1245,8 @@ mod tests {
             ("noflag1", 1, PlacementPolicy::Noflag),
             ("noflag8", 8, PlacementPolicy::Noflag),
         ] {
-            let scenario = Scenario::new(machine.clone(), OptLevel::OriginalPpn8)
-                .with_placement(ppn, policy);
+            let scenario =
+                Scenario::new(machine.clone(), OptLevel::OriginalPpn8).with_placement(ppn, policy);
             let run = DistributedBfs::new(&g, &scenario).run(root);
             totals.insert(label, run.profile.total());
         }

@@ -211,8 +211,7 @@ impl<'g> TwoDimBfs<'g> {
             }
 
             // --- expand: column allgather of frontier pieces ------------
-            let piece_bytes: Vec<u64> =
-                ranks.iter().map(|r| r.frontier.len() as u64 * 4).collect();
+            let piece_bytes: Vec<u64> = ranks.iter().map(|r| r.frontier.len() as u64 * 4).collect();
             profile.td_comm += self.expand_cost(&piece_bytes);
             // Functional result: the union of a column's pieces, sorted.
             let col_frontiers: Vec<Vec<u32>> = (0..self.cols)
@@ -269,9 +268,9 @@ impl<'g> TwoDimBfs<'g> {
 
             // --- fold: intra-row scatter (intra-node with this mapping) --
             debug_assert!(sends.iter().enumerate().all(|(src, row)| {
-                row.iter().enumerate().all(|(dst, msgs)| {
-                    msgs.is_empty() || self.pmap.same_node(src, dst)
-                })
+                row.iter()
+                    .enumerate()
+                    .all(|(dst, msgs)| msgs.is_empty() || self.pmap.same_node(src, dst))
             }));
             let exchange = alltoallv(&sends, 8, &self.pmap, &self.net);
             profile.td_comm += exchange.cost.total();
@@ -319,8 +318,8 @@ impl<'g> TwoDimBfs<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{DistributedBfs, TdStrategy};
     use crate::direction::SwitchPolicy;
+    use crate::engine::{DistributedBfs, TdStrategy};
     use crate::opt::OptLevel;
     use crate::seq;
     use nbfs_graph::validate::validate_bfs_tree;
@@ -382,8 +381,8 @@ mod tests {
         let machine = presets::xeon_x7550_cluster(4).scaled_to_graph(13, 28);
         let root = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
 
-        let two_d = TwoDimBfs::new(&g, &Scenario::new(machine.clone(), OptLevel::ShareAll))
-            .run(root);
+        let two_d =
+            TwoDimBfs::new(&g, &Scenario::new(machine.clone(), OptLevel::ShareAll)).run(root);
 
         let one_d = DistributedBfs::new(
             &g,

@@ -29,8 +29,8 @@ use nbfs_simnet::NetworkModel;
 use nbfs_topology::{MachineConfig, ProcessMap};
 use nbfs_util::SimTime;
 
-use crate::engine::{DistributedBfs, Scenario};
 use crate::direction::Direction;
+use crate::engine::{DistributedBfs, Scenario};
 
 /// Per-level communication costs under both partitionings.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -136,7 +136,11 @@ impl TwoDimComparison {
                 let fold_bytes_per_rank =
                     discovered.saturating_mul(8).min(bitmap_bytes) / np as u64;
                 let fold = net
-                    .shm_copy_time(2 * fold_bytes_per_rank, cols, cols.min(machine.sockets_per_node))
+                    .shm_copy_time(
+                        2 * fold_bytes_per_rank,
+                        cols,
+                        cols.min(machine.sockets_per_node),
+                    )
                     .max(SimTime::ZERO);
                 LevelComparison {
                     discovered,

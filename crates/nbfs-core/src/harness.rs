@@ -147,8 +147,7 @@ impl<'g> Graph500Harness<'g> {
                 )
             })
             .collect();
-        let (per_root, profiles): (Vec<RootResult>, Vec<RunProfile>) =
-            results.into_iter().unzip();
+        let (per_root, profiles): (Vec<RootResult>, Vec<RunProfile>) = results.into_iter().unzip();
 
         // Profiles are averaged in root order for determinism.
         let mut mean_profile = RunProfile::default();

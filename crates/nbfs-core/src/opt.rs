@@ -155,7 +155,10 @@ mod tests {
             OptLevel::ShareInQueue.summary_residence(),
             Residence::SocketPrivate
         );
-        assert_eq!(OptLevel::ShareAll.summary_residence(), Residence::NodeShared);
+        assert_eq!(
+            OptLevel::ShareAll.summary_residence(),
+            Residence::NodeShared
+        );
     }
 
     #[test]

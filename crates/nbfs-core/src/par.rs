@@ -27,6 +27,11 @@ use crate::seq::{LevelTrace, SeqBfs};
 /// Chunk of vertices processed per work-stealing task.
 const CHUNK: usize = 1024;
 
+/// Words of the visited bitmap per bottom-up task (4096 vertices) — the
+/// same fixed, thread-count-independent chunking as the distributed
+/// engine's kernel.
+const BU_TASK_WORDS: usize = 64;
+
 /// Runs the hybrid BFS from `root` using the current rayon thread pool.
 pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
     let n = graph.num_vertices();
@@ -35,8 +40,12 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
     parent[root].store(root as u32, Ordering::Relaxed);
 
     let mut frontier: Vec<u32> = vec![root as u32];
-    let mut in_queue = AtomicBitmap::new(n);
+    let in_queue = AtomicBitmap::new(n);
     in_queue.set(root);
+    // Visited words let bottom-up workers skip 64 explored vertices with a
+    // single load; updated only between levels, so scans see a stable view.
+    let visited = AtomicBitmap::new(n);
+    visited.set(root);
 
     let total_degree: u64 = (0..n).map(|v| graph.degree(v) as u64).sum();
     let mut m_u = total_degree - graph.degree(root) as u64;
@@ -87,25 +96,47 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
                     .collect()
             }
             Direction::BottomUp => {
-                // Workers scan disjoint unvisited ranges; each vertex is
-                // touched by exactly one worker, so a plain store suffices.
+                // Workers scan disjoint word-aligned unvisited ranges; each
+                // vertex is touched by exactly one worker, so a plain store
+                // suffices. The scan walks zero words of `visited` and
+                // serves in_queue probes from a cached word — consecutive
+                // sorted neighbours rarely leave it.
                 let in_q = &in_queue;
-                (0..n)
+                let vis = &visited;
+                let num_words = vis.word_len();
+                let num_tasks = num_words.div_ceil(BU_TASK_WORDS);
+                (0..num_tasks)
                     .into_par_iter()
-                    .chunks(CHUNK)
-                    .flat_map_iter(|chunk| {
+                    .flat_map_iter(|task| {
+                        let w_start = task * BU_TASK_WORDS;
+                        let w_end = ((task + 1) * BU_TASK_WORDS).min(num_words);
                         let mut local = Vec::new();
                         let mut local_edges = 0u64;
-                        for v in chunk {
-                            if parent[v].load(Ordering::Relaxed) != NO_PARENT {
-                                continue;
-                            }
-                            for &u in graph.neighbours(v) {
-                                local_edges += 1;
-                                if in_q.get(u as usize) {
-                                    parent[v].store(u, Ordering::Relaxed);
-                                    local.push(v as u32);
-                                    break;
+                        let mut cached_wi = usize::MAX;
+                        let mut cached_word = 0u64;
+                        let tail = n % 64;
+                        for wi in w_start..w_end {
+                            let mask = if tail != 0 && wi + 1 == num_words {
+                                (1u64 << tail) - 1
+                            } else {
+                                u64::MAX
+                            };
+                            let mut pending = !vis.load_word(wi) & mask;
+                            while pending != 0 {
+                                let v = wi * 64 + pending.trailing_zeros() as usize;
+                                pending &= pending - 1;
+                                for &u in graph.neighbours(v) {
+                                    local_edges += 1;
+                                    let uw = u as usize / 64;
+                                    if uw != cached_wi {
+                                        cached_wi = uw;
+                                        cached_word = in_q.load_word(uw);
+                                    }
+                                    if (cached_word >> (u as usize % 64)) & 1 == 1 {
+                                        parent[v].store(u, Ordering::Relaxed);
+                                        local.push(v as u32);
+                                        break;
+                                    }
                                 }
                             }
                         }
@@ -120,12 +151,13 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
             .par_iter()
             .map(|&v| graph.degree(v as usize) as u64)
             .sum::<u64>();
-        // Rebuild the frontier bitmap for the next level.
-        let fresh = AtomicBitmap::new(n);
+        // Rebuild the frontier bitmap in place and fold the level's
+        // discoveries into the visited words.
+        in_queue.clear_all();
         next.par_iter().for_each(|&v| {
-            fresh.set(v as usize);
+            in_queue.set(v as usize);
+            visited.set(v as usize);
         });
-        in_queue = fresh;
         levels.push(LevelTrace {
             direction,
             discovered: next.len() as u64,
@@ -203,7 +235,10 @@ mod tests {
     fn pure_policies_work_in_parallel_too() {
         let g = graph();
         let root = 3;
-        for policy in [SwitchPolicy::always_top_down(), SwitchPolicy::always_bottom_up()] {
+        for policy in [
+            SwitchPolicy::always_top_down(),
+            SwitchPolicy::always_bottom_up(),
+        ] {
             let run = bfs_hybrid_parallel(&g, root, policy);
             let visited = validate_bfs_tree(&g, root, &run.parent)
                 .unwrap_or_else(|e| panic!("{policy:?}: {e}"));

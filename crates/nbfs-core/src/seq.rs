@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use nbfs_graph::{Csr, NO_PARENT};
-use nbfs_util::Bitmap;
+use nbfs_util::{Bitmap, CachedWordProbe, WORD_BITS};
 
 use crate::direction::{Direction, SwitchPolicy};
 
@@ -77,53 +77,64 @@ pub fn bfs_top_down(graph: &Csr, root: usize) -> SeqBfs {
 }
 
 /// Pure bottom-up BFS: every level scans all unvisited vertices.
-#[allow(clippy::needless_range_loop)] // the vertex id is the datum, not just an index
+///
+/// The scan is word-level: a `visited` bitmap mirrors the parent array, so
+/// 64 explored vertices are skipped with one load, and `in_queue` probes go
+/// through a cached word. The two frontier bitmaps are reused across
+/// levels (swap + clear) instead of reallocated.
 pub fn bfs_bottom_up(graph: &Csr, root: usize) -> SeqBfs {
     let n = graph.num_vertices();
     let mut parent = vec![NO_PARENT; n];
     parent[root] = root as u32;
+    let mut visited = Bitmap::new(n);
+    visited.set(root);
     let mut in_queue = Bitmap::new(n);
     in_queue.set(root);
+    let mut out_queue = Bitmap::new(n);
     let mut levels = Vec::new();
     loop {
-        let mut out_queue = Bitmap::new(n);
+        out_queue.clear_all();
         let mut discovered = 0u64;
         let mut edges = 0u64;
-        for v in 0..n {
-            if parent[v] != NO_PARENT {
-                continue;
-            }
-            for &u in graph.neighbours(v) {
-                edges += 1;
-                if in_queue.get(u as usize) {
-                    parent[v] = u;
-                    out_queue.set(v);
-                    discovered += 1;
-                    break;
+        let mut probe = CachedWordProbe::new(&in_queue);
+        for (wi, unvisited) in visited.iter_zero_words() {
+            let mut pending = unvisited;
+            while pending != 0 {
+                let v = wi * WORD_BITS + pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                for &u in graph.neighbours(v) {
+                    edges += 1;
+                    if probe.get(u as usize) {
+                        parent[v] = u;
+                        out_queue.set(v);
+                        discovered += 1;
+                        break;
+                    }
                 }
             }
+        }
+        if discovered == 0 {
+            break; // the empty final sweep discovers nothing
         }
         levels.push(LevelTrace {
             direction: Direction::BottomUp,
             discovered,
             edges_examined: edges,
         });
-        if discovered == 0 {
-            levels.pop(); // the empty final sweep discovers nothing
-            break;
-        }
-        in_queue = out_queue;
+        visited.or_assign(&out_queue);
+        std::mem::swap(&mut in_queue, &mut out_queue);
     }
     SeqBfs { parent, levels }
 }
 
 /// The hybrid BFS of Beamer et al. \[9\]: per-level direction choice by
 /// [`SwitchPolicy`], frontier kept as both queue and bitmap.
-#[allow(clippy::needless_range_loop)] // the vertex id is the datum, not just an index
 pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
     let n = graph.num_vertices();
     let mut parent = vec![NO_PARENT; n];
     parent[root] = root as u32;
+    let mut visited = Bitmap::new(n);
+    visited.set(root);
     let mut frontier: Vec<u32> = vec![root as u32];
     let mut in_queue = Bitmap::new(n);
     in_queue.set(root);
@@ -133,7 +144,10 @@ pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
     let mut levels = Vec::new();
 
     loop {
-        let m_f: u64 = frontier.iter().map(|&u| graph.degree(u as usize) as u64).sum();
+        let m_f: u64 = frontier
+            .iter()
+            .map(|&u| graph.degree(u as usize) as u64)
+            .sum();
         let n_f = frontier.len() as u64;
         if n_f == 0 {
             break;
@@ -155,25 +169,34 @@ pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
                 }
             }
             Direction::BottomUp => {
-                for v in 0..n {
-                    if parent[v] != NO_PARENT {
-                        continue;
-                    }
-                    for &u in graph.neighbours(v) {
-                        edges += 1;
-                        if in_queue.get(u as usize) {
-                            parent[v] = u;
-                            next.push(v as u32);
-                            break;
+                // Word-level unvisited scan with a cached in_queue probe
+                // word, mirroring the distributed engine's kernel.
+                let mut probe = CachedWordProbe::new(&in_queue);
+                for (wi, unvisited) in visited.iter_zero_words() {
+                    let mut pending = unvisited;
+                    while pending != 0 {
+                        let v = wi * WORD_BITS + pending.trailing_zeros() as usize;
+                        pending &= pending - 1;
+                        for &u in graph.neighbours(v) {
+                            edges += 1;
+                            if probe.get(u as usize) {
+                                parent[v] = u;
+                                next.push(v as u32);
+                                break;
+                            }
                         }
                     }
                 }
             }
         }
 
-        m_u -= next.iter().map(|&v| graph.degree(v as usize) as u64).sum::<u64>();
+        m_u -= next
+            .iter()
+            .map(|&v| graph.degree(v as usize) as u64)
+            .sum::<u64>();
         in_queue.clear_all();
         for &v in &next {
+            visited.set(v as usize);
             in_queue.set(v as usize);
         }
         levels.push(LevelTrace {

@@ -86,7 +86,10 @@ mod tests {
         let m = scale32_regime();
         let sparse = frontier(1 << 22, 0.002, 7);
         let g = auto_granularity(&m, &sparse, Residence::NodeShared, Residence::NodeShared);
-        assert!(g >= 128, "sparse frontier should tolerate coarse summaries, got {g}");
+        assert!(
+            g >= 128,
+            "sparse frontier should tolerate coarse summaries, got {g}"
+        );
     }
 
     #[test]
@@ -95,8 +98,7 @@ mod tests {
         for density in [0.001, 0.01, 0.05, 0.2, 0.5] {
             let f = frontier(1 << 20, density, 42);
             let g = auto_granularity(&m, &f, Residence::NodeShared, Residence::NodeShared);
-            let chosen =
-                expected_check_ns(&m, &f, g, Residence::NodeShared, Residence::NodeShared);
+            let chosen = expected_check_ns(&m, &f, g, Residence::NodeShared, Residence::NodeShared);
             let reference =
                 expected_check_ns(&m, &f, 64, Residence::NodeShared, Residence::NodeShared);
             assert!(
@@ -130,7 +132,13 @@ mod tests {
         let m = scale32_regime();
         let f = frontier(1 << 16, 0.1, 1);
         for g in [64, 256, 4096] {
-            let c = expected_check_ns(&m, &f, g, Residence::SocketPrivate, Residence::SocketPrivate);
+            let c = expected_check_ns(
+                &m,
+                &f,
+                g,
+                Residence::SocketPrivate,
+                Residence::SocketPrivate,
+            );
             assert!(c.is_finite() && c > 0.0);
         }
     }

@@ -1,0 +1,116 @@
+//! Differential tests: the word-level bottom-up kernel against the per-bit
+//! reference it replaced.
+//!
+//! The engine's determinism contract says the two kernels — and any rayon
+//! worker count — must produce bit-identical trees, frontiers and
+//! [`ComputeEvents`]-derived times. These tests pin that on R-MAT graphs
+//! across scales 14–18 and across the whole optimization ladder.
+
+use nbfs_core::engine::{BottomUpKernel, DistributedBfs, Scenario};
+use nbfs_core::opt::OptLevel;
+use nbfs_graph::{Csr, GraphBuilder};
+use nbfs_topology::presets;
+
+fn rmat(scale: u32) -> Csr {
+    GraphBuilder::rmat(scale, 16)
+        .seed(0xD1FF ^ u64::from(scale))
+        .build()
+}
+
+fn best_root(g: &Csr) -> usize {
+    (0..g.num_vertices())
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty")
+}
+
+/// Runs both kernels on the same scenario and asserts every observable is
+/// identical: parents, visited count, per-level direction/discovered (the
+/// frontier trace), and per-level simulated times (comp is a pure function
+/// of the kernel's `ComputeEvents`, so equal times mean equal counters).
+fn assert_kernels_identical(g: &Csr, scenario: &Scenario, label: &str) {
+    let root = best_root(g);
+    let reference = DistributedBfs::new(g, scenario)
+        .with_bottom_up_kernel(BottomUpKernel::Reference)
+        .run(root);
+    let word = DistributedBfs::new(g, scenario)
+        .with_bottom_up_kernel(BottomUpKernel::WordLevel)
+        .run(root);
+
+    assert_eq!(
+        reference.parent, word.parent,
+        "{label}: parent arrays differ"
+    );
+    assert_eq!(
+        reference.visited, word.visited,
+        "{label}: visited counts differ"
+    );
+    assert_eq!(
+        reference.profile.levels.len(),
+        word.profile.levels.len(),
+        "{label}: level counts differ"
+    );
+    for (i, (r, w)) in reference
+        .profile
+        .levels
+        .iter()
+        .zip(&word.profile.levels)
+        .enumerate()
+    {
+        assert_eq!(r.direction, w.direction, "{label}: level {i} direction");
+        assert_eq!(r.discovered, w.discovered, "{label}: level {i} discovered");
+        assert_eq!(r.comp, w.comp, "{label}: level {i} comp time");
+        assert_eq!(r.comm, w.comm, "{label}: level {i} comm time");
+        assert_eq!(r.stall, w.stall, "{label}: level {i} stall time");
+    }
+    assert_eq!(
+        reference.profile.total(),
+        word.profile.total(),
+        "{label}: total simulated time"
+    );
+}
+
+#[test]
+fn kernels_agree_across_scales() {
+    for scale in 14..=18u32 {
+        let g = rmat(scale);
+        let machine = presets::xeon_x7550_node().scaled_to_graph(scale, 28);
+        let scenario = Scenario::new(machine, OptLevel::OriginalPpn8);
+        assert_kernels_identical(&g, &scenario, &format!("scale {scale}"));
+    }
+}
+
+#[test]
+fn kernels_agree_across_opt_ladder() {
+    // Every rung changes the summary granularity, residences or process
+    // map — the word-level kernel must track all of them.
+    let g = rmat(14);
+    for opt in OptLevel::LADDER {
+        let machine = presets::xeon_x7550_cluster(2).scaled_to_graph(14, 28);
+        let scenario = Scenario::new(machine, opt);
+        assert_kernels_identical(&g, &scenario, &opt.label());
+    }
+}
+
+#[test]
+fn word_kernel_is_thread_count_independent() {
+    // Chunk boundaries are a pure function of the partition, so the tree
+    // must not depend on how many rayon workers the pool offers.
+    let g = rmat(15);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(15, 28);
+    let scenario = Scenario::new(machine, OptLevel::OriginalPpn8);
+    let root = best_root(&g);
+    let baseline = DistributedBfs::new(&g, &scenario).run(root);
+    for threads in [1usize, 3, 7] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let run = pool.install(|| DistributedBfs::new(&g, &scenario).run(root));
+        assert_eq!(baseline.parent, run.parent, "threads={threads}");
+        assert_eq!(
+            baseline.profile.total(),
+            run.profile.total(),
+            "threads={threads}"
+        );
+    }
+}

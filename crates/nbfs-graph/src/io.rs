@@ -65,7 +65,12 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<EdgeList> {
 
 /// Writes the text format (`u v` per line) to `w`.
 pub fn write_text<W: Write>(w: &mut W, edges: &EdgeList) -> io::Result<()> {
-    writeln!(w, "# nbfs edge list: {} vertices, {} edges", edges.num_vertices, edges.edges.len())?;
+    writeln!(
+        w,
+        "# nbfs edge list: {} vertices, {} edges",
+        edges.num_vertices,
+        edges.edges.len()
+    )?;
     for e in &edges.edges {
         writeln!(w, "{} {}", e.u, e.v)?;
     }
@@ -93,7 +98,10 @@ pub fn read_text<R: Read>(r: R, num_vertices: Option<usize>) -> io::Result<EdgeL
             })?
             .parse()
             .map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
             })
         };
         let u = parse(it.next())?;
@@ -101,7 +109,11 @@ pub fn read_text<R: Read>(r: R, num_vertices: Option<usize>) -> io::Result<EdgeL
         max_id = max_id.max(u).max(v);
         edges.push(Edge { u, v });
     }
-    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = num_vertices.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     let el = EdgeList::new(n, edges);
     el.check_bounds()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;

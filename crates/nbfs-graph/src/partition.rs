@@ -112,9 +112,9 @@ impl PartitionedGraph {
                 let offsets: Vec<u64> = (start..=end)
                     .map(|v| graph.offsets()[v.min(graph.num_vertices())] - base)
                     .collect();
-                let targets =
-                    graph.targets()[base as usize..base as usize + offsets[end - start] as usize]
-                        .to_vec();
+                let targets = graph.targets()
+                    [base as usize..base as usize + offsets[end - start] as usize]
+                    .to_vec();
                 // Transpose: for every owned target v and neighbour u,
                 // record (u, v). The graph is undirected, so the local CSR
                 // rows already contain every edge incident to the block.

@@ -178,9 +178,7 @@ mod tests {
 
     #[test]
     fn scramble_actually_permutes() {
-        let moved = (0..1024u32)
-            .filter(|&x| scramble(x, 10, 5) != x)
-            .count();
+        let moved = (0..1024u32).filter(|&x| scramble(x, 10, 5) != x).count();
         assert!(moved > 900, "only {moved}/1024 labels moved");
     }
 

@@ -161,12 +161,8 @@ pub fn validate_bfs_tree(
                         return Err(ValidationError::LevelViolation { u: v, v: w });
                     }
                 }
-                (true, false) => {
-                    return Err(ValidationError::ComponentNotCovered { vertex: w })
-                }
-                (false, true) => {
-                    return Err(ValidationError::ComponentNotCovered { vertex: v })
-                }
+                (true, false) => return Err(ValidationError::ComponentNotCovered { vertex: w }),
+                (false, true) => return Err(ValidationError::ComponentNotCovered { vertex: v }),
                 (false, false) => {}
             }
         }
@@ -235,7 +231,10 @@ mod tests {
         parent[3] = 0; // 0-3 is not an edge of the diamond
         assert!(matches!(
             validate_bfs_tree(&g, 0, &parent),
-            Err(ValidationError::MissingTreeEdge { child: 3, parent: 0 })
+            Err(ValidationError::MissingTreeEdge {
+                child: 3,
+                parent: 0
+            })
         ));
     }
 
@@ -243,7 +242,12 @@ mod tests {
     fn rejects_cycle() {
         let g = Csr::from_edge_list(&EdgeList::new(
             4,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 1)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 1),
+            ],
         ));
         let mut parent = reference_bfs(&g, 0);
         // 1 -> 2 -> 3 -> 1 cycle, detached from the root.
@@ -263,7 +267,12 @@ mod tests {
         // depth mangled by rerooting 2 at 0 via a fake shortcut edge 0-2.
         let g = Csr::from_edge_list(&EdgeList::new(
             4,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(0, 2)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(0, 2),
+            ],
         ));
         let mut parent = reference_bfs(&g, 0);
         // Correct BFS: depth(2) = 1 via edge 0-2. Force 2 under 1's subtree
@@ -305,7 +314,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ValidationError::MissingTreeEdge { child: 1, parent: 2 };
+        let e = ValidationError::MissingTreeEdge {
+            child: 1,
+            parent: 2,
+        };
         assert!(e.to_string().contains("(1, 2)"));
     }
 }

@@ -169,7 +169,10 @@ mod tests {
         let m = model();
         let lat = m.probe_ns(8 << 30, Residence::SocketPrivate, 1);
         let dram = m.machine().socket.mem_lat_local_ns;
-        assert!(lat > 0.95 * dram, "8 GiB probe {lat} should approach {dram}");
+        assert!(
+            lat > 0.95 * dram,
+            "8 GiB probe {lat} should approach {dram}"
+        );
     }
 
     #[test]

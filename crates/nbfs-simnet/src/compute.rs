@@ -152,9 +152,8 @@ impl ComputeContext {
                 _ => loaded_qpi_bytes += qpi,
             }
         }
-        let t_lat = SimTime::from_nanos(
-            probe_ns_total / (cores * p.mlp) / prof.scheduling_efficiency,
-        );
+        let t_lat =
+            SimTime::from_nanos(probe_ns_total / (cores * p.mlp) / prof.scheduling_efficiency);
 
         // --- streaming bandwidth ----------------------------------------
         let stream_bytes = events.stream_bytes() as f64;
@@ -182,10 +181,7 @@ impl ComputeContext {
             // fabric efficiency too.
             let t_loaded = SimTime::from_secs(
                 loaded
-                    / (raw_fabric
-                        * p.qpi_loaded_efficiency
-                        * prof.scheduling_efficiency
-                        / ranks),
+                    / (raw_fabric * p.qpi_loaded_efficiency * prof.scheduling_efficiency / ranks),
             );
             let t_shared = SimTime::from_secs(
                 shared_qpi_bytes / (raw_fabric * p.qpi_shared_read_efficiency / ranks),
@@ -196,9 +192,8 @@ impl ComputeContext {
         };
 
         // --- instruction throughput --------------------------------------
-        let t_cpu = SimTime::from_secs(
-            events.cpu_ops as f64 / (cores * machine.socket.ghz * 1e9 * p.ipc),
-        );
+        let t_cpu =
+            SimTime::from_secs(events.cpu_ops as f64 / (cores * machine.socket.ghz * 1e9 * p.ipc));
 
         t_lat.max(t_stream).max(t_dram).max(t_qpi).max(t_cpu)
     }
@@ -359,7 +354,10 @@ mod tests {
         let b = cache.probe_breakdown(1 << 30, Residence::SocketPrivate);
         assert_eq!(b.cross_socket_fraction, 0.0);
         let b = cache.probe_breakdown(1 << 30, Residence::InterleavedPrivateCache);
-        assert!(b.cross_socket_fraction > 0.5, "interleaved misses cross QPI");
+        assert!(
+            b.cross_socket_fraction > 0.5,
+            "interleaved misses cross QPI"
+        );
     }
 
     #[test]

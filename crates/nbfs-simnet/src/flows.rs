@@ -70,7 +70,10 @@ impl FlowSolver {
                 f.src_node != f.dst_node,
                 "intra-node flow {f:?}: use shm_copy_time"
             );
-            assert!(f.src_node < nodes && f.dst_node < nodes, "flow {f:?} out of range");
+            assert!(
+                f.src_node < nodes && f.dst_node < nodes,
+                "flow {f:?} out of range"
+            );
             egress[f.src_node] += f.bytes;
             ingress[f.dst_node] += f.bytes;
             // Zero-byte flows complete in one latency and consume no
@@ -90,8 +93,8 @@ impl FlowSolver {
             // Per-stream cap: a single connection cannot stripe both ports.
             let stream_bw = self.machine.nic.per_stream_bw;
             // Fair share of the saturating endpoint aggregates.
-            let src_share = self.machine.node_net_bw(f.src_node)
-                / f64::from(egress_streams[f.src_node].max(1));
+            let src_share =
+                self.machine.node_net_bw(f.src_node) / f64::from(egress_streams[f.src_node].max(1));
             let dst_share = self.machine.node_net_bw(f.dst_node)
                 / f64::from(ingress_streams[f.dst_node].max(1));
             let bw = stream_bw.min(src_share).min(dst_share);

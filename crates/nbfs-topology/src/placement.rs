@@ -145,9 +145,7 @@ impl ProcessMap {
     /// The socket `rank` is pinned to, if the policy pins at all.
     pub fn socket_of(&self, rank: RankId) -> Option<usize> {
         match self.policy {
-            PlacementPolicy::BindToSocket => {
-                Some(self.local_index(rank) % self.sockets_per_node)
-            }
+            PlacementPolicy::BindToSocket => Some(self.local_index(rank) % self.sockets_per_node),
             _ => None,
         }
     }
@@ -174,7 +172,9 @@ impl ProcessMap {
     /// of Fig. 7).
     pub fn subgroup_peers(&self, local_index: usize) -> Vec<RankId> {
         debug_assert!(local_index < self.ppn);
-        (0..self.nodes).map(|n| n * self.ppn + local_index).collect()
+        (0..self.nodes)
+            .map(|n| n * self.ppn + local_index)
+            .collect()
     }
 
     /// Two ranks on the same node?

@@ -22,9 +22,9 @@ pub fn xeon_x7550_socket() -> SocketSpec {
             l2_bytes: 256 * 1024,
             l3_bytes: 18 * 1024 * 1024,
             line_bytes: 64,
-            l1_lat_ns: 2.0,   // 4 cycles @ 2 GHz
-            l2_lat_ns: 5.0,   // ~10 cycles
-            l3_lat_ns: 22.0,  // ~44 cycles (Nehalem-EX L3 is slow)
+            l1_lat_ns: 2.0,  // 4 cycles @ 2 GHz
+            l2_lat_ns: 5.0,  // ~10 cycles
+            l3_lat_ns: 22.0, // ~44 cycles (Nehalem-EX L3 is slow)
         },
         mem_bw: 17.1e9,
         mem_lat_local_ns: 130.0,

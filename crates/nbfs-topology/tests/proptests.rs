@@ -128,8 +128,6 @@ proptest! {
 #[test]
 fn bind_requires_socket_multiple() {
     let m: MachineConfig = presets::cluster2012();
-    let result = std::panic::catch_unwind(|| {
-        ProcessMap::new(&m, 3, PlacementPolicy::BindToSocket)
-    });
+    let result = std::panic::catch_unwind(|| ProcessMap::new(&m, 3, PlacementPolicy::BindToSocket));
     assert!(result.is_err());
 }

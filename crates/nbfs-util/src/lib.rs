@@ -30,10 +30,10 @@ pub mod summary;
 pub mod units;
 
 pub use atomic_bitmap::AtomicBitmap;
-pub use bitmap::Bitmap;
+pub use bitmap::{Bitmap, CachedWordProbe};
 pub use ownership::BlockPartition;
 pub use simtime::SimTime;
-pub use summary::SummaryBitmap;
+pub use summary::{SummaryBitmap, SummaryProbe};
 
 /// Number of bits in one storage word of every bitmap in this workspace.
 pub const WORD_BITS: usize = 64;

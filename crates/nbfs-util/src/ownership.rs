@@ -111,7 +111,15 @@ mod tests {
     #[test]
     #[allow(clippy::needless_range_loop)] // item ids are the subject under test
     fn covers_everything_exactly_once() {
-        for (n, p) in [(1usize, 1usize), (64, 1), (65, 2), (1000, 3), (4096, 8), (4097, 8), (100, 16)] {
+        for (n, p) in [
+            (1usize, 1usize),
+            (64, 1),
+            (65, 2),
+            (1000, 3),
+            (4096, 8),
+            (4097, 8),
+            (100, 16),
+        ] {
             let part = BlockPartition::new(n, p);
             let mut covered = vec![false; n];
             for rank in 0..p {

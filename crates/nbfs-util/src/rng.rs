@@ -64,10 +64,7 @@ impl Xoroshiro128 {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let (s0, mut s1) = (self.s0, self.s1);
-        let result = s0
-            .wrapping_add(s1)
-            .rotate_left(17)
-            .wrapping_add(s0);
+        let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
         s1 ^= s0;
         self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
         self.s1 = s1.rotate_left(28);
@@ -101,7 +98,9 @@ impl Xoroshiro128 {
 /// Pure function — safe to evaluate from any thread in any order.
 #[inline]
 pub fn counter_u64(seed: u64, idx: u64, draw: u32) -> u64 {
-    splitmix64(seed ^ splitmix64(idx).wrapping_add(u64::from(draw).wrapping_mul(0xa076_1d64_78bd_642f)))
+    splitmix64(
+        seed ^ splitmix64(idx).wrapping_add(u64::from(draw).wrapping_mul(0xa076_1d64_78bd_642f)),
+    )
 }
 
 /// Counter-based uniform `f64` in `[0, 1)`.
@@ -182,6 +181,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..257).collect::<Vec<u32>>());
-        assert_ne!(v, (0..257).collect::<Vec<u32>>(), "shuffle should move things");
+        assert_ne!(
+            v,
+            (0..257).collect::<Vec<u32>>(),
+            "shuffle should move things"
+        );
     }
 }

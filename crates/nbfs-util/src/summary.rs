@@ -11,7 +11,7 @@
 //! shrink the summary (better cache locality) but lower its zero fraction
 //! (fewer skippable probes). Fig. 16 finds 256 optimal at scale 32.
 
-use crate::bitmap::Bitmap;
+use crate::bitmap::{Bitmap, CachedWordProbe};
 use crate::WORD_BITS;
 
 /// A bitmap-of-a-bitmap with configurable coverage per summary bit.
@@ -63,6 +63,24 @@ impl SummaryBitmap {
     #[inline]
     pub fn granularity(&self) -> usize {
         self.granularity
+    }
+
+    /// `log2(granularity)`, so region lookup is a shift instead of a divide.
+    #[inline]
+    pub fn granularity_shift(&self) -> u32 {
+        self.granularity.trailing_zeros()
+    }
+
+    /// A probe view that caches the last-touched summary word.
+    ///
+    /// One summary word covers `64 * granularity` underlying bits (4096 at
+    /// the reference granularity), so with sorted adjacency lists nearly all
+    /// consecutive probes are served from the cached word.
+    pub fn probe(&self) -> SummaryProbe<'_> {
+        SummaryProbe {
+            probe: CachedWordProbe::new(&self.bits),
+            shift: self.granularity_shift(),
+        }
     }
 
     /// The number of underlying bits this summary covers.
@@ -160,9 +178,40 @@ impl SummaryBitmap {
     }
 }
 
+/// Word-caching summary probe; see [`SummaryBitmap::probe`].
+pub struct SummaryProbe<'a> {
+    probe: CachedWordProbe<'a>,
+    shift: u32,
+}
+
+impl SummaryProbe<'_> {
+    /// Same contract as [`SummaryBitmap::maybe_set`], served from the cached
+    /// summary word when consecutive probes stay within one word's coverage.
+    #[inline]
+    pub fn maybe_set(&mut self, idx: usize) -> bool {
+        self.probe.get(idx >> self.shift)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn probe_matches_maybe_set() {
+        let mut bm = Bitmap::new(1 << 13);
+        for i in (0..bm.len()).step_by(611) {
+            bm.set(i);
+        }
+        for g in [64usize, 256] {
+            let s = SummaryBitmap::build(&bm, g);
+            assert_eq!(s.granularity_shift(), g.trailing_zeros());
+            let mut probe = s.probe();
+            for idx in (0..bm.len()).step_by(37) {
+                assert_eq!(probe.maybe_set(idx), s.maybe_set(idx), "g={g} idx={idx}");
+            }
+        }
+    }
 
     #[test]
     fn reference_granularity_matches_word() {

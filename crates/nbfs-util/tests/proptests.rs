@@ -6,7 +6,13 @@ use proptest::prelude::*;
 
 use nbfs_util::rng::{counter_u64, Xoroshiro128};
 use nbfs_util::stats::{harmonic_mean, mean, percentile};
-use nbfs_util::{Bitmap, BlockPartition, SummaryBitmap};
+use nbfs_util::{Bitmap, BlockPartition, CachedWordProbe, SummaryBitmap, WORD_BITS};
+
+/// Counts set bits by walking words directly, padding included — the
+/// ground truth the padding-safety properties compare against.
+fn ones_in_words(bm: &Bitmap) -> usize {
+    bm.words().iter().map(|w| w.count_ones() as usize).sum()
+}
 
 proptest! {
     /// The bitmap behaves exactly like a set of indices under set/clear.
@@ -128,5 +134,135 @@ proptest! {
         Xoroshiro128::new(seed).shuffle(&mut v);
         v.sort_unstable();
         prop_assert_eq!(v, sorted);
+    }
+}
+
+// Padding safety of the word-level APIs: whatever ragged `len_bits` and
+// whatever garbage the source words carry, no operation may observe or
+// leave a set bit at index >= len_bits. The padding bits of the final
+// word must stay zero, or `count_ones`/allgather word transfers would
+// silently corrupt.
+proptest! {
+    /// `or_assign` on a ragged-length bitmap never leaks past `len_bits`.
+    #[test]
+    fn or_assign_respects_ragged_tail(
+        len in 65usize..1000,
+        a in prop::collection::vec(any::<usize>(), 0..80),
+        b in prop::collection::vec(any::<usize>(), 0..80),
+    ) {
+        let a: Vec<usize> = a.iter().map(|&i| i % len).collect();
+        let b: Vec<usize> = b.iter().map(|&i| i % len).collect();
+        let mut x = Bitmap::from_indices(len, &a);
+        let y = Bitmap::from_indices(len, &b);
+        x.or_assign(&y);
+        prop_assert_eq!(ones_in_words(&x), x.count_ones(), "padding bit set");
+        prop_assert!(x.iter_ones().all(|i| i < len));
+    }
+
+    /// `copy_words_from` masks whatever the source words carry in the
+    /// positions beyond `len_bits`.
+    #[test]
+    fn copy_words_from_never_leaks_padding(
+        len in 65usize..1000,
+        words in prop::collection::vec(any::<u64>(), 1..8),
+        start_frac in 0usize..8,
+    ) {
+        let mut bm = Bitmap::new(len);
+        let word_len = bm.words().len();
+        let start = (start_frac * word_len / 8).min(word_len.saturating_sub(words.len()));
+        let n = words.len().min(word_len - start);
+        bm.copy_words_from(start, &words[..n]);
+        prop_assert_eq!(ones_in_words(&bm), bm.count_ones(), "padding bit set");
+        prop_assert!(bm.iter_ones().all(|i| i < len));
+    }
+
+    /// `or_words_from` masks the tail exactly like `copy_words_from`.
+    #[test]
+    fn or_words_from_never_leaks_padding(
+        len in 65usize..1000,
+        seed in prop::collection::vec(any::<usize>(), 0..40),
+        words in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let seed: Vec<usize> = seed.iter().map(|&i| i % len).collect();
+        let mut bm = Bitmap::from_indices(len, &seed);
+        let word_len = bm.words().len();
+        let start = word_len.saturating_sub(words.len());
+        let n = words.len().min(word_len - start);
+        bm.or_words_from(start, &words[..n]);
+        prop_assert_eq!(ones_in_words(&bm), bm.count_ones(), "padding bit set");
+        prop_assert!(bm.iter_ones().all(|i| i < len));
+        // OR never clears: the seed bits all survive.
+        for &i in &seed {
+            prop_assert!(bm.get(i), "or cleared bit {i}");
+        }
+    }
+
+    /// `set_all` fills exactly `len_bits` ones, none in the padding.
+    #[test]
+    fn set_all_fills_exactly_len(len in 1usize..1000) {
+        let mut bm = Bitmap::new(len);
+        bm.set_all();
+        prop_assert_eq!(bm.count_ones(), len);
+        prop_assert_eq!(ones_in_words(&bm), len, "padding bit set");
+    }
+
+    /// `iter_set_words` and `iter_zero_words` partition the index space:
+    /// set words reproduce `iter_ones`, zero words reproduce its
+    /// complement, and neither ever reports an index >= `len_bits`.
+    #[test]
+    fn word_iterators_partition_the_bits(
+        len in 65usize..1500,
+        idx in prop::collection::vec(any::<usize>(), 0..120),
+    ) {
+        let idx: Vec<usize> = idx.iter().map(|&i| i % len).collect();
+        let bm = Bitmap::from_indices(len, &idx);
+        let from_set: Vec<usize> = bm
+            .iter_set_words()
+            .flat_map(|(wi, w)| {
+                (0..WORD_BITS).filter(move |b| (w >> b) & 1 == 1).map(move |b| wi * WORD_BITS + b)
+            })
+            .collect();
+        prop_assert_eq!(from_set, bm.iter_ones().collect::<Vec<_>>());
+        let from_zero: Vec<usize> = bm
+            .iter_zero_words()
+            .flat_map(|(wi, w)| {
+                (0..WORD_BITS).filter(move |b| (w >> b) & 1 == 1).map(move |b| wi * WORD_BITS + b)
+            })
+            .collect();
+        let complement: Vec<usize> = (0..len).filter(|&i| !bm.get(i)).collect();
+        prop_assert_eq!(from_zero, complement, "zero-word iterator must address only real unset bits");
+    }
+
+    /// `next_set_from`/`next_unvisited_from` agree with a linear scan from
+    /// any starting point, including starts inside or past the tail word.
+    #[test]
+    fn next_scans_match_linear_search(
+        len in 65usize..1000,
+        idx in prop::collection::vec(any::<usize>(), 0..60),
+        from in 0usize..1100,
+    ) {
+        let idx: Vec<usize> = idx.iter().map(|&i| i % len).collect();
+        let bm = Bitmap::from_indices(len, &idx);
+        let lin_set = (from..len).find(|&i| bm.get(i));
+        prop_assert_eq!(bm.next_set_from(from), lin_set);
+        let lin_unset = (from..len).find(|&i| !bm.get(i));
+        prop_assert_eq!(bm.next_unvisited_from(from), lin_unset);
+    }
+
+    /// A cached word probe answers exactly like `Bitmap::get` under any
+    /// probe sequence (cache hits and misses alike).
+    #[test]
+    fn cached_probe_matches_get(
+        len in 65usize..1000,
+        idx in prop::collection::vec(any::<usize>(), 0..60),
+        queries in prop::collection::vec(any::<usize>(), 1..120),
+    ) {
+        let idx: Vec<usize> = idx.iter().map(|&i| i % len).collect();
+        let bm = Bitmap::from_indices(len, &idx);
+        let mut probe = CachedWordProbe::new(&bm);
+        for &q in &queries {
+            let q = q % len;
+            prop_assert_eq!(probe.get(q), bm.get(q), "probe diverged at {}", q);
+        }
     }
 }

@@ -35,8 +35,7 @@ fn main() {
     for (i, nodes) in [1usize, 2, 4, 8].into_iter().enumerate() {
         let scale = base_scale + i as u32;
         let graph = GraphBuilder::rmat(scale, 16).seed(9).build();
-        let machine = presets::xeon_x7550_cluster(nodes)
-            .scaled_to_graph(base_scale, 28);
+        let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(base_scale, 28);
         let root = (0..graph.num_vertices())
             .max_by_key(|&v| graph.degree(v))
             .expect("non-empty graph");

@@ -23,8 +23,7 @@ fn main() {
     let graph = GraphBuilder::rmat(scale, 16).seed(32).build();
     // Fig. 16 runs scale 32 on 16 nodes; scale the caches by the same
     // factor so the summary-size-to-cache regime matches.
-    let machine = presets::xeon_x7550_cluster(16)
-        .scaled_to_graph(scale, 32);
+    let machine = presets::xeon_x7550_cluster(16).scaled_to_graph(scale, 32);
     let root = (0..graph.num_vertices())
         .max_by_key(|&v| graph.degree(v))
         .expect("non-empty graph");
@@ -88,7 +87,10 @@ fn main() {
     let mut baseline = None;
     for g in [64usize, 128, 256, 512, 1024, 2048, 4096] {
         let scenario = Scenario::new(machine.clone(), OptLevel::Granularity(g));
-        let t = DistributedBfs::new(&graph, &scenario).run(root).profile.total();
+        let t = DistributedBfs::new(&graph, &scenario)
+            .run(root)
+            .profile
+            .total();
         let teps = traversed / t.as_secs();
         let base = *baseline.get_or_insert(teps);
         println!(

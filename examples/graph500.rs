@@ -123,7 +123,10 @@ fn main() {
         println!("  ... ({} more)", result.per_root.len() - 8);
     }
 
-    println!("\nharmonic-mean TEPS: {}", format_teps(result.harmonic_teps()));
+    println!(
+        "\nharmonic-mean TEPS: {}",
+        format_teps(result.harmonic_teps())
+    );
     println!(
         "mean / min / max:   {} / {} / {}",
         format_teps(result.teps.mean),

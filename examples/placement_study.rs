@@ -21,8 +21,7 @@ fn main() {
 
     println!("== placement study (Fig. 10): Original implementation, 1 node ==");
     let graph = GraphBuilder::rmat(scale, 16).seed(28).build();
-    let machine = presets::xeon_x7550_node()
-        .scaled_to_graph(scale, 28);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(scale, 28);
     let root = (0..graph.num_vertices())
         .max_by_key(|&v| graph.degree(v))
         .expect("non-empty graph");
@@ -34,7 +33,10 @@ fn main() {
             let label = format!("ppn={ppn}.{}", policy.label());
             let scenario =
                 Scenario::new(machine.clone(), OptLevel::OriginalPpn8).with_placement(ppn, policy);
-            let t = DistributedBfs::new(&graph, &scenario).run(root).profile.total();
+            let t = DistributedBfs::new(&graph, &scenario)
+                .run(root)
+                .profile
+                .total();
             rows.push((label, traversed / t.as_secs()));
         }
     }
@@ -42,13 +44,13 @@ fn main() {
     // every socket must receive a rank.
     let scenario = Scenario::new(machine.clone(), OptLevel::OriginalPpn8)
         .with_placement(8, PlacementPolicy::BindToSocket);
-    let t = DistributedBfs::new(&graph, &scenario).run(root).profile.total();
+    let t = DistributedBfs::new(&graph, &scenario)
+        .run(root)
+        .profile
+        .total();
     rows.push(("ppn=8.bind-to-socket".into(), traversed / t.as_secs()));
 
-    let best = rows
-        .iter()
-        .map(|r| r.1)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best = rows.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
     println!("\n{:<24} {:>14} {:>10}", "configuration", "TEPS", "vs best");
     for (label, teps) in &rows {
         println!(

@@ -67,5 +67,9 @@ fn main() {
         "\nperformance: {}",
         format_teps(traversed / p.total().as_secs())
     );
-    println!("levels: {} ({} bottom-up communication phases)", p.levels.len(), p.bu_comm_phases);
+    println!(
+        "levels: {} ({} bottom-up communication phases)",
+        p.levels.len(),
+        p.bu_comm_phases
+    );
 }

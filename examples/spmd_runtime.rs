@@ -20,7 +20,10 @@ fn main() {
     let np = pmap.world_size();
     let n_bits = 1 << 16;
 
-    println!("== SPMD runtime demo: {np} rank threads on {} nodes ==", pmap.nodes());
+    println!(
+        "== SPMD runtime demo: {np} rank threads on {} nodes ==",
+        pmap.nodes()
+    );
 
     // A reference frontier every rank should end up seeing.
     let mut reference = Bitmap::new(n_bits);

@@ -18,8 +18,8 @@ fn run(graph: &Csr, root: usize) -> numa_bfs::core::engine::BfsRun {
 
 fn check(graph: &Csr, root: usize) {
     let r = run(graph, root);
-    let visited = validate_bfs_tree(graph, root, &r.parent)
-        .unwrap_or_else(|e| panic!("root {root}: {e}"));
+    let visited =
+        validate_bfs_tree(graph, root, &r.parent).unwrap_or_else(|e| panic!("root {root}: {e}"));
     assert_eq!(visited, graph.component_of(root).len());
 }
 

@@ -12,7 +12,10 @@ use numa_bfs::util::SimTime;
 fn machines() -> Vec<(&'static str, MachineConfig)> {
     vec![
         ("1n8s", presets::xeon_x7550_node().scaled_to_graph(12, 26)),
-        ("4n8s", presets::xeon_x7550_cluster(4).scaled_to_graph(12, 26)),
+        (
+            "4n8s",
+            presets::xeon_x7550_cluster(4).scaled_to_graph(12, 26),
+        ),
         ("2n4s", MachineConfig::small_test_cluster(2, 4)),
         ("3n2s", MachineConfig::small_test_cluster(3, 2)),
     ]
@@ -115,7 +118,10 @@ fn simulated_time_is_scale_monotone() {
                 .max_by_key(|&v| graph.degree(v))
                 .unwrap();
             let scenario = Scenario::new(machine.clone(), opt);
-            let t = DistributedBfs::new(&graph, &scenario).run(root).profile.total();
+            let t = DistributedBfs::new(&graph, &scenario)
+                .run(root)
+                .profile
+                .total();
             assert!(t > prev, "{opt:?} scale {scale}: {t:?} !> {prev:?}");
             prev = t;
         }

@@ -67,7 +67,10 @@ fn threaded_runtime_supports_unequal_segments() {
     let np = pmap.world_size();
     // 100 bits over 8 ranks: trailing ranks own nothing.
     let segments = demo_segments(100, np);
-    assert!(segments.iter().any(Vec::is_empty), "exercise empty segments");
+    assert!(
+        segments.iter().any(Vec::is_empty),
+        "exercise empty segments"
+    );
 
     let bsp = allgather_words(&segments, &pmap, &net, AllgatherAlgorithm::LeaderBased);
     let seg_ref = &segments;

@@ -55,7 +55,10 @@ fn degree_stats_serialize() {
 #[test]
 fn comparison_2d_serializes() {
     let g = GraphBuilder::rmat(11, 8).seed(9).build();
-    let scenario = Scenario::new(MachineConfig::small_test_cluster(2, 4), OptLevel::ParAllgather);
+    let scenario = Scenario::new(
+        MachineConfig::small_test_cluster(2, 4),
+        OptLevel::ParAllgather,
+    );
     let root = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
     let cmp = numa_bfs::core::ext2d::TwoDimComparison::analyze(&g, &scenario, root);
     let json = serde_json::to_value(&cmp).unwrap();

@@ -1,0 +1,558 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the `proptest!` / `prop_assert*` macro surface and the
+//! strategy combinators this workspace uses, driven by a deterministic
+//! splitmix64 RNG seeded from the test's module path — every run explores
+//! the same cases, so failures are reproducible without regression files.
+//! Shrinking is not implemented: a failing case panics with the values'
+//! case number instead.
+//!
+//! Supported strategies: integer/float ranges (`lo..hi`), integer
+//! `lo..` open ranges (biased toward small values), `Just`, tuples of
+//! strategies, `prop::bool::ANY`, `any::<T>()` for integer types,
+//! `prop::collection::vec` / `btree_set`, and homogeneous `prop_oneof!`.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and the built-in strategy types.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let offset = (rng.next_u64() as i128).rem_euclid(span);
+                    (self.start as i128 + offset) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = hi - lo + 1;
+                    let offset = (rng.next_u64() as i128).rem_euclid(span);
+                    (lo + offset) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    // Bias toward small magnitudes (like real proptest):
+                    // drop a random number of high bits before offsetting.
+                    let raw = rng.next_u64() >> (rng.next_u64() % 64);
+                    let max_span = (<$t>::MAX as i128) - (self.start as i128);
+                    let offset = (raw as i128).min(max_span);
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty float range strategy");
+            let unit = rng.next_f64();
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            let unit = rng.next_f64() as f32;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+
+    /// Uniform choice between same-typed strategies (`prop_oneof!`).
+    pub struct Union<S> {
+        options: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// Build from a non-empty list of options.
+        pub fn new(options: Vec<S>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            let idx = (rng.next_u64() as usize) % self.options.len();
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// `true`/`false`, fifty-fifty (`prop::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+        /// Construct it.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-range strategy for a primitive.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct FullRange<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullRange::default()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for FullRange<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = FullRange<bool>;
+        fn arbitrary() -> Self::Strategy {
+            FullRange::default()
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Anything usable as a collection size: a fixed size or a range.
+    pub trait IntoSizeRange {
+        /// Draw a concrete size.
+        fn sample_size(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_size(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn sample_size(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_size(&self, rng: &mut TestRng) -> usize {
+            self.start() + (rng.next_u64() as usize) % (self.end() - self.start() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_size(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `BTreeSet` of values from `element`; the target size is drawn from
+    /// `size` and capped by how many distinct values the element strategy
+    /// produces within a bounded number of draws.
+    pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: IntoSizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: IntoSizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample_size(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            let max_attempts = target.saturating_mul(16) + 64;
+            while set.len() < target && attempts < max_attempts {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    /// Fifty-fifty boolean strategy.
+    pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+}
+
+/// Test-runner plumbing used by the generated test bodies.
+pub mod test_runner {
+    /// Per-test configuration (`ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest runs 256; this deterministic stub keeps debug
+            // test time reasonable with a smaller default.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the case out; it is skipped.
+        Reject(String),
+        /// `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message (real proptest's constructor).
+        pub fn fail(reason: impl Into<String>) -> Self {
+            Self::Fail(reason.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            Self::Reject(reason.into())
+        }
+    }
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test identifier (module path + test name), so every
+        /// test explores its own reproducible sequence.
+        pub fn for_test(test_id: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in test_id.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::Config as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one test fn per repetition.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!("proptest {} failed at case {}: {}", stringify!($name), __case, __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -5i32..5, f in 0.5f64..1.5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u32..100, 3..7),
+            s in prop::collection::btree_set(0usize..1000, 0..10),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(s.len() < 10);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1usize), Just(2), Just(4)]) {
+            prop_assert!(v == 1 || v == 2 || v == 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_applies(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,799 @@
+//! Minimal offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator surface this workspace uses with
+//! *genuine* parallelism: a parallel iterator splits its index space into
+//! contiguous pieces (always with the uniform formula
+//! `[i*len/p, (i+1)*len/p)`, so zipped sides stay aligned), and terminal
+//! operations run the pieces on scoped OS threads, then recombine the
+//! per-piece results **in piece order** — terminal results are therefore
+//! deterministic and identical to sequential execution, matching rayon's
+//! semantics for `collect`/`sum`/ordered reductions.
+//!
+//! Scheduling differences from real rayon (work stealing, a persistent
+//! pool) are invisible to correctness: only wall-clock varies. Nested
+//! parallelism is handled with a thread budget: the top-level call claims
+//! `available_parallelism` threads and each worker inherits a share of the
+//! remainder, so `par_iter` inside `par_iter` fans out only while cores
+//! remain.
+//!
+//! `ThreadPoolBuilder::num_threads(n).build()?.install(f)` is honoured by
+//! pinning the budget to `n` inside `f` — `num_threads(1)` makes every
+//! parallel construct run sequentially on the calling thread, which is
+//! what the determinism tests rely on.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    /// Remaining thread budget for parallel constructs on this thread.
+    /// `None` means "root thread, not yet constrained".
+    static BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_budget() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn current_budget() -> usize {
+    BUDGET.with(|b| b.get()).unwrap_or_else(default_budget)
+}
+
+/// Number of threads parallel constructs may use right now (compat shim
+/// for `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    current_budget()
+}
+
+fn with_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    let prev = BUDGET.with(|b| b.replace(Some(budget)));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// How many pieces to split `len` items into, given the current budget.
+fn plan_pieces(len: usize) -> usize {
+    current_budget().min(len).max(1)
+}
+
+/// The uniform split boundary: piece `i` of `p` covers
+/// `[i*len/p, (i+1)*len/p)`. Every source uses this formula so that
+/// zipped/enumerated sides split identically.
+fn piece_bounds(len: usize, pieces: usize) -> Vec<(usize, usize)> {
+    (0..pieces)
+        .map(|i| (i * len / pieces, (i + 1) * len / pieces))
+        .collect()
+}
+
+/// Run one sequential iterator per piece on scoped threads and collect the
+/// per-piece outputs in piece order.
+fn run_pieces<S, T, R>(seqs: Vec<S>, consume: impl Fn(S) -> R + Sync) -> Vec<R>
+where
+    S: Iterator<Item = T> + Send,
+    T: Send,
+    R: Send,
+{
+    if seqs.len() <= 1 {
+        return seqs.into_iter().map(consume).collect();
+    }
+    let n = seqs.len();
+    // Each worker inherits an equal share of the *remaining* budget so
+    // nested parallel constructs fan out only while cores remain.
+    let child_budget = (current_budget() / n).max(1);
+    let consume = &consume;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seqs
+            .into_iter()
+            .map(|seq| {
+                scope.spawn(move || with_budget(child_budget, || consume(seq)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-stub worker panicked"))
+            .collect()
+    })
+}
+
+/// A splittable, length-aware parallel iterator.
+///
+/// `Seq` is the sequential iterator type of one piece; `split` must yield
+/// pieces in order, partitioned with [`piece_bounds`].
+pub trait ParallelIterator: Sized + Send {
+    /// Item type.
+    type Item: Send;
+    /// Sequential iterator over one piece.
+    type Seq: Iterator<Item = Self::Item> + Send;
+
+    /// Total number of items (exact for every source in this stub).
+    fn len(&self) -> usize;
+
+    /// `len() == 0`.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into exactly `pieces` ordered sequential iterators.
+    fn split(self, pieces: usize) -> Vec<Self::Seq>;
+
+    /// Map each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map each item to a sequential iterator and flatten.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        U::IntoIter: Send,
+        F: Fn(Self::Item) -> U + Sync + Send + Clone,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Pair each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Zip with another parallel iterator of the same length.
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Hint accepted for compatibility; splitting is budget-driven here.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let pieces = plan_pieces(self.len());
+        run_pieces(self.split(pieces), |seq| seq.for_each(|item| f(item)));
+    }
+
+    /// Sum the items (piece sums combined in piece order).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let pieces = plan_pieces(self.len());
+        run_pieces(self.split(pieces), |seq| seq.sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Count the items.
+    fn count(self) -> usize {
+        let pieces = plan_pieces(self.len());
+        run_pieces(self.split(pieces), |seq| seq.count())
+            .into_iter()
+            .sum()
+    }
+
+    /// Largest item, if any.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let pieces = plan_pieces(self.len());
+        run_pieces(self.split(pieces), |seq| seq.max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Collect into any `FromIterator` container, in order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let pieces = plan_pieces(self.len());
+        run_pieces(self.split(pieces), |seq| seq.collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<P: ParallelIterator> IntoParallelIterator for P {
+    type Iter = P;
+    type Item = P::Item;
+    fn into_par_iter(self) -> P {
+        self
+    }
+}
+
+/// `.par_iter()` on shared slices/collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: Send + 'data;
+    /// Borrowing conversion.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// `.par_iter_mut()` on exclusive slices/collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (an exclusive reference).
+    type Item: Send + 'data;
+    /// Borrowing conversion.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> SliceIterMut<'data, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> SliceIterMut<'data, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// `.par_chunks()` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized sub-slices.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksIter {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// `.par_chunks_mut()` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over exclusive `chunk_size`-sized sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksIterMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+    type Seq = std::slice::Iter<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        piece_bounds(self.slice.len(), pieces)
+            .into_iter()
+            .map(|(a, b)| self.slice[a..b].iter())
+            .collect()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send + 'data> ParallelIterator for SliceIterMut<'data, T> {
+    type Item = &'data mut T;
+    type Seq = std::slice::IterMut<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        let bounds = piece_bounds(self.slice.len(), pieces);
+        let mut rest = self.slice;
+        let mut out = Vec::with_capacity(pieces);
+        let mut consumed = 0;
+        for (a, b) in bounds {
+            let (piece, tail) = std::mem::take(&mut rest).split_at_mut(b - consumed);
+            debug_assert_eq!(a, consumed);
+            consumed = b;
+            rest = tail;
+            out.push(piece.iter_mut());
+        }
+        out
+    }
+}
+
+/// Parallel iterator that consumes a `Vec<T>`.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        let bounds = piece_bounds(self.vec.len(), pieces);
+        let mut rest = self.vec;
+        let mut out = Vec::with_capacity(pieces);
+        // Peel pieces off the back so each split_off is O(piece).
+        for (a, _) in bounds.into_iter().rev() {
+            out.push(rest.split_off(a).into_iter());
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<Idx> {
+    start: Idx,
+    len: usize,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    usize::try_from(self.end - self.start).expect("range too long")
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn split(self, pieces: usize) -> Vec<Self::Seq> {
+                piece_bounds(self.len, pieces)
+                    .into_iter()
+                    .map(|(a, b)| (self.start + a as $t)..(self.start + b as $t))
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_range_source!(usize, u64, u32, i64, i32);
+
+/// Parallel iterator over shared chunks of a slice.
+pub struct ChunksIter<'data, T> {
+    slice: &'data [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ChunksIter<'data, T> {
+    type Item = &'data [T];
+    type Seq = std::slice::Chunks<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        // Split on *chunk* boundaries so each piece yields whole chunks.
+        let n_chunks = self.len();
+        piece_bounds(n_chunks, pieces)
+            .into_iter()
+            .map(|(a, b)| {
+                let lo = (a * self.chunk_size).min(self.slice.len());
+                let hi = (b * self.chunk_size).min(self.slice.len());
+                self.slice[lo..hi].chunks(self.chunk_size)
+            })
+            .collect()
+    }
+}
+
+/// Parallel iterator over exclusive chunks of a slice.
+pub struct ChunksIterMut<'data, T> {
+    slice: &'data mut [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Send + 'data> ParallelIterator for ChunksIterMut<'data, T> {
+    type Item = &'data mut [T];
+    type Seq = std::slice::ChunksMut<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        let n_chunks = self.len();
+        let bounds = piece_bounds(n_chunks, pieces);
+        let mut rest = self.slice;
+        let mut out = Vec::with_capacity(pieces);
+        let mut consumed = 0;
+        for (_, b) in bounds {
+            let hi = (b * self.chunk_size).min(consumed + rest.len());
+            let (piece, tail) = std::mem::take(&mut rest).split_at_mut(hi - consumed);
+            consumed = hi;
+            rest = tail;
+            out.push(piece.chunks_mut(self.chunk_size));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        self.base
+            .split(pieces)
+            .into_iter()
+            .map(|seq| seq.map(self.f.clone()))
+            .collect()
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    U::IntoIter: Send,
+    F: Fn(I::Item) -> U + Sync + Send + Clone,
+{
+    type Item = U::Item;
+    type Seq = std::iter::FlatMap<I::Seq, U, F>;
+
+    fn len(&self) -> usize {
+        // Output length is unknowable before running; piece planning only
+        // needs the input length.
+        self.base.len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        self.base
+            .split(pieces)
+            .into_iter()
+            .map(|seq| seq.flat_map(self.f.clone()))
+            .collect()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: ParallelIterator,
+{
+    type Item = (usize, I::Item);
+    type Seq = std::iter::Zip<std::ops::Range<usize>, I::Seq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        let bounds = piece_bounds(self.base.len(), pieces);
+        self.base
+            .split(pieces)
+            .into_iter()
+            .zip(bounds)
+            .map(|(seq, (a, b))| (a..b).zip(seq))
+            .collect()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split(self, pieces: usize) -> Vec<Self::Seq> {
+        assert_eq!(
+            self.a.len(),
+            self.b.len(),
+            "rayon stub: zip requires equal lengths (both sides split \
+             with the same uniform formula)"
+        );
+        self.a
+            .split(pieces)
+            .into_iter()
+            .zip(self.b.split(pieces))
+            .map(|(sa, sb)| sa.zip(sb))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool facade
+// ---------------------------------------------------------------------------
+
+/// Error from [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the pool width; 0 means "auto" like real rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the (virtual) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_budget),
+        })
+    }
+
+    /// Real rayon installs a global pool; here the default budget already
+    /// matches, so this only validates the configuration.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+}
+
+/// A virtual pool: a pinned thread budget for the duration of `install`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread budget pinned.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_budget(self.num_threads, f)
+    }
+
+    /// The pinned budget.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_budget() >= 2 {
+        let child = (current_budget() / 2).max(1);
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(move || with_budget(child, b));
+            let ra = with_budget(child, a);
+            (ra, hb.join().expect("rayon-stub join worker panicked"))
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<u64> = (0u64..10_000).map(|x| x * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn zip_and_enumerate_align() {
+        let a: Vec<usize> = (0usize..1000).collect();
+        let b: Vec<usize> = (1000usize..2000).collect();
+        let sums: Vec<usize> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .enumerate()
+            .map(|(i, (x, y))| i + x + y)
+            .collect();
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(*s, i + a[i] + b[i]);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut v: Vec<u32> = vec![1; 513];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_chunks_are_whole() {
+        let v: Vec<u32> = (0..1000).collect();
+        let lens: Vec<usize> = v.par_chunks(64).map(<[u32]>::len).collect();
+        assert_eq!(lens.len(), 16);
+        assert!(lens[..15].iter().all(|&l| l == 64));
+        assert_eq!(lens[15], 1000 - 15 * 64);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> = (0usize..100)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..3).map(move |j| i * 3 + j))
+            .collect();
+        let expect: Vec<usize> = (0..300).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn install_pins_budget() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let got = pool.install(super::current_num_threads);
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let total: u64 = (0u64..1_000_000).into_par_iter().sum();
+        assert_eq!(total, 999_999 * 1_000_000 / 2);
+    }
+}

@@ -1,0 +1,364 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor architecture, this stub routes every type
+//! through one self-describing content tree ([`Content`]): serializers
+//! lower values into `Content`, data formats (see the companion
+//! `serde_json` stub) render and parse `Content`. The `derive` feature
+//! re-exports `Serialize`/`Deserialize` derive macros from the companion
+//! `serde_derive` stub, which generates impls of the two traits below for
+//! the struct/enum shapes this workspace uses:
+//!
+//! - structs with named fields,
+//! - one-field tuple structs (serialized transparently, like serde
+//!   newtypes),
+//! - enums with unit variants (externally tagged as a plain string) and
+//!   single-field tuple variants (externally tagged as a one-entry map).
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form — the interchange tree every
+/// [`Serialize`] impl lowers into and every [`Deserialize`] impl reads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (u8..=u64, usize).
+    U64(u64),
+    /// Signed integer (i8..=i64, isize); only used for negative values.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (Vec, slices, tuples).
+    Seq(Vec<Content>),
+    /// Map with string keys, in insertion order (structs, tagged variants).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrow the entries when this content is a map.
+    pub fn as_map_slice(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the items when this content is a sequence.
+    pub fn as_seq_slice(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short human name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "unsigned integer",
+            Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a plain message, like `serde::de::Error`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X, found Y" constructor.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing struct field.
+    pub fn missing_field(name: &str) -> Self {
+        DeError(format!("missing field `{name}`"))
+    }
+
+    /// Unknown enum variant.
+    pub fn unknown_variant(name: &str) -> Self {
+        DeError(format!("unknown variant `{name}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can lower itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Produce the serialized form.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can reconstruct itself from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from serialized form.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    /// Value to use when a struct field is absent. Errors by default;
+    /// `Option<T>` overrides this to yield `None` (serde's behaviour).
+    fn from_missing_field(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
+
+/// Find a field in serialized struct content (derive-internal helper).
+pub fn map_find<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    _ => return Err(DeError::expected("unsigned integer", content)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => {
+                        i64::try_from(v).map_err(|_| DeError(format!("{v} out of range")))?
+                    }
+                    _ => return Err(DeError::expected("integer", content)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            _ => Err(DeError::expected("number", content)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", content)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", content)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = content
+            .as_seq_slice()
+            .ok_or_else(|| DeError::expected("sequence", content))?;
+        items.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let items = content
+                    .as_seq_slice()
+                    .ok_or_else(|| DeError::expected("tuple sequence", content))?;
+                let arity = [$($idx),+].len();
+                if items.len() != arity {
+                    return Err(DeError(format!(
+                        "expected tuple of {arity}, found sequence of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_content(&42u64.to_content()), Ok(42));
+        assert_eq!(i32::from_content(&(-7i32).to_content()), Ok(-7));
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+        assert_eq!(
+            Option::<u32>::from_content(&Content::Null),
+            Ok(None::<u32>)
+        );
+        assert_eq!(Option::<u32>::from_missing_field("x"), Ok(None::<u32>));
+        assert!(u32::from_missing_field("x").is_err());
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        let v = vec![(1u32, 2u32), (3, 4)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(u32, u32)>::from_content(&c), Ok(v));
+    }
+}
