@@ -1,0 +1,420 @@
+//! Line/region-aware lexical scanner for Rust sources.
+//!
+//! The linter never parses Rust — a char-level state machine strips
+//! comments and string/char literals so rules match against *code* text
+//! only, and two region trackers classify every line:
+//!
+//! * `#[cfg(test)]` regions, tracked by brace depth, so production-only
+//!   rules skip test modules embedded in library files;
+//! * `// nbfs-analysis: hot-path` … `// nbfs-analysis: end-hot-path`
+//!   directive regions, which gate the allocation rule (NBFS004).
+
+/// One scanned source line.
+#[derive(Clone, Debug)]
+pub struct ScanLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The raw line as written (no trailing newline).
+    pub raw: String,
+    /// The line with comments and literal contents removed. String and
+    /// char literals are reduced to `""` / `' '` so rule tokens inside
+    /// messages (e.g. a log string containing `unwrap()`) never match.
+    pub code: String,
+    /// The comment text of the line (contents of `//`/`/* */` parts),
+    /// used only for directive detection.
+    pub comment: String,
+    /// Line sits inside a `#[cfg(test)]` region (or carries the attribute).
+    pub in_test: bool,
+    /// Line sits inside a hot-path directive region.
+    pub in_hot_path: bool,
+}
+
+/// A directive-region problem found while scanning (reported as NBFS004).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MarkerError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// The result of scanning one file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    pub lines: Vec<ScanLine>,
+    pub marker_errors: Vec<MarkerError>,
+}
+
+const HOT_OPEN: &str = "nbfs-analysis: hot-path";
+const HOT_CLOSE: &str = "nbfs-analysis: end-hot-path";
+const DIRECTIVE_PREFIX: &str = "nbfs-analysis:";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Normal,
+    LineComment,
+    /// Nested block comment depth (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Raw string with this many `#` marks in its delimiter.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scans `text`, producing classified lines and directive-region errors.
+pub fn scan(text: &str) -> ScannedFile {
+    let stripped = strip(text);
+    classify(stripped)
+}
+
+/// Pass 1: split into lines of (raw, code, comment) with literals stripped.
+fn strip(text: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let mut raw = String::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = LexState::Normal;
+
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Line comments end at the newline; everything else carries over.
+            if state == LexState::LineComment {
+                state = LexState::Normal;
+            }
+            out.push((
+                std::mem::take(&mut raw),
+                std::mem::take(&mut code),
+                std::mem::take(&mut comment),
+            ));
+            i += 1;
+            continue;
+        }
+        raw.push(c);
+        match state {
+            LexState::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = LexState::LineComment;
+                    i += 2;
+                    raw.push('/');
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = LexState::BlockComment(1);
+                    i += 2;
+                    raw.push('*');
+                    continue;
+                }
+                if c == '"' {
+                    // Keep the delimiters so token shapes like `.expect(` stay intact.
+                    code.push('"');
+                    state = LexState::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == 'r' {
+                    // r"..." / r#"..."# raw strings (also br/ rb prefixes are
+                    // preceded by `b`, which lands here harmlessly as code).
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        raw.extend(&chars[i + 1..=j]);
+                        code.push('"');
+                        state = LexState::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Lifetime vs char literal: `'ident` not followed by a
+                    // closing quote is a lifetime (or loop label).
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    let is_lifetime =
+                        matches!(n1, Some(x) if x.is_alphabetic() || x == '_') && n2 != Some('\'');
+                    if is_lifetime {
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    code.push('\'');
+                    state = LexState::CharLit;
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            LexState::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            LexState::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    raw.push('/');
+                    i += 2;
+                    state = if depth == 1 {
+                        LexState::Normal
+                    } else {
+                        LexState::BlockComment(depth - 1)
+                    };
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    raw.push('*');
+                    comment.push(c);
+                    comment.push('*');
+                    i += 2;
+                    state = LexState::BlockComment(depth + 1);
+                    continue;
+                }
+                comment.push(c);
+                i += 1;
+            }
+            LexState::Str => {
+                if c == '\\' {
+                    // Skip the escaped char (handles \" and \\).
+                    if let Some(&e) = chars.get(i + 1) {
+                        if e != '\n' {
+                            raw.push(e);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = LexState::Normal;
+                }
+                i += 1;
+            }
+            LexState::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for k in 0..hashes as usize {
+                            raw.push(chars[i + 1 + k]);
+                        }
+                        code.push('"');
+                        state = LexState::Normal;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            LexState::CharLit => {
+                if c == '\\' {
+                    if let Some(&e) = chars.get(i + 1) {
+                        if e != '\n' {
+                            raw.push(e);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    code.push('\'');
+                    state = LexState::Normal;
+                }
+                i += 1;
+            }
+        }
+    }
+    if !raw.is_empty() || !code.is_empty() || !comment.is_empty() {
+        out.push((raw, code, comment));
+    }
+    out
+}
+
+/// Pass 2: region classification over the stripped lines.
+fn classify(stripped: Vec<(String, String, String)>) -> ScannedFile {
+    let mut lines = Vec::with_capacity(stripped.len());
+    let mut marker_errors = Vec::new();
+
+    // `#[cfg(test)]` tracking: brace depth, plus a stack of entry depths of
+    // test regions. `pending` is set between the attribute and its `{`.
+    let mut depth: i64 = 0;
+    let mut test_stack: Vec<i64> = Vec::new();
+    let mut pending_cfg_test = false;
+
+    // Hot-path directive tracking.
+    let mut hot_open_line: Option<usize> = None;
+
+    for (idx, (raw, code, comment)) in stripped.into_iter().enumerate() {
+        let number = idx + 1;
+        let was_test = pending_cfg_test || !test_stack.is_empty();
+
+        // Ordered brace / cfg(test) events within the code text.
+        let mut events: Vec<(usize, u8)> = Vec::new();
+        for (pos, c) in code.char_indices() {
+            match c {
+                '{' => events.push((pos, b'{')),
+                '}' => events.push((pos, b'}')),
+                _ => {}
+            }
+        }
+        let mut search = 0;
+        while let Some(rel) = code[search..].find("cfg(test") {
+            events.push((search + rel, b'T'));
+            search += rel + 1;
+        }
+        events.sort_unstable();
+        for (_, ev) in events {
+            match ev {
+                b'T' => pending_cfg_test = true,
+                b'{' => {
+                    if pending_cfg_test {
+                        test_stack.push(depth);
+                        pending_cfg_test = false;
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        let in_test = was_test || pending_cfg_test || !test_stack.is_empty();
+
+        // Hot-path directives live in comments only, and only in comments
+        // that *are* the directive (doc comments merely talking about the
+        // convention start with `/` or `!` and never match). The directive
+        // lines themselves are *not* part of the region.
+        let directive = comment.trim();
+        let in_hot_path = hot_open_line.is_some();
+        if directive.starts_with(HOT_CLOSE) {
+            if hot_open_line.is_none() {
+                marker_errors.push(MarkerError {
+                    line: number,
+                    message: "end-hot-path without a matching hot-path marker".into(),
+                });
+            }
+            hot_open_line = None;
+        } else if directive.starts_with(HOT_OPEN) {
+            if hot_open_line.is_some() {
+                marker_errors.push(MarkerError {
+                    line: number,
+                    message: "hot-path marker inside an open hot-path region".into(),
+                });
+            }
+            hot_open_line = Some(number);
+        } else if directive.starts_with(DIRECTIVE_PREFIX) {
+            marker_errors.push(MarkerError {
+                line: number,
+                message: format!(
+                    "unknown nbfs-analysis directive (expected \"{HOT_OPEN}\" or \"{HOT_CLOSE}\")"
+                ),
+            });
+        }
+
+        lines.push(ScanLine {
+            number,
+            raw,
+            code,
+            comment,
+            in_test,
+            in_hot_path,
+        });
+    }
+
+    if let Some(open) = hot_open_line {
+        marker_errors.push(MarkerError {
+            line: open,
+            message: "hot-path region never closed (missing end-hot-path)".into(),
+        });
+    }
+
+    ScannedFile {
+        lines,
+        marker_errors,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let f = scan("let x = \"unwrap()\"; // .unwrap() here\nlet y = 1;\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains(".unwrap() here"));
+        assert_eq!(f.lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let f = scan("let s = r#\"panic!(\"x\")\"#;\nlet c = 'p'; let l: &'static str = s;\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[1].code.contains("&'static str"));
+        assert!(!f.lines[1].code.contains('p'));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scan("a /* one /* two */ still */ b\n/* open\nInstant::now()\n*/ c\n");
+        assert_eq!(f.lines[0].code.replace(' ', ""), "ab");
+        assert!(!f.lines[2].code.contains("Instant"));
+        assert!(f.lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked_by_depth() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line counts as test");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn hot_path_region_and_marker_errors() {
+        let src =
+            "// nbfs-analysis: hot-path\nlet a = 1;\n// nbfs-analysis: end-hot-path\nlet b = 2;\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_hot_path, "open marker line is outside");
+        assert!(f.lines[1].in_hot_path);
+        assert!(f.lines[2].in_hot_path, "close marker line still inside");
+        assert!(!f.lines[3].in_hot_path);
+        assert!(f.marker_errors.is_empty());
+
+        let unterminated = scan("// nbfs-analysis: hot-path\nlet a = 1;\n");
+        assert_eq!(unterminated.marker_errors.len(), 1);
+        assert_eq!(unterminated.marker_errors[0].line, 1);
+
+        let unknown = scan("// nbfs-analysis: cold-path\n");
+        assert_eq!(unknown.marker_errors.len(), 1);
+
+        let stray = scan("// nbfs-analysis: end-hot-path\n");
+        assert_eq!(stray.marker_errors.len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Workspace file discovery.
+//!
+//! Collects every `.rs` file under the workspace root, skipping build
+//! output, vendored stubs, VCS metadata and the linter's own known-bad
+//! fixture corpus. Paths come back sorted and `/`-separated so reports
+//! are deterministic across platforms.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Returns workspace-relative `/`-separated paths of all lintable `.rs`
+/// files under `root`, sorted.
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut abs = Vec::new();
+    descend(root, &mut abs)?;
+    let mut rel: Vec<String> = abs
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root).ok().map(|r| {
+                r.components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            })
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn descend(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let kind = entry.file_type()?;
+        if kind.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            descend(&path, out)?;
+        } else if kind.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_fixtures() {
+        // The package cwd during `cargo test` is crates/nbfs-analysis; its
+        // own tree is a convenient walk target with a fixtures/ subdir.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(root).unwrap();
+        assert!(files.contains(&"src/walk.rs".to_string()));
+        assert!(files.iter().all(|f| !f.contains("fixtures/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "output must be sorted");
+    }
+}

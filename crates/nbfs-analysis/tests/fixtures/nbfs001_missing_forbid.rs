@@ -1,0 +1,6 @@
+//! Fixture: a crate root that forgot `#![forbid(unsafe_code)]`.
+//! Linted as-if at `crates/nbfs-core/src/lib.rs`; must fire NBFS001 once.
+
+pub fn answer() -> u64 {
+    42
+}

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock sampling outside `nbfs-bench`'s wallclock module.
+//! Linted as-if at `crates/nbfs-core/src/timing.rs`; must fire NBFS002 once.
+
+pub fn sample() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a panicking call in non-test library code of a no-panic crate.
+//! Linted as-if at `crates/nbfs-comm/src/fixture.rs`; must fire NBFS003 once.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

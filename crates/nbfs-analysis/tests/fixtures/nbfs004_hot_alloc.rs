@@ -1,0 +1,14 @@
+//! Fixture: heap allocation inside a declared hot-path region.
+//! Linted as-if at `crates/nbfs-core/src/hot.rs`; must fire NBFS004 once.
+
+pub fn fold(words: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    // nbfs-analysis: hot-path
+    let scratch: Vec<u64> = Vec::new();
+    for &w in words {
+        acc |= w;
+    }
+    drop(scratch);
+    // nbfs-analysis: end-hot-path
+    acc
+}

@@ -1,0 +1,7 @@
+//! Fixture: a truncating cast on a vertex-id expression outside the
+//! sanctioned `nbfs-graph::vid` conversion module.
+//! Linted as-if at `crates/nbfs-core/src/fixture.rs`; must fire NBFS005 once.
+
+pub fn store(slot: &mut u32, v: usize) {
+    *slot = v as u32;
+}

@@ -1,6 +1,9 @@
 //! Ablation: the inter-node allgather algorithm (DESIGN.md §5), including
 //! the subgroup-count interpolation of the parallelized allgather.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbfs_comm::allgather::{allgather_cost_bytes, AllgatherAlgorithm};
 use nbfs_simnet::NetworkModel;

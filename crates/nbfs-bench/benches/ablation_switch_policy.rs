@@ -1,6 +1,9 @@
 //! Ablation: the hybrid switch thresholds alpha/beta of Beamer et al. \[9\]
 //! (DESIGN.md §5) plus the forced pure-direction baselines.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbfs_bench::scenarios::{self, BenchConfig};
 use nbfs_core::direction::SwitchPolicy;

@@ -1,6 +1,9 @@
 //! Extension bench: the executing 2-D top-down engine vs the 1-D engines
 //! (paper §V / Buluc & Madduri \[11\]).
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use nbfs_bench::scenarios::{self, BenchConfig};
 use nbfs_core::direction::SwitchPolicy;

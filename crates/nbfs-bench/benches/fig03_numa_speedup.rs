@@ -1,6 +1,9 @@
 //! Criterion bench behind Fig. 3: the same BFS under 1-core, 8-core and
 //! 64-core (interleaved / bound) machine configurations.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use nbfs_bench::scenarios::{self, BenchConfig};
 use nbfs_core::opt::OptLevel;

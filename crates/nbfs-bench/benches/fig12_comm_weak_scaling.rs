@@ -1,6 +1,9 @@
 //! Criterion bench behind Fig. 12: Original ppn=1 vs ppn=8 under weak
 //! scaling (the profiled run whose comm phases the figure charts).
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbfs_bench::scenarios::{self, BenchConfig};
 use nbfs_core::opt::OptLevel;

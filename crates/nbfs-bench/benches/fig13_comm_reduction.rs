@@ -1,6 +1,9 @@
 //! Criterion bench behind Fig. 13: the communication-optimization ladder
 //! at a fixed weak-scaling point.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbfs_bench::scenarios::{self, BenchConfig};
 use nbfs_core::opt::OptLevel;

@@ -1,5 +1,8 @@
 //! Criterion bench behind Fig. 15: weak-scaling runs per implementation.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbfs_bench::scenarios::{self, BenchConfig};
 use nbfs_core::opt::OptLevel;

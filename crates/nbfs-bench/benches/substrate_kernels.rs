@@ -1,6 +1,9 @@
 //! Wall-clock benchmarks of the substrate itself: generator, CSR assembly,
 //! partitioning, sequential engines, bitmap/summary primitives.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbfs_bench::scenarios;
 use nbfs_core::direction::SwitchPolicy;

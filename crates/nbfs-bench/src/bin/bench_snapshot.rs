@@ -7,6 +7,8 @@
 //! The optional `PATH` overrides the default `BENCH_BFS.json` in the
 //! current directory.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use nbfs_bench::wallclock::{self, SnapshotConfig};

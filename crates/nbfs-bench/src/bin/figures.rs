@@ -6,6 +6,8 @@
 //! cargo run -p nbfs-bench --release --bin figures -- fig13 --json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use nbfs_bench::figures::{self, ALL_IDS};
 use nbfs_bench::scenarios::BenchConfig;
 
@@ -61,7 +63,7 @@ fn main() {
         cfg.base_scale, cfg.roots
     );
     for id in &ids {
-        let t0 = std::time::Instant::now();
+        let t0 = nbfs_bench::wallclock::HostTimer::new();
         match figures::generate(id, &cfg) {
             Some(report) => {
                 if json {
@@ -69,10 +71,7 @@ fn main() {
                 } else {
                     println!("{}", report.to_text());
                 }
-                eprintln!(
-                    "# {id} regenerated in {:.1}s wall",
-                    t0.elapsed().as_secs_f64()
-                );
+                eprintln!("# {id} regenerated in {:.1}s wall", t0.elapsed_secs());
             }
             None => die(&format!(
                 "unknown figure id {id} (known: {})",

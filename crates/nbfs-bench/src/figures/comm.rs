@@ -129,6 +129,7 @@ pub fn fig14(cfg: &BenchConfig) -> FigureReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -58,6 +58,7 @@ pub fn ext2d(cfg: &BenchConfig) -> FigureReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -47,6 +47,7 @@ pub fn fig16(cfg: &BenchConfig) -> FigureReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

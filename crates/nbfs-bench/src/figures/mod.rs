@@ -73,6 +73,7 @@ pub(crate) fn ratio_cell(x: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -95,6 +95,7 @@ pub fn fig6() -> FigureReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -115,6 +115,7 @@ pub fn hybrid_vs_pure(cfg: &BenchConfig) -> FigureReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -80,7 +80,7 @@ pub fn fig2() -> FigureReport {
         &["socket", "links to", "max hops"],
     );
     for s in 0..t.sockets() {
-        let max_hops = (0..t.sockets()).map(|d| t.hops(s, d)).max().unwrap();
+        let max_hops = (0..t.sockets()).map(|d| t.hops(s, d)).max().unwrap_or(0);
         r.push_row(vec![
             s.to_string(),
             t.neighbours(s)
@@ -100,6 +100,7 @@ pub fn fig2() -> FigureReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -99,7 +99,12 @@ pub fn fig10(cfg: &BenchConfig) -> FigureReport {
             ratio_cell(teps / best),
         ]);
     }
-    let find = |l: &str| rows.iter().find(|(x, _)| x == l).unwrap().1;
+    let find = |l: &str| {
+        rows.iter()
+            .find(|(x, _)| x == l)
+            .expect("every ladder label was just computed")
+            .1
+    };
     r.note(format!(
         "paper: bind/interleave=1.74x, bind/noflag(ppn=8)=2.08x — measured: {:.2}x, {:.2}x",
         find("ppn=8.bind-to-socket") / find("ppn=1.interleave"),
@@ -158,6 +163,7 @@ pub fn fig11(cfg: &BenchConfig) -> FigureReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

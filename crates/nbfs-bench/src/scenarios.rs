@@ -95,6 +95,7 @@ pub fn run_scenario(graph: &Csr, scenario: &Scenario) -> (SimTime, f64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

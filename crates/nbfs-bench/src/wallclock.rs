@@ -21,15 +21,40 @@
 
 use std::io::Write as _;
 use std::path::Path;
+use std::time::Instant;
 
 use serde::Serialize;
 
-use nbfs_core::engine::{BottomUpKernel, DistributedBfs, Scenario, WallClock};
+use nbfs_core::engine::{BottomUpKernel, DistributedBfs, HostClock, Scenario, WallClock};
 use nbfs_core::opt::OptLevel;
 use nbfs_graph::Csr;
 use nbfs_topology::presets;
 
 use crate::scenarios;
+
+/// The real host clock — the one [`HostClock`] implementation in the
+/// workspace that actually reads `std::time` (this module is the NBFS002
+/// sanctuary; see DESIGN.md, "Static analysis & race checking").
+pub struct HostTimer(Instant);
+
+impl HostTimer {
+    /// Starts a timer at the current instant.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Seconds elapsed since [`HostTimer::new`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl HostClock for HostTimer {
+    fn now_secs(&self) -> f64 {
+        self.elapsed_secs()
+    }
+}
 
 /// Knobs of the snapshot run. [`Default`] is the committed configuration;
 /// tests shrink the scale to stay fast.
@@ -133,9 +158,10 @@ fn measure(
     repeats: usize,
 ) -> (nbfs_core::engine::BfsRun, WallClock) {
     assert!(repeats > 0, "need at least one repeat");
-    let (mut run, mut best) = bfs.run_timed(root);
+    let clock = HostTimer::new();
+    let (mut run, mut best) = bfs.run_timed(root, &clock);
     for _ in 1..repeats {
-        let (r, w) = bfs.run_timed(root);
+        let (r, w) = bfs.run_timed(root, &clock);
         best.bottom_up_secs = best.bottom_up_secs.min(w.bottom_up_secs);
         best.top_down_secs = best.top_down_secs.min(w.top_down_secs);
         best.total_secs = best.total_secs.min(w.total_secs);
@@ -242,6 +268,7 @@ pub fn summary(s: &Snapshot) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,7 @@
 //! The `nbfs` binary: thin shim over [`nbfs_cli`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match nbfs_cli::parse(&args) {

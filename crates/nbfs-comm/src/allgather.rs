@@ -146,13 +146,19 @@ pub fn allgather_words_into(
         total,
         "dst must hold exactly the concatenated segments"
     );
+    // Per-rank byte sizes for the cost model: one small allocation, kept
+    // out of the copy path below so the hot region stays allocation-free.
+    let bytes: Vec<u64> = parts.iter().map(|p| p.len() as u64 * 8).collect();
+    // nbfs-analysis: hot-path
+    // The allgather level loop: every bottom-up level concatenates all
+    // ranks' out_queue segments into the receiving bitmap's own words.
+    // Persistent destination, caller-owned sources, no heap (NBFS004).
     let mut at = 0usize;
-    let mut bytes = Vec::with_capacity(parts.len());
     for p in parts {
         dst[at..at + p.len()].copy_from_slice(p);
         at += p.len();
-        bytes.push(p.len() as u64 * 8);
     }
+    // nbfs-analysis: end-hot-path
     allgather_cost_bytes(&bytes, pmap, net, algo)
 }
 
@@ -453,6 +459,7 @@ pub fn ring_allgather_functional(parts: &[Vec<u64>]) -> Vec<Vec<Vec<u64>>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_topology::{presets, MachineConfig, PlacementPolicy, ProcessMap};

@@ -106,6 +106,7 @@ pub fn alltoallv<T: Clone>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_topology::{presets, PlacementPolicy, ProcessMap};

@@ -155,6 +155,7 @@ impl SharedFrontier {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_topology::{presets, PlacementPolicy, ProcessMap};

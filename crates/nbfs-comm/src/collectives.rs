@@ -85,6 +85,7 @@ pub fn broadcast_cost(bytes: u64, pmap: &ProcessMap, net: &NetworkModel) -> Comm
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_topology::{presets, PlacementPolicy, ProcessMap};

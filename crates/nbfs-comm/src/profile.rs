@@ -65,6 +65,7 @@ impl std::ops::AddAssign for CommCost {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -62,17 +62,28 @@ impl RankCtx {
     /// Receives the next message matching `(from, tag)`, blocking until it
     /// arrives. Unmatched messages are stashed for later `recv`s.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
-        if let Some(pos) = self
-            .stash
-            .iter()
-            .position(|m| m.from == from && m.tag == tag)
-        {
-            return self.stash.remove(pos).expect("position valid").payload;
+        self.recv_where(|m| m.from == from && m.tag == tag).payload
+    }
+
+    /// Receives the next message satisfying `pred`, stashing everything
+    /// that does not match. The single blocking receive both `recv` and
+    /// `recv_any` funnel through.
+    fn recv_where(&mut self, pred: impl Fn(&Message) -> bool) -> Message {
+        if let Some(pos) = self.stash.iter().position(&pred) {
+            if let Some(m) = self.stash.remove(pos) {
+                return m;
+            }
         }
         loop {
-            let msg = self.receiver.recv().expect("all senders gone");
-            if msg.from == from && msg.tag == tag {
-                return msg.payload;
+            // Infallible: every rank keeps a Sender to its own channel in
+            // `self.senders`, so the channel cannot disconnect while this
+            // context exists (allowlisted NBFS003).
+            let msg = self
+                .receiver
+                .recv()
+                .expect("own sender keeps the channel alive");
+            if pred(&msg) {
+                return msg;
             }
             self.stash.push_back(msg);
         }
@@ -103,17 +114,8 @@ impl RankCtx {
     /// Receives the next message with `tag` from any rank, returning
     /// `(sender, payload)`.
     fn recv_any(&mut self, tag: u64) -> (usize, Vec<u8>) {
-        if let Some(pos) = self.stash.iter().position(|m| m.tag == tag) {
-            let m = self.stash.remove(pos).expect("position valid");
-            return (m.from, m.payload);
-        }
-        loop {
-            let msg = self.receiver.recv().expect("all senders gone");
-            if msg.tag == tag {
-                return (msg.from, msg.payload);
-            }
-            self.stash.push_back(msg);
-        }
+        let m = self.recv_where(|m| m.tag == tag);
+        (m.from, m.payload)
     }
 
     /// Broadcasts `payload` from `root` via a binomial tree (the MPICH
@@ -151,21 +153,22 @@ impl RankCtx {
     /// contribution, in rank order.
     pub fn allgather_bytes(&mut self, mine: Vec<u8>, tag: u64) -> Vec<Vec<u8>> {
         let np = self.world;
-        let mut have: Vec<Option<Vec<u8>>> = vec![None; np];
-        have[self.rank] = Some(mine);
+        let mut have: Vec<Vec<u8>> = vec![Vec::new(); np];
         let next = (self.rank + 1) % np;
         let prev = (self.rank + np - 1) % np;
+        // Round `r` forwards the chunk received in round `r - 1` (round 0
+        // forwards our own contribution), so the value to send is always
+        // in hand — no Option slots, nothing to unwrap.
+        let mut outgoing = mine.clone();
+        have[self.rank] = mine;
         for r in 0..np.saturating_sub(1) {
-            let send_idx = (self.rank + np - r) % np;
-            let chunk = have[send_idx].clone().expect("ring invariant");
-            self.send(next, tag.wrapping_add(r as u64), chunk);
+            self.send(next, tag.wrapping_add(r as u64), outgoing);
             let recv_idx = (prev + np - r) % np;
             let got = self.recv(prev, tag.wrapping_add(r as u64));
-            have[recv_idx] = Some(got);
+            have[recv_idx] = got.clone();
+            outgoing = got;
         }
-        have.into_iter()
-            .map(|c| c.expect("chunk missing"))
-            .collect()
+        have
     }
 }
 
@@ -208,6 +211,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

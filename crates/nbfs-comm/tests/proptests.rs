@@ -1,5 +1,8 @@
 //! Property-based tests for the collective algorithms.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use proptest::prelude::*;
 
 use nbfs_comm::allgather::{

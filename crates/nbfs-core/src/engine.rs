@@ -13,14 +13,12 @@
 //! results — parents, bitmaps, simulated times — are bit-reproducible and
 //! independent of the worker-thread count.
 
-use std::time::Instant;
-
 use rayon::prelude::*;
 
 use nbfs_comm::allgather::{allgather_cost_bytes, allgather_words_into, allgatherv_items};
 use nbfs_comm::collectives::allreduce_sum;
 use nbfs_graph::partition::LocalGraph;
-use nbfs_graph::{Csr, PartitionedGraph, NO_PARENT};
+use nbfs_graph::{vid, Csr, PartitionedGraph, NO_PARENT};
 use nbfs_simnet::compute::{ModelParams, ProbeClass};
 use nbfs_simnet::{ComputeContext, ComputeEvents, NetworkModel, Residence};
 use nbfs_topology::{MachineConfig, MemoryProfile, PlacementPolicy, ProcessMap};
@@ -81,6 +79,11 @@ pub struct Scenario {
 
 impl Scenario {
     /// A scenario with default switch policy and model parameters.
+    ///
+    /// # Panics
+    /// If `machine` fails [`MachineConfig::validate`] — simulated times
+    /// over an inconsistent machine description would be meaningless, so
+    /// construction refuses up front (allowlisted NBFS003).
     pub fn new(machine: MachineConfig, opt: OptLevel) -> Self {
         machine.validate().expect("invalid machine");
         Self {
@@ -211,6 +214,28 @@ pub struct WallClock {
     pub bottom_up_edges: u64,
 }
 
+/// A host clock the engine can read without touching `std::time`.
+///
+/// The simulated-time discipline (DESIGN.md §2, enforced by diagnostic
+/// NBFS002) keeps `Instant::now`/`SystemTime` out of every crate except
+/// `nbfs-bench`'s wallclock module. The engine therefore takes the clock
+/// by injection: benchmarks pass `nbfs_bench::wallclock::HostTimer`,
+/// everything else runs on [`NoClock`] and pays nothing.
+pub trait HostClock {
+    /// Monotonic seconds since an arbitrary per-clock epoch.
+    fn now_secs(&self) -> f64;
+}
+
+/// The null clock: all reads return 0, so every wall-clock field of
+/// [`WallClock`] stays 0 and no syscall is made.
+pub struct NoClock;
+
+impl HostClock for NoClock {
+    fn now_secs(&self) -> f64 {
+        0.0
+    }
+}
+
 /// Per-destination buckets of `(vertex, parent)` records for a scatter.
 type SendBuckets = Vec<Vec<(u32, u32)>>;
 
@@ -270,6 +295,11 @@ fn bu_scan_chunk(
     parent: &mut [u32],
     out: &mut [u64],
 ) -> BuChunkOut {
+    // nbfs-analysis: hot-path
+    // The bottom-up word kernel: runs once per chunk per level over the
+    // whole unvisited vertex set. Everything below works in caller-owned
+    // slices; a heap allocation here would be per-level host time the
+    // simulated cost model cannot see (NBFS004 enforces this).
     let BuScanInputs {
         lg,
         visited,
@@ -327,6 +357,7 @@ fn bu_scan_chunk(
         }
     }
     o
+    // nbfs-analysis: end-hot-path
 }
 
 /// Result of one distributed BFS.
@@ -409,12 +440,14 @@ impl<'g> DistributedBfs<'g> {
 
     /// Runs a BFS from `root`, producing the tree and the profile.
     pub fn run(&self, root: usize) -> BfsRun {
-        self.run_timed(root).0
+        self.run_timed(root, &NoClock).0
     }
 
-    /// Like [`Self::run`], also reporting host wall-clock kernel timings.
-    pub fn run_timed(&self, root: usize) -> (BfsRun, WallClock) {
-        let run_start = Instant::now();
+    /// Like [`Self::run`], also reporting host wall-clock kernel timings
+    /// read from the injected `clock` (pass [`NoClock`] when the timings
+    /// do not matter).
+    pub fn run_timed(&self, root: usize, clock: &dyn HostClock) -> (BfsRun, WallClock) {
+        let run_start = clock.now_secs();
         let mut wall = WallClock::default();
         let n = self.parts.num_vertices();
         assert!(root < n, "root {root} out of range");
@@ -453,9 +486,9 @@ impl<'g> DistributedBfs<'g> {
         {
             let owner = partition.owner(root);
             let local = partition.to_local(root);
-            states[owner].parent[local] = root as u32;
+            states[owner].parent[local] = vid::to_stored(root);
             states[owner].visited.set(local);
-            states[owner].frontier.push(root as u32);
+            states[owner].frontier.push(vid::to_stored(root));
             states[owner].unexplored_degree -= self.parts.local(owner).degree_global(root) as u64;
         }
 
@@ -550,7 +583,7 @@ impl<'g> DistributedBfs<'g> {
                     // --- bottom-up kernel --------------------------------
                     let in_queue_ref = &in_queue;
                     let summary_ref = &summary;
-                    let t0 = Instant::now();
+                    let t0 = clock.now_secs();
                     let outs: Vec<KernelOut> = states
                         .par_iter_mut()
                         .enumerate()
@@ -569,15 +602,18 @@ impl<'g> DistributedBfs<'g> {
                             ),
                         })
                         .collect();
-                    wall.bottom_up_secs += t0.elapsed().as_secs_f64();
+                    wall.bottom_up_secs += clock.now_secs() - t0;
                     wall.bottom_up_levels += 1;
                     wall.bottom_up_edges +=
                         outs.iter().map(|o| o.events.edge_bytes / 4).sum::<u64>();
+                    // nbfs-analysis: hot-path
                     // Fold the level's discoveries into the visited bits the
-                    // next bottom-up scan will skip.
+                    // next bottom-up scan will skip (word-parallel OR over
+                    // persistent buffers; allocation-free by NBFS004).
                     for st in states.iter_mut() {
                         st.visited.or_words_from(0, &st.out_words);
                     }
+                    // nbfs-analysis: end-hot-path
                     let (mean, stall) = self.phase_times(&outs);
                     profile.bu_comp += mean;
                     level_comp = mean;
@@ -593,10 +629,10 @@ impl<'g> DistributedBfs<'g> {
                     }
 
                     if self.scenario.td_strategy == TdStrategy::Alltoallv {
-                        let t0 = Instant::now();
+                        let t0 = clock.now_secs();
                         let (comm, comp, stall, discovered) =
                             self.top_down_alltoallv_level(&mut states, &partition);
-                        wall.top_down_secs += t0.elapsed().as_secs_f64();
+                        wall.top_down_secs += clock.now_secs() - t0;
                         profile.td_comm += comm + control;
                         profile.td_comp += comp;
                         level_comm += comm;
@@ -648,7 +684,7 @@ impl<'g> DistributedBfs<'g> {
                             algo,
                         );
                         td_scratch.repair_padding();
-                        full_frontier = td_scratch.iter_ones().map(|v| v as u32).collect();
+                        full_frontier = td_scratch.iter_ones().map(vid::to_stored).collect();
                         exchange_cost = cost.total();
                         profile.switch += self.conversion_time(&partition);
                     } else {
@@ -663,13 +699,13 @@ impl<'g> DistributedBfs<'g> {
 
                     // --- top-down kernel over the transposed index -------
                     let frontier_ref = &full_frontier;
-                    let t0 = Instant::now();
+                    let t0 = clock.now_secs();
                     let outs: Vec<KernelOut> = states
                         .par_iter_mut()
                         .enumerate()
                         .map(|(r, st)| self.top_down_kernel(self.parts.local(r), st, frontier_ref))
                         .collect();
-                    wall.top_down_secs += t0.elapsed().as_secs_f64();
+                    wall.top_down_secs += clock.now_secs() - t0;
                     let (mean, stall) = self.phase_times(&outs);
                     profile.td_comp += mean;
                     level_comp += mean;
@@ -699,7 +735,7 @@ impl<'g> DistributedBfs<'g> {
         }
         parent.truncate(n);
         let visited = parent.iter().filter(|&&p| p != NO_PARENT).count();
-        wall.total_secs = run_start.elapsed().as_secs_f64();
+        wall.total_secs = clock.now_secs() - run_start;
         (
             BfsRun {
                 parent,
@@ -775,8 +811,12 @@ impl<'g> DistributedBfs<'g> {
             })
             .collect();
 
+        // nbfs-analysis: hot-path
         // Order-preserving merge: chunk order is vertex order, u64 counter
-        // sums are exact regardless of grouping.
+        // sums are exact regardless of grouping. The fold and the frontier
+        // rebuild below run every bottom-up level; `frontier` is reused
+        // across levels (reserve on a recycled Vec is amortized-free, new
+        // heap blocks are not — NBFS004).
         let mut summary_probes = 0u64;
         let mut inqueue_probes = 0u64;
         let mut edge_bytes = 0u64;
@@ -804,9 +844,10 @@ impl<'g> DistributedBfs<'g> {
             while w != 0 {
                 let bit = w.trailing_zeros() as usize;
                 w &= w - 1;
-                frontier.push((first + wo * WORD_BITS + bit) as u32);
+                frontier.push(vid::to_stored(first + wo * WORD_BITS + bit));
             }
         }
+        // nbfs-analysis: end-hot-path
 
         let events = ComputeEvents {
             vertex_scan_bytes: nlv as u64 * 4,
@@ -870,7 +911,7 @@ impl<'g> DistributedBfs<'g> {
                     st.parent[local] = u;
                     let local_bit = v - bit_start;
                     st.out_words[local_bit / 64] |= 1u64 << (local_bit % 64);
-                    st.frontier.push(v as u32);
+                    st.frontier.push(vid::to_stored(v));
                     write_bytes += 12;
                     discovered += 1;
                     degree_found += lg.degree_global(v) as u64;
@@ -1063,6 +1104,7 @@ impl<'g> DistributedBfs<'g> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_graph::validate::validate_bfs_tree;

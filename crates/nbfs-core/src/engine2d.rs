@@ -31,7 +31,7 @@ use rayon::prelude::*;
 
 use nbfs_comm::alltoallv::alltoallv;
 use nbfs_comm::collectives::allreduce_sum;
-use nbfs_graph::{Csr, NO_PARENT};
+use nbfs_graph::{vid, Csr, NO_PARENT};
 use nbfs_simnet::compute::ProbeClass;
 use nbfs_simnet::{ComputeContext, ComputeEvents, Flow, NetworkModel};
 use nbfs_topology::{MachineConfig, ProcessMap};
@@ -135,7 +135,7 @@ impl<'g> TwoDimBfs<'g> {
                     for v in vs..ve {
                         for &u in self.graph.neighbours(v) {
                             if self.coords_of_owner(u as usize).1 == col {
-                                block.push((u, v as u32));
+                                block.push((u, vid::to_stored(v)));
                             }
                         }
                     }
@@ -186,8 +186,8 @@ impl<'g> TwoDimBfs<'g> {
         {
             let owner = self.partition.owner(root);
             let local = self.partition.to_local(root);
-            ranks[owner].parent[local] = root as u32;
-            ranks[owner].frontier.push(root as u32);
+            ranks[owner].parent[local] = vid::to_stored(root);
+            ranks[owner].frontier.push(vid::to_stored(root));
         }
 
         let mut profile = RunProfile::default();
@@ -316,6 +316,7 @@ impl<'g> TwoDimBfs<'g> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::direction::SwitchPolicy;

@@ -155,6 +155,7 @@ impl TwoDimComparison {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::opt::OptLevel;

@@ -158,7 +158,8 @@ impl<'g> Graph500Harness<'g> {
 
         let teps_samples: Vec<f64> = per_root.iter().map(|r| r.teps).collect();
         HarnessResult {
-            teps: RateSummary::from_samples(&teps_samples),
+            teps: RateSummary::from_samples(&teps_samples)
+                .expect("TEPS samples are positive: one per validated root"),
             mean_profile,
             per_root,
         }
@@ -171,6 +172,7 @@ impl<'g> Graph500Harness<'g> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::opt::OptLevel;

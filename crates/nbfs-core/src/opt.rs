@@ -120,6 +120,7 @@ impl OptLevel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_topology::presets;

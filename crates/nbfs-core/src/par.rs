@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
-use nbfs_graph::{Csr, NO_PARENT};
+use nbfs_graph::{vid, Csr, NO_PARENT};
 use nbfs_util::{AtomicBitmap, Bitmap};
 
 use crate::direction::{Direction, SwitchPolicy};
@@ -37,9 +37,9 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
     let n = graph.num_vertices();
     assert!(root < n, "root out of range");
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
-    parent[root].store(root as u32, Ordering::Relaxed);
+    parent[root].store(vid::to_stored(root), Ordering::Relaxed);
 
-    let mut frontier: Vec<u32> = vec![root as u32];
+    let mut frontier: Vec<u32> = vec![vid::to_stored(root)];
     let in_queue = AtomicBitmap::new(n);
     in_queue.set(root);
     // Visited words let bottom-up workers skip 64 explored vertices with a
@@ -134,7 +134,7 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
                                     }
                                     if (cached_word >> (u as usize % 64)) & 1 == 1 {
                                         parent[v].store(u, Ordering::Relaxed);
-                                        local.push(v as u32);
+                                        local.push(vid::to_stored(v));
                                         break;
                                     }
                                 }
@@ -184,6 +184,7 @@ pub fn visited_bitmap(run: &SeqBfs) -> Bitmap {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::seq;

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use nbfs_graph::{Csr, NO_PARENT};
+use nbfs_graph::{vid, Csr, NO_PARENT};
 use nbfs_util::{Bitmap, CachedWordProbe, WORD_BITS};
 
 use crate::direction::{Direction, SwitchPolicy};
@@ -51,8 +51,8 @@ impl SeqBfs {
 pub fn bfs_top_down(graph: &Csr, root: usize) -> SeqBfs {
     let n = graph.num_vertices();
     let mut parent = vec![NO_PARENT; n];
-    parent[root] = root as u32;
-    let mut frontier = vec![root as u32];
+    parent[root] = vid::to_stored(root);
+    let mut frontier = vec![vid::to_stored(root)];
     let mut levels = Vec::new();
     while !frontier.is_empty() {
         let mut next = Vec::new();
@@ -85,7 +85,7 @@ pub fn bfs_top_down(graph: &Csr, root: usize) -> SeqBfs {
 pub fn bfs_bottom_up(graph: &Csr, root: usize) -> SeqBfs {
     let n = graph.num_vertices();
     let mut parent = vec![NO_PARENT; n];
-    parent[root] = root as u32;
+    parent[root] = vid::to_stored(root);
     let mut visited = Bitmap::new(n);
     visited.set(root);
     let mut in_queue = Bitmap::new(n);
@@ -132,10 +132,10 @@ pub fn bfs_bottom_up(graph: &Csr, root: usize) -> SeqBfs {
 pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
     let n = graph.num_vertices();
     let mut parent = vec![NO_PARENT; n];
-    parent[root] = root as u32;
+    parent[root] = vid::to_stored(root);
     let mut visited = Bitmap::new(n);
     visited.set(root);
-    let mut frontier: Vec<u32> = vec![root as u32];
+    let mut frontier: Vec<u32> = vec![vid::to_stored(root)];
     let mut in_queue = Bitmap::new(n);
     in_queue.set(root);
     let mut m_u: u64 = (0..n).map(|v| graph.degree(v) as u64).sum();
@@ -181,7 +181,7 @@ pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
                             edges += 1;
                             if probe.get(u as usize) {
                                 parent[v] = u;
-                                next.push(v as u32);
+                                next.push(vid::to_stored(v));
                                 break;
                             }
                         }
@@ -210,6 +210,7 @@ pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_graph::validate::validate_bfs_tree;

@@ -41,17 +41,29 @@ pub fn auto_granularity(
     summary_residence: Residence,
     in_queue_residence: Residence,
 ) -> usize {
-    [64usize, 128, 256, 512, 1024, 2048, 4096]
-        .into_iter()
-        .min_by(|&a, &b| {
-            let ca = expected_check_ns(machine, frontier, a, summary_residence, in_queue_residence);
-            let cb = expected_check_ns(machine, frontier, b, summary_residence, in_queue_residence);
-            ca.partial_cmp(&cb).expect("costs are finite")
-        })
-        .expect("candidate set non-empty")
+    // Plain fold (first minimum wins) instead of `min_by` + `expect`:
+    // the candidate set is a non-empty literal and the comparison never
+    // needs a total order, so nothing here can panic (NBFS003).
+    let mut best = 64usize;
+    let mut best_cost = expected_check_ns(
+        machine,
+        frontier,
+        best,
+        summary_residence,
+        in_queue_residence,
+    );
+    for g in [128usize, 256, 512, 1024, 2048, 4096] {
+        let cost = expected_check_ns(machine, frontier, g, summary_residence, in_queue_residence);
+        if cost < best_cost {
+            best = g;
+            best_cost = cost;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_topology::presets;

@@ -106,7 +106,9 @@ impl Csr {
 
     /// Does the undirected edge `(u, v)` exist?
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.neighbours(u).binary_search(&(v as u32)).is_ok()
+        self.neighbours(u)
+            .binary_search(&crate::vid::to_stored(v))
+            .is_ok()
     }
 
     /// Vertices of the connected component containing `root`, found by a
@@ -149,6 +151,7 @@ impl Csr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::edge::{Edge, EdgeList};

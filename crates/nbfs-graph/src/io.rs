@@ -140,6 +140,7 @@ pub fn load(path: &Path) -> io::Result<EdgeList> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;

@@ -75,7 +75,7 @@ impl LocalGraph {
     /// looked up in the transposed index. Empty when no edge from `u`
     /// lands in this rank's block.
     pub fn incoming_from(&self, u: VertexId) -> &[(u32, u32)] {
-        let u = u as u32;
+        let u = crate::vid::to_stored(u);
         let start = self.incoming.partition_point(|&(s, _)| s < u);
         let end = start + self.incoming[start..].partition_point(|&(s, _)| s == u);
         &self.incoming[start..end]
@@ -122,7 +122,7 @@ impl PartitionedGraph {
                     .flat_map(|v| {
                         let row = &graph.targets()
                             [graph.offsets()[v] as usize..graph.offsets()[v + 1] as usize];
-                        row.iter().map(move |&u| (u, v as u32))
+                        row.iter().map(move |&u| (u, crate::vid::to_stored(v)))
                     })
                     .collect();
                 incoming.sort_unstable();
@@ -174,6 +174,7 @@ impl PartitionedGraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;

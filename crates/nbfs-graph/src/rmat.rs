@@ -136,6 +136,7 @@ pub fn scramble(x: u32, scale: u32, seed: u64) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use std::collections::HashSet;

@@ -58,6 +58,7 @@ impl DegreeStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;

@@ -171,6 +171,7 @@ pub fn validate_bfs_tree(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;

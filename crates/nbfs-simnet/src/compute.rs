@@ -250,6 +250,7 @@ impl CacheModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_topology::{presets, PlacementPolicy, ProcessMap};

@@ -60,6 +60,7 @@ pub fn fig4_sweep(solver: &FlowSolver) -> Vec<BandwidthPoint> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use nbfs_topology::presets;

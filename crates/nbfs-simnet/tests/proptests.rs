@@ -1,6 +1,9 @@
 //! Property-based tests for the cost models: costs must behave like
 //! physical quantities (non-negative, monotone in work, additive-ish).
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use proptest::prelude::*;
 
 use nbfs_simnet::compute::ProbeClass;

@@ -136,6 +136,9 @@ impl MachineConfig {
     /// graph down by `k` and the caches by `k` preserves the
     /// working-set-to-cache ratios that drive the bitmap-granularity
     /// trade-off (Fig. 16).
+    // Cache capacities are far below 2^53 bytes; truncating to whole bytes
+    // after scaling is the intended rounding.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn with_cache_scale(mut self, factor: f64) -> Self {
         assert!(factor > 0.0, "cache scale must be positive");
         let c = &mut self.socket.cache;
@@ -250,6 +253,7 @@ impl MachineConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::presets;

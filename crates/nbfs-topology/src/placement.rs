@@ -273,6 +273,7 @@ fn hop_factor(mean_hops: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::presets;

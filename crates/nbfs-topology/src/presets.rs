@@ -83,6 +83,7 @@ pub fn cluster2012_with_weak_node() -> MachineConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

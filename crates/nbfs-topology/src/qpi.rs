@@ -120,6 +120,7 @@ impl QpiTopology {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

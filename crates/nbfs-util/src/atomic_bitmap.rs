@@ -96,6 +96,17 @@ impl AtomicBitmap {
         self.words[w].store(value, Ordering::Relaxed);
     }
 
+    /// Atomically ORs `mask` into word `w`, returning the previous value.
+    ///
+    /// This is the word-granular merge used when a whole remote frontier
+    /// word is folded into the shared `out_queue`; the single `fetch_or`
+    /// is what keeps concurrent merges lost-update-free (the property the
+    /// nbfs-analysis race checker exercises exhaustively).
+    #[inline]
+    pub fn fetch_or_word(&self, w: usize, mask: u64) -> u64 {
+        self.words[w].fetch_or(mask, Ordering::Relaxed)
+    }
+
     /// Resets every bit to zero. Requires external quiescence.
     pub fn clear_all(&self) {
         for w in &self.words {
@@ -145,6 +156,7 @@ impl AtomicBitmap {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use std::sync::Arc;

@@ -375,6 +375,7 @@ impl<'a> CachedWordProbe<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

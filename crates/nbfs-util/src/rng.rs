@@ -86,6 +86,8 @@ impl Xoroshiro128 {
     }
 
     /// Fisher–Yates shuffle of a slice.
+    // Cast is value-preserving: next_below(i + 1) < i + 1 <= slice.len().
+    #[allow(clippy::cast_possible_truncation)]
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
             let j = self.next_below(i as u64 + 1) as usize;
@@ -110,6 +112,7 @@ pub fn counter_f64(seed: u64, idx: u64, draw: u32) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

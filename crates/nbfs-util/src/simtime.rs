@@ -162,6 +162,7 @@ impl std::fmt::Display for SimTime {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

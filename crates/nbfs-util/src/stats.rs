@@ -39,12 +39,14 @@ pub fn stddev(values: &[f64]) -> Option<f64> {
 }
 
 /// Linear-interpolation percentile; `p` in `\[0, 100\]`. `None` when empty.
+// rank lies in [0, len - 1], so floor/ceil fit usize exactly.
+#[allow(clippy::cast_possible_truncation)]
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     if values.is_empty() || !(0.0..=100.0).contains(&p) {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -70,20 +72,19 @@ pub struct RateSummary {
 }
 
 impl RateSummary {
-    /// Builds a summary from raw positive rate samples.
-    ///
-    /// # Panics
-    /// If `samples` is empty or contains non-positive values.
-    pub fn from_samples(samples: &[f64]) -> Self {
-        let hm = harmonic_mean(samples).expect("RateSummary needs positive, non-empty samples");
-        RateSummary {
+    /// Builds a summary from raw rate samples. `None` when `samples` is
+    /// empty or contains a non-positive value (the harmonic mean — the
+    /// headline Graph500 statistic — is undefined there).
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        let harmonic_mean = harmonic_mean(samples)?;
+        Some(RateSummary {
             count: samples.len(),
-            harmonic_mean: hm,
-            mean: mean(samples).unwrap(),
+            harmonic_mean,
+            mean: mean(samples)?,
             min: samples.iter().copied().fold(f64::INFINITY, f64::min),
             max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             stddev: stddev(samples).unwrap_or(0.0),
-        }
+        })
     }
 }
 
@@ -101,6 +102,7 @@ pub fn format_teps(teps: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 
@@ -143,7 +145,7 @@ mod tests {
 
     #[test]
     fn rate_summary_fields() {
-        let s = RateSummary::from_samples(&[2.0, 4.0]);
+        let s = RateSummary::from_samples(&[2.0, 4.0]).unwrap();
         assert_eq!(s.count, 2);
         assert_eq!(s.min, 2.0);
         assert_eq!(s.max, 4.0);

@@ -194,6 +194,7 @@ impl SummaryProbe<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

@@ -33,6 +33,8 @@ pub fn format_bandwidth(bytes_per_sec: f64) -> String {
 
 /// Parses a size written like `64MiB`, `512 MB`, `8kB`, `1024`.
 /// Decimal (kB/MB/GB) and binary (KiB/MiB/GiB) suffixes are supported.
+// Truncation to whole bytes is the intended rounding for fractional sizes.
+#[allow(clippy::cast_possible_truncation)]
 pub fn parse_bytes(s: &str) -> Option<usize> {
     let s = s.trim();
     let Some(split) = s.find(|c: char| !c.is_ascii_digit() && c != '.') else {
@@ -54,6 +56,7 @@ pub fn parse_bytes(s: &str) -> Option<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

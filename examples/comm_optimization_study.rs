@@ -7,6 +7,9 @@
 //! cargo run --release --example comm_optimization_study [base_scale]
 //! ```
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::core::engine::{DistributedBfs, Scenario};
 use numa_bfs::core::opt::OptLevel;
 use numa_bfs::graph::GraphBuilder;
@@ -32,8 +35,8 @@ fn main() {
         "{:<8} {:<8} {:<18} {:>16} {:>12}",
         "nodes", "scale", "implementation", "comm/phase", "comm share"
     );
-    for (i, nodes) in [1usize, 2, 4, 8].into_iter().enumerate() {
-        let scale = base_scale + i as u32;
+    for (i, nodes) in (0u32..).zip([1usize, 2, 4, 8]) {
+        let scale = base_scale + i;
         let graph = GraphBuilder::rmat(scale, 16).seed(9).build();
         let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(base_scale, 28);
         let root = (0..graph.num_vertices())

@@ -5,9 +5,12 @@
 //! cargo run --release --example granularity_sweep [scale]
 //! ```
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::core::engine::{DistributedBfs, Scenario};
 use numa_bfs::core::opt::OptLevel;
-use numa_bfs::graph::GraphBuilder;
+use numa_bfs::graph::{vid, GraphBuilder};
 use numa_bfs::topology::presets;
 use numa_bfs::util::stats::format_teps;
 use numa_bfs::util::units::format_bytes;
@@ -47,8 +50,8 @@ fn main() {
             .unwrap_or(0);
         // Re-run levels to capture that frontier.
         let mut parent = vec![u32::MAX; graph.num_vertices()];
-        parent[root] = root as u32;
-        let mut frontier = vec![root as u32];
+        parent[root] = vid::to_stored(root);
+        let mut frontier = vec![vid::to_stored(root)];
         for _ in 0..biggest {
             let mut next = Vec::new();
             for &u in &frontier {

@@ -9,6 +9,9 @@
 //! `--opt` is one of: `ppn1`, `ppn8`, `share-in-queue`, `share-all`,
 //! `par-allgather`, `best` (granularity 256).
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::prelude::*;
 use numa_bfs::topology::presets;
 use numa_bfs::util::stats::format_teps;

@@ -7,6 +7,9 @@
 //! cargo run --release --example placement_study [scale]
 //! ```
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::core::engine::{DistributedBfs, Scenario};
 use numa_bfs::core::opt::OptLevel;
 use numa_bfs::graph::GraphBuilder;

@@ -6,6 +6,9 @@
 //! cargo run --release --example quickstart [scale]
 //! ```
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::prelude::*;
 use numa_bfs::topology::presets;
 

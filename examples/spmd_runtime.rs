@@ -6,6 +6,9 @@
 //! cargo run --release --example spmd_runtime
 //! ```
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::comm::allgather::{allgather_words, AllgatherAlgorithm};
 use numa_bfs::comm::buffers::SharedFrontier;
 use numa_bfs::comm::runtime::run_spmd;

@@ -29,6 +29,8 @@
 //! assert!(run.profile.total().as_secs() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use nbfs_comm as comm;
 pub use nbfs_core as core;
 pub use nbfs_graph as graph;

@@ -1,6 +1,9 @@
 //! Cross-crate integration: generator → partitioner → distributed engine →
 //! validator, across the whole optimization ladder and several machines.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::core::engine::{DistributedBfs, Scenario};
 use numa_bfs::core::opt::OptLevel;
 use numa_bfs::core::seq;

@@ -3,6 +3,9 @@
 //! model), but the *directions and rough factors* the paper reports must
 //! hold. Each test names the claim it guards.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::core::engine::{DistributedBfs, Scenario};
 use numa_bfs::core::harness::{Graph500Harness, HarnessConfig};
 use numa_bfs::core::opt::OptLevel;

@@ -1,6 +1,9 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! full distributed pipeline.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use proptest::prelude::*;
 
 use numa_bfs::comm::allgather::{allgather_words, AllgatherAlgorithm};

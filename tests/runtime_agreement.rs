@@ -3,6 +3,9 @@
 //! passing produces exactly the words the engine's one-shot collective
 //! produces.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::comm::allgather::{allgather_words, AllgatherAlgorithm};
 use numa_bfs::comm::runtime::run_spmd;
 use numa_bfs::simnet::NetworkModel;

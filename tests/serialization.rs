@@ -1,6 +1,9 @@
 //! The public result types serialize: downstream tooling consumes run
 //! profiles, harness results and machine configurations as JSON.
 
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::core::engine::{DistributedBfs, Scenario};
 use numa_bfs::core::harness::{Graph500Harness, HarnessConfig};
 use numa_bfs::core::opt::OptLevel;
