@@ -15,9 +15,10 @@ const VID_SANCTUARY: &str = "crates/nbfs-graph/src/vid.rs";
 
 /// Crates whose library code must propagate errors instead of panicking
 /// (NBFS003).
-const NO_PANIC_CRATES: [&str; 3] = [
+const NO_PANIC_CRATES: [&str; 4] = [
     "crates/nbfs-core/src/",
     "crates/nbfs-comm/src/",
+    "crates/nbfs-trace/src/",
     "crates/nbfs-util/src/",
 ];
 

@@ -37,13 +37,12 @@ pub fn fig9(cfg: &BenchConfig) -> FigureReport {
     for opt in OptLevel::LADDER {
         let scenario = Scenario::new(machine.clone(), opt);
         let harness = Graph500Harness::new(g, &scenario);
-        let teps = harness
-            .run(&HarnessConfig {
-                roots: cfg.roots,
-                seed: 2012,
-                validate: false,
-            })
-            .harmonic_teps();
+        let config = HarnessConfig::builder()
+            .roots(cfg.roots)
+            .seed(2012)
+            .validate(false)
+            .build();
+        let teps = harness.run(&config).harmonic_teps();
         let b = *base.get_or_insert(teps);
         let p = prev.replace(teps).unwrap_or(teps);
         r.push_row(vec![

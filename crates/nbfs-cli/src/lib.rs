@@ -6,6 +6,9 @@
 //! * `info` — degree statistics of an edge-list file;
 //! * `run` — one profiled BFS on the simulated cluster, with the full
 //!   Fig. 11 breakdown;
+//! * `trace` — one run-event-recorded BFS: the per-level span table, the
+//!   collective volume ledger and the Fig. 11 phase totals projected from
+//!   the trace (optionally exported as versioned JSON);
 //! * `bench` — a Graph500-style campaign (N roots, harmonic-mean TEPS);
 //! * `tune` — the analytic summary-granularity recommendation of
 //!   `nbfs_core::tuning` for a given frontier density.
@@ -31,8 +34,10 @@ use nbfs_graph::stats::DegreeStats;
 use nbfs_graph::{io, Csr, GraphBuilder};
 use nbfs_simnet::Residence;
 use nbfs_topology::presets;
+use nbfs_trace::{CollectiveKind, CollectiveStats, TraceConfig};
 use nbfs_util::stats::format_teps;
-use nbfs_util::Bitmap;
+use nbfs_util::units::format_bytes;
+use nbfs_util::{Bitmap, SimTime};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,6 +72,21 @@ pub enum Command {
         root: Option<usize>,
         /// Use the mpi_simple-style alltoallv top-down.
         td_alltoallv: bool,
+    },
+    /// `trace [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--json PATH]`
+    Trace {
+        /// Scale to generate (ignored with `--graph`).
+        scale: u32,
+        /// Optional edge-list file instead of generation.
+        graph: Option<PathBuf>,
+        /// Simulated node count.
+        nodes: usize,
+        /// Optimization level.
+        opt: OptLevel,
+        /// Root (default: max-degree vertex).
+        root: Option<usize>,
+        /// Also export the full `TraceReport` as versioned JSON.
+        json: Option<PathBuf>,
     },
     /// `bench [--scale N] [--nodes N] [--opt NAME] [--roots K] [--json PATH]`
     Bench {
@@ -156,6 +176,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .transpose()?,
             td_alltoallv: has("--td-alltoallv"),
         },
+        "trace" => Command::Trace {
+            scale: num("--scale", 16)? as u32,
+            graph: flag("--graph").map(PathBuf::from),
+            nodes: num("--nodes", 16)? as usize,
+            opt: parse_opt(flag("--opt").unwrap_or("best"))?,
+            root: flag("--root")
+                .map(|v| v.parse().map_err(|e| format!("bad --root: {e}")))
+                .transpose()?,
+            json: flag("--json").map(PathBuf::from),
+        },
         "bench" => Command::Bench {
             // The snapshot's pinned scenario is scale 19; the TEPS
             // campaign keeps its historical default of 16.
@@ -184,6 +214,8 @@ USAGE:
   nbfs generate --scale N [--edge-factor E] [--seed S] --out FILE
   nbfs info FILE
   nbfs run   [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--td-alltoallv]
+  nbfs trace [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--json PATH]
+             (per-level run-event table; --json PATH exports the versioned TraceReport)
   nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K] [--json PATH]
              (--json PATH runs the wall-clock kernel snapshot and writes BENCH_BFS.json there)
   nbfs tune  [--scale N] [--density D]
@@ -205,7 +237,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             let el = GraphBuilder::rmat(scale, edge_factor)
                 .seed(seed)
                 .build_edge_list();
-            io::save(&path, &el).map_err(err)?;
+            io::save(&path, &el).map_err(|e| e.to_string())?;
             writeln!(
                 out,
                 "wrote {} raw edges over {} vertices to {}",
@@ -216,7 +248,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             .map_err(err)?;
         }
         Command::Info { path } => {
-            let el = io::load(&path).map_err(err)?;
+            let el = io::load(&path).map_err(|e| e.to_string())?;
             let g = Csr::from_edge_list(&el);
             let s = DegreeStats::compute(&g);
             writeln!(
@@ -235,15 +267,16 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             td_alltoallv,
         } => {
             let g = match graph {
-                Some(path) => Csr::from_edge_list(&io::load(&path).map_err(err)?),
+                Some(path) => Csr::from_edge_list(&io::load(&path).map_err(|e| e.to_string())?),
                 None => GraphBuilder::rmat(scale, 16).seed(1).build(),
             };
             let actual_scale = (g.num_vertices() as f64).log2().ceil() as u32;
             let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(actual_scale, 28);
-            let mut scenario = Scenario::new(machine, opt);
+            let mut builder = Scenario::builder(machine, opt);
             if td_alltoallv {
-                scenario = scenario.with_td_strategy(TdStrategy::Alltoallv);
+                builder = builder.td_strategy(TdStrategy::Alltoallv);
             }
+            let scenario = builder.build().map_err(|e| e.to_string())?;
             let root = root.unwrap_or_else(|| {
                 (0..g.num_vertices())
                     .max_by_key(|&v| g.degree(v))
@@ -278,6 +311,161 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             )
             .map_err(err)?;
         }
+        Command::Trace {
+            scale,
+            graph,
+            nodes,
+            opt,
+            root,
+            json,
+        } => {
+            let g = match graph {
+                Some(path) => Csr::from_edge_list(&io::load(&path).map_err(|e| e.to_string())?),
+                None => GraphBuilder::rmat(scale, 16).seed(1).build(),
+            };
+            let actual_scale = (g.num_vertices() as f64).log2().ceil() as u32;
+            let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(actual_scale, 28);
+            let scenario = Scenario::builder(machine, opt)
+                .trace(TraceConfig::Standard)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let root = root.unwrap_or_else(|| {
+                (0..g.num_vertices())
+                    .max_by_key(|&v| g.degree(v))
+                    .expect("non-empty")
+            });
+            let (run, report) = DistributedBfs::new(&g, &scenario).run_traced(root);
+            writeln!(
+                out,
+                "{} on {nodes} nodes, root {root}: visited {} of {} vertices",
+                opt.label(),
+                run.visited,
+                g.num_vertices()
+            )
+            .map_err(err)?;
+
+            writeln!(out, "\nper-level spans (simulated time):").map_err(err)?;
+            writeln!(
+                out,
+                "{:>5}  {:<10} {:>10} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                "level", "direction", "discovered", "comp", "comm", "stall", "switch", "total"
+            )
+            .map_err(err)?;
+            for lv in &report.levels {
+                writeln!(
+                    out,
+                    "{:>5}  {:<10} {:>10} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                    lv.level,
+                    lv.direction.label(),
+                    lv.discovered,
+                    format!("{}", lv.comp),
+                    format!("{}", lv.comm),
+                    format!("{}", lv.stall),
+                    format!("{}", lv.switch),
+                    format!("{}", lv.total())
+                )
+                .map_err(err)?;
+            }
+
+            let flips: Vec<_> = report
+                .decisions
+                .iter()
+                .filter(|d| d.prev != d.chosen)
+                .collect();
+            if !flips.is_empty() {
+                writeln!(out, "\ndirection switches:").map_err(err)?;
+                for d in flips {
+                    writeln!(
+                        out,
+                        "  level {:>2}: {} -> {}  (m_f={}, m_u={}, n_f={}, n={})",
+                        d.level,
+                        d.prev.label(),
+                        d.chosen.label(),
+                        d.m_f,
+                        d.m_u,
+                        d.n_f,
+                        d.n
+                    )
+                    .map_err(err)?;
+                }
+            }
+
+            // Aggregate every collective sample (per-level plus the terminal
+            // allreduce) into one volume ledger, keyed by kind in order of
+            // first appearance.
+            let mut ledger: Vec<(CollectiveKind, u64, CollectiveStats, SimTime)> = Vec::new();
+            let samples = report
+                .levels
+                .iter()
+                .flat_map(|l| l.collectives.iter())
+                .chain(report.post_collectives.iter());
+            for rec in samples {
+                match ledger.iter_mut().find(|(k, ..)| *k == rec.kind) {
+                    Some(entry) => {
+                        entry.1 += 1;
+                        entry.2.merge(rec.stats);
+                        entry.3 += rec.cost.total();
+                    }
+                    None => ledger.push((rec.kind, 1, rec.stats, rec.cost.total())),
+                }
+            }
+            writeln!(out, "\ncollective volume ledger:").map_err(err)?;
+            writeln!(
+                out,
+                "{:<18} {:>6} {:>7} {:>7} {:>11} {:>11} {:>11}",
+                "collective", "calls", "rounds", "flows", "wire", "shm", "sim time"
+            )
+            .map_err(err)?;
+            for (kind, calls, stats, cost) in &ledger {
+                writeln!(
+                    out,
+                    "{:<18} {:>6} {:>7} {:>7} {:>11} {:>11} {:>11}",
+                    kind.label(),
+                    calls,
+                    stats.rounds,
+                    stats.flows,
+                    format_bytes(stats.wire_bytes as usize),
+                    format_bytes(stats.shm_bytes as usize),
+                    format!("{cost}")
+                )
+                .map_err(err)?;
+            }
+
+            let projected = report.run_profile();
+            writeln!(out, "\nFig. 11 phase totals (projected from the trace):").map_err(err)?;
+            for phase in Phase::ALL {
+                let t = projected.phase(phase);
+                writeln!(
+                    out,
+                    "  {:<16} {:>12}  {:>5.1}%",
+                    phase.label(),
+                    format!("{t}"),
+                    100.0 * (t / projected.total())
+                )
+                .map_err(err)?;
+            }
+            let exact = Phase::ALL
+                .iter()
+                .all(|&p| projected.phase(p) == run.profile.phase(p));
+            writeln!(
+                out,
+                "  total {} (projection == engine profile: {exact})",
+                projected.total()
+            )
+            .map_err(err)?;
+            if report.dropped_events > 0 {
+                writeln!(
+                    out,
+                    "warning: {} event(s) dropped; rerun with a larger ring",
+                    report.dropped_events
+                )
+                .map_err(err)?;
+            }
+            if let Some(path) = json {
+                std::fs::write(&path, report.to_json().map_err(|e| e.to_string())?).map_err(err)?;
+                writeln!(out, "wrote {}", path.display()).map_err(err)?;
+            }
+        }
         Command::Bench {
             scale,
             nodes,
@@ -298,13 +486,16 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             }
             let g = GraphBuilder::rmat(scale, 16).seed(1).build();
             let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(scale, 28);
-            let scenario = Scenario::new(machine, opt);
+            let scenario = Scenario::builder(machine, opt)
+                .build()
+                .map_err(|e| e.to_string())?;
             let harness = Graph500Harness::new(&g, &scenario);
-            let result = harness.run(&HarnessConfig {
-                roots,
-                seed: 2012,
-                validate: true,
-            });
+            let config = HarnessConfig::builder()
+                .roots(roots)
+                .seed(2012)
+                .validate(true)
+                .build();
+            let result = harness.run(&config);
             writeln!(
                 out,
                 "{} | scale {scale} | {nodes} nodes | {roots} roots (all validated)",
@@ -441,6 +632,61 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("visited"), "{text}");
         assert!(text.contains("TEPS"), "{text}");
+    }
+
+    #[test]
+    fn parse_trace_flags() {
+        let cmd = parse(&argv(
+            "trace --scale 12 --nodes 4 --opt ppn8 --json /tmp/t.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                scale: 12,
+                graph: None,
+                nodes: 4,
+                opt: OptLevel::OriginalPpn8,
+                root: None,
+                json: Some(PathBuf::from("/tmp/t.json")),
+            }
+        );
+    }
+
+    #[test]
+    fn trace_command_end_to_end() {
+        let cmd = parse(&argv("trace --scale 10 --nodes 2 --opt share-all")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("per-level spans"), "{text}");
+        assert!(text.contains("collective volume ledger"), "{text}");
+        assert!(text.contains("allreduce"), "{text}");
+        // The acceptance bar: trace projection reproduces the engine
+        // profile bitwise, so the CLI must report an exact match.
+        assert!(
+            text.contains("projection == engine profile: true"),
+            "{text}"
+        );
+        assert!(!text.contains("dropped"), "{text}");
+    }
+
+    #[test]
+    fn trace_json_export_round_trips() {
+        let path = std::env::temp_dir().join("nbfs-cli-trace.json");
+        let cmd = parse(&argv(&format!(
+            "trace --scale 10 --nodes 2 --json {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let report =
+            nbfs_trace::TraceReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.schema_version, nbfs_trace::SCHEMA_VERSION);
+        assert_eq!(report.meta.nodes, 2);
+        assert!(!report.levels.is_empty());
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

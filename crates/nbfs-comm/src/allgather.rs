@@ -20,6 +20,7 @@
 
 use nbfs_simnet::{Flow, NetworkModel};
 use nbfs_topology::ProcessMap;
+use nbfs_trace::CollectiveStats;
 use nbfs_util::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -200,6 +201,169 @@ pub fn allgather_cost_bytes(
         AllgatherAlgorithm::SharedBoth => hierarchical_cost(bytes, pmap, net, false, false),
         AllgatherAlgorithm::ParallelSubgroup => parallel_cost(bytes, pmap, net, pmap.ppn()),
         AllgatherAlgorithm::ParallelK(k) => parallel_cost(bytes, pmap, net, k),
+    }
+}
+
+/// Volume tally of an allgather without pricing it: rounds, nonzero wire
+/// flows, wire bytes and shared-memory bytes, mirroring the round
+/// structure of [`allgather_cost_bytes`] step for step. The run-event
+/// layer (`nbfs-trace`) records these per collective; keeping the counting
+/// separate from the costing guarantees observability can never perturb a
+/// simulated time.
+pub fn allgather_stats_bytes(
+    bytes: &[u64],
+    pmap: &ProcessMap,
+    algo: AllgatherAlgorithm,
+) -> CollectiveStats {
+    assert_eq!(bytes.len(), pmap.world_size(), "one size per rank");
+    match algo {
+        AllgatherAlgorithm::Ring => ring_stats(bytes, pmap),
+        AllgatherAlgorithm::RecursiveDoubling => {
+            if pmap.world_size().is_power_of_two() {
+                recursive_doubling_stats(bytes, pmap)
+            } else {
+                ring_stats(bytes, pmap)
+            }
+        }
+        AllgatherAlgorithm::LeaderBased => hierarchical_stats(bytes, pmap, true, true),
+        AllgatherAlgorithm::SharedDest => hierarchical_stats(bytes, pmap, true, false),
+        AllgatherAlgorithm::SharedBoth => hierarchical_stats(bytes, pmap, false, false),
+        AllgatherAlgorithm::ParallelSubgroup => parallel_stats(bytes, pmap, pmap.ppn()),
+        AllgatherAlgorithm::ParallelK(k) => parallel_stats(bytes, pmap, k),
+    }
+}
+
+/// Counting twin of [`ring_cost`].
+fn ring_stats(bytes: &[u64], pmap: &ProcessMap) -> CollectiveStats {
+    let np = bytes.len();
+    if np <= 1 {
+        return CollectiveStats::ZERO;
+    }
+    let mut s = CollectiveStats {
+        rounds: (np - 1) as u64,
+        ..CollectiveStats::ZERO
+    };
+    for r in 0..np - 1 {
+        for i in 0..np {
+            let dst = (i + 1) % np;
+            let chunk = bytes[(i + np - r) % np];
+            if chunk == 0 {
+                continue;
+            }
+            if pmap.node_of(i) == pmap.node_of(dst) {
+                s.shm_bytes += chunk;
+            } else {
+                s.flows += 1;
+                s.wire_bytes += chunk;
+            }
+        }
+    }
+    s
+}
+
+/// Counting twin of [`recursive_doubling_cost`].
+fn recursive_doubling_stats(bytes: &[u64], pmap: &ProcessMap) -> CollectiveStats {
+    let np = bytes.len();
+    debug_assert!(np.is_power_of_two());
+    if np <= 1 {
+        return CollectiveStats::ZERO;
+    }
+    let mut prefix = vec![0u64; np + 1];
+    for i in 0..np {
+        prefix[i + 1] = prefix[i] + bytes[i];
+    }
+    let held = |i: usize, k: u32| -> u64 {
+        let block = 1usize << k;
+        let start = i & !(block - 1);
+        prefix[start + block] - prefix[start]
+    };
+    let rounds = np.trailing_zeros();
+    let mut s = CollectiveStats {
+        rounds: u64::from(rounds),
+        ..CollectiveStats::ZERO
+    };
+    for k in 0..rounds {
+        for i in 0..np {
+            let partner = i ^ (1usize << k);
+            if partner < i {
+                continue; // count each pair once
+            }
+            let pair_bytes = held(i, k) + held(partner, k);
+            if pmap.node_of(i) == pmap.node_of(partner) {
+                s.shm_bytes += pair_bytes;
+            } else {
+                if held(i, k) > 0 {
+                    s.flows += 1;
+                }
+                if held(partner, k) > 0 {
+                    s.flows += 1;
+                }
+                s.wire_bytes += pair_bytes;
+            }
+        }
+    }
+    s
+}
+
+/// Counting twin of [`hierarchical_cost`].
+fn hierarchical_stats(
+    bytes: &[u64],
+    pmap: &ProcessMap,
+    gather: bool,
+    bcast: bool,
+) -> CollectiveStats {
+    let np = bytes.len();
+    let nodes = pmap.nodes();
+    let ppn = pmap.ppn();
+    let total: u64 = bytes.iter().sum();
+    let mut s = CollectiveStats::ZERO;
+    if gather && ppn > 1 {
+        s.rounds += 1;
+        s.shm_bytes += (0..np)
+            .filter(|&i| !pmap.is_leader(i))
+            .map(|i| bytes[i])
+            .sum::<u64>();
+    }
+    if nodes > 1 {
+        // Every ring round moves each node block exactly once.
+        let node_block = |n: usize| -> u64 { (n * ppn..(n + 1) * ppn).map(|i| bytes[i]).sum() };
+        let nonzero_blocks = (0..nodes).filter(|&n| node_block(n) > 0).count() as u64;
+        s.rounds += (nodes - 1) as u64;
+        s.flows += (nodes - 1) as u64 * nonzero_blocks;
+        s.wire_bytes += (nodes - 1) as u64 * total;
+    }
+    if bcast && ppn > 1 {
+        // Each child copies the full result out of the leader's buffer.
+        s.rounds += 1;
+        s.shm_bytes += nodes as u64 * (ppn - 1) as u64 * total;
+    }
+    s
+}
+
+/// Counting twin of [`parallel_cost`].
+fn parallel_stats(bytes: &[u64], pmap: &ProcessMap, k: usize) -> CollectiveStats {
+    let nodes = pmap.nodes();
+    let ppn = pmap.ppn();
+    assert!(k >= 1 && k <= ppn && ppn % k == 0, "k must divide ppn");
+    if nodes <= 1 {
+        return CollectiveStats::ZERO;
+    }
+    let slice_bytes = |n: usize, j: usize| -> u64 {
+        (0..ppn)
+            .filter(|li| li % k == j)
+            .map(|li| bytes[n * ppn + li])
+            .sum()
+    };
+    let total: u64 = bytes.iter().sum();
+    let nonzero_slices: u64 = (0..nodes)
+        .flat_map(|n| (0..k).map(move |j| (n, j)))
+        .filter(|&(n, j)| slice_bytes(n, j) > 0)
+        .count() as u64;
+    CollectiveStats {
+        rounds: (nodes - 1) as u64,
+        flows: (nodes - 1) as u64 * nonzero_slices,
+        wire_bytes: (nodes - 1) as u64 * total,
+        shm_bytes: 0,
     }
 }
 
@@ -656,6 +820,55 @@ mod tests {
         let (_, pmap, net) = setup(2, 8);
         let parts = equal_parts(3, 10);
         allgather_words(&parts, &pmap, &net, AllgatherAlgorithm::Ring);
+    }
+
+    #[test]
+    fn stats_mirror_the_round_structure() {
+        let (_, pmap, net) = setup(4, 8);
+        let parts = equal_parts(32, 7);
+        let bytes: Vec<u64> = parts.iter().map(|p| p.len() as u64 * 8).collect();
+        let total: u64 = bytes.iter().sum();
+        for algo in [
+            AllgatherAlgorithm::Ring,
+            AllgatherAlgorithm::RecursiveDoubling,
+            AllgatherAlgorithm::LeaderBased,
+            AllgatherAlgorithm::SharedDest,
+            AllgatherAlgorithm::SharedBoth,
+            AllgatherAlgorithm::ParallelSubgroup,
+            AllgatherAlgorithm::ParallelK(2),
+        ] {
+            let s = allgather_stats_bytes(&bytes, &pmap, algo);
+            assert!(s.rounds > 0, "{algo:?}");
+            assert!(s.wire_bytes > 0, "{algo:?} crosses nodes");
+            // The stats fn must not perturb or depend on the cost fn.
+            let c = allgather_cost_bytes(&bytes, &pmap, &net, algo);
+            assert!(c.total() > SimTime::ZERO, "{algo:?}");
+        }
+        // Ring: np-1 rounds; every chunk crosses the wire or shared memory.
+        let ring = allgather_stats_bytes(&bytes, &pmap, AllgatherAlgorithm::Ring);
+        assert_eq!(ring.rounds, 31);
+        assert_eq!(ring.wire_bytes + ring.shm_bytes, 31 * total);
+        // Parallel subgroups: nodes-1 rounds, all slices nonzero.
+        let par = allgather_stats_bytes(&bytes, &pmap, AllgatherAlgorithm::ParallelSubgroup);
+        assert_eq!(par.rounds, 3);
+        assert_eq!(par.flows, 3 * 32);
+        assert_eq!(par.wire_bytes, 3 * total);
+        assert_eq!(par.shm_bytes, 0);
+    }
+
+    #[test]
+    fn single_node_stats_have_no_wire_volume() {
+        let (_, pmap, _) = setup(1, 8);
+        let bytes = vec![64u64; 8];
+        for algo in [
+            AllgatherAlgorithm::Ring,
+            AllgatherAlgorithm::LeaderBased,
+            AllgatherAlgorithm::ParallelSubgroup,
+        ] {
+            let s = allgather_stats_bytes(&bytes, &pmap, algo);
+            assert_eq!(s.wire_bytes, 0, "{algo:?}");
+            assert_eq!(s.flows, 0, "{algo:?}");
+        }
     }
 
     #[test]

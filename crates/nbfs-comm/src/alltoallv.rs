@@ -7,8 +7,9 @@
 //! small "top-down" slice), but it must be functionally correct for the
 //! BFS tree to validate.
 
-use nbfs_simnet::{Flow, NetworkModel};
+use nbfs_simnet::{Flow, FlowRoundSummary, NetworkModel};
 use nbfs_topology::ProcessMap;
+use nbfs_trace::CollectiveStats;
 use nbfs_util::SimTime;
 
 use crate::profile::CommCost;
@@ -21,6 +22,9 @@ pub struct AlltoallvOutcome<T> {
     pub received: Vec<Vec<T>>,
     /// Charged time.
     pub cost: CommCost,
+    /// Volume tally for the run-event layer (one round; wire flows are
+    /// aggregated per node pair, as the cost model prices them).
+    pub stats: CollectiveStats,
 }
 
 /// Exchanges `sends[i][j]` (the records rank `i` addresses to rank `j`),
@@ -99,9 +103,18 @@ pub fn alltoallv<T: Clone>(
         })
         .fold(SimTime::ZERO, SimTime::max);
 
+    let round = FlowRoundSummary::of(&flows);
+    let stats = CollectiveStats {
+        rounds: 1,
+        flows: round.flows,
+        wire_bytes: round.bytes,
+        shm_bytes: shm_bytes.iter().sum(),
+    };
+
     AlltoallvOutcome {
         received,
         cost: CommCost::inter_only(t_wire.max(t_shm)),
+        stats,
     }
 }
 
@@ -171,6 +184,24 @@ mod tests {
         let small = alltoallv(&mk(10), 8, &pmap, &net).cost.total();
         let big = alltoallv(&mk(10_000), 8, &pmap, &net).cost.total();
         assert!(big > small);
+    }
+
+    #[test]
+    fn stats_count_wire_and_shm_volume() {
+        let (pmap, net) = setup(2, 8);
+        let np = pmap.world_size();
+        // Rank i sends one 8-byte pair to every rank.
+        let sends: Vec<Vec<Vec<(u32, u32)>>> = (0..np)
+            .map(|i| (0..np).map(|j| vec![(i as u32, j as u32)]).collect())
+            .collect();
+        let out = alltoallv(&sends, 8, &pmap, &net);
+        assert_eq!(out.stats.rounds, 1);
+        // 2 nodes: one aggregated flow per direction.
+        assert_eq!(out.stats.flows, 2);
+        // Half of each rank's np pairs cross the wire, half stay local.
+        let total = (np * np * 8) as u64;
+        assert_eq!(out.stats.wire_bytes, total / 2);
+        assert_eq!(out.stats.shm_bytes, total / 2);
     }
 
     #[test]

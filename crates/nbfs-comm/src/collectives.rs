@@ -7,6 +7,7 @@
 
 use nbfs_simnet::{Flow, NetworkModel};
 use nbfs_topology::ProcessMap;
+use nbfs_trace::CollectiveStats;
 use nbfs_util::SimTime;
 
 use crate::profile::CommCost;
@@ -32,6 +33,8 @@ pub struct AllreduceOutcome {
     pub value: u64,
     /// Charged time.
     pub cost: CommCost,
+    /// Volume tally for the run-event layer (rounds, flows, bytes).
+    pub stats: CollectiveStats,
 }
 
 /// Sums `contributions[i]` (one value per rank) with a recursive-doubling
@@ -48,9 +51,20 @@ pub fn allreduce_sum(
     let wire = SimTime::from_secs(net.machine().nic.latency_s * 2.0 * node_rounds);
     let shm_rounds = (pmap.ppn().max(1) as f64).log2().ceil();
     let shm = SimTime::from_secs(0.5 * net.machine().sw_overhead_s * shm_rounds);
+    // Volume tally mirrors the tree shape: every wire round exchanges one
+    // 8-byte value per node both ways; every shm round touches one value
+    // per rank.
+    let wire_rounds = node_rounds as u64;
+    let stats = CollectiveStats {
+        rounds: wire_rounds + shm_rounds as u64,
+        flows: wire_rounds * pmap.nodes() as u64,
+        wire_bytes: 8 * wire_rounds * pmap.nodes() as u64,
+        shm_bytes: 8 * shm_rounds as u64 * pmap.world_size() as u64,
+    };
     AllreduceOutcome {
         value,
         cost: CommCost::inter_only(wire + shm),
+        stats,
     }
 }
 

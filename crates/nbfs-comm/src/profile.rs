@@ -1,92 +1,8 @@
 //! Time accounting for collective operations.
 //!
-//! Fig. 6 of the paper splits a leader-based allgather into its three steps
-//! (gather to leader / inter-node exchange / broadcast to children), and
-//! Fig. 13 tracks which steps each optimization deletes. [`CommCost`]
-//! carries exactly that split.
+//! [`CommCost`] moved to `nbfs-trace` when the run-event observability
+//! layer landed (trace events embed it); this module re-exports it so
+//! every pre-existing `nbfs_comm::profile::CommCost` /
+//! `nbfs_comm::CommCost` import keeps compiling unchanged.
 
-use serde::{Deserialize, Serialize};
-
-use nbfs_util::SimTime;
-
-/// The step-wise cost of one collective operation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct CommCost {
-    /// Step 1 of Fig. 5a: intra-node aggregation to the leader.
-    pub intra_gather: SimTime,
-    /// Step 2: inter-node exchange on the wire.
-    pub inter: SimTime,
-    /// Step 3: intra-node distribution to children.
-    pub intra_bcast: SimTime,
-}
-
-impl CommCost {
-    /// Zero cost.
-    pub const ZERO: CommCost = CommCost {
-        intra_gather: SimTime::ZERO,
-        inter: SimTime::ZERO,
-        intra_bcast: SimTime::ZERO,
-    };
-
-    /// A cost with only the inter-node component.
-    pub fn inter_only(t: SimTime) -> Self {
-        CommCost {
-            inter: t,
-            ..CommCost::ZERO
-        }
-    }
-
-    /// Total wall time of the collective (steps are sequential).
-    pub fn total(&self) -> SimTime {
-        self.intra_gather + self.inter + self.intra_bcast
-    }
-
-    /// Intra-node portion (steps 1 + 3).
-    pub fn intra(&self) -> SimTime {
-        self.intra_gather + self.intra_bcast
-    }
-}
-
-impl std::ops::Add for CommCost {
-    type Output = CommCost;
-    fn add(self, rhs: CommCost) -> CommCost {
-        CommCost {
-            intra_gather: self.intra_gather + rhs.intra_gather,
-            inter: self.inter + rhs.inter,
-            intra_bcast: self.intra_bcast + rhs.intra_bcast,
-        }
-    }
-}
-
-impl std::ops::AddAssign for CommCost {
-    fn add_assign(&mut self, rhs: CommCost) {
-        *self = *self + rhs;
-    }
-}
-
-#[cfg(test)]
-#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn totals_and_splits() {
-        let c = CommCost {
-            intra_gather: SimTime::from_millis(1.0),
-            inter: SimTime::from_millis(2.0),
-            intra_bcast: SimTime::from_millis(3.0),
-        };
-        assert!((c.total().as_millis() - 6.0).abs() < 1e-9);
-        assert!((c.intra().as_millis() - 4.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn addition() {
-        let a = CommCost::inter_only(SimTime::from_millis(1.0));
-        let mut b = CommCost::ZERO;
-        b += a;
-        b += a;
-        assert!((b.total().as_millis() - 2.0).abs() < 1e-9);
-        assert_eq!(b.intra(), SimTime::ZERO);
-    }
-}
+pub use nbfs_trace::CommCost;

@@ -8,11 +8,18 @@
 //! [`crate::allgather`] so that simulated clocks are reproducible, but
 //! integration tests run the same frontier exchange on this runtime to show
 //! both agree.
+//!
+//! Every fallible operation returns [`nbfs_util::Result`]: a disconnected
+//! channel mid-run surfaces as [`NbfsError::Comm`] instead of a panic.
+//! Each context also counts the point-to-point traffic it sends
+//! ([`RankCtx::traffic`]) so runtime-level tests and demos can report
+//! message/byte volumes next to the simulated collective costs.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use nbfs_util::{NbfsError, Result};
 use parking_lot::Mutex;
 
 /// A point-to-point message.
@@ -26,6 +33,15 @@ pub struct Message {
     pub payload: Vec<u8>,
 }
 
+/// Point-to-point traffic counters of one rank context.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankTraffic {
+    /// Messages sent by this rank.
+    pub messages_sent: u64,
+    /// Payload bytes sent by this rank.
+    pub bytes_sent: u64,
+}
+
 /// Per-rank communication context handed to the SPMD body.
 pub struct RankCtx {
     rank: usize,
@@ -35,6 +51,7 @@ pub struct RankCtx {
     /// Messages received but not yet matched by a `recv` call.
     stash: VecDeque<Message>,
     barrier: Arc<std::sync::Barrier>,
+    traffic: RankTraffic,
 }
 
 impl RankCtx {
@@ -48,42 +65,53 @@ impl RankCtx {
         self.world
     }
 
+    /// Traffic this context has sent so far.
+    pub fn traffic(&self) -> RankTraffic {
+        self.traffic
+    }
+
     /// Sends `payload` to rank `to` with `tag`. Non-blocking (buffered).
-    pub fn send(&self, to: usize, tag: u64, payload: Vec<u8>) {
-        self.senders[to]
+    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<u8>) -> Result<()> {
+        let bytes = payload.len() as u64;
+        self.senders
+            .get(to)
+            .ok_or_else(|| NbfsError::comm(format!("send to rank {to} outside world")))?
             .send(Message {
                 from: self.rank,
                 tag,
                 payload,
             })
-            .expect("receiver thread gone");
+            .map_err(|_| NbfsError::comm(format!("send to rank {to}: receiver thread gone")))?;
+        self.traffic.messages_sent += 1;
+        self.traffic.bytes_sent += bytes;
+        Ok(())
     }
 
     /// Receives the next message matching `(from, tag)`, blocking until it
     /// arrives. Unmatched messages are stashed for later `recv`s.
-    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
-        self.recv_where(|m| m.from == from && m.tag == tag).payload
+    pub fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>> {
+        Ok(self.recv_where(|m| m.from == from && m.tag == tag)?.payload)
     }
 
     /// Receives the next message satisfying `pred`, stashing everything
     /// that does not match. The single blocking receive both `recv` and
     /// `recv_any` funnel through.
-    fn recv_where(&mut self, pred: impl Fn(&Message) -> bool) -> Message {
+    fn recv_where(&mut self, pred: impl Fn(&Message) -> bool) -> Result<Message> {
         if let Some(pos) = self.stash.iter().position(&pred) {
             if let Some(m) = self.stash.remove(pos) {
-                return m;
+                return Ok(m);
             }
         }
         loop {
-            // Infallible: every rank keeps a Sender to its own channel in
-            // `self.senders`, so the channel cannot disconnect while this
-            // context exists (allowlisted NBFS003).
+            // Every rank keeps a Sender to its own channel in
+            // `self.senders`, so this can only fail if the runtime is torn
+            // down mid-call — surfaced as an error, not a panic.
             let msg = self
                 .receiver
                 .recv()
-                .expect("own sender keeps the channel alive");
+                .map_err(|_| NbfsError::comm("rank channel disconnected mid-receive"))?;
             if pred(&msg) {
-                return msg;
+                return Ok(msg);
             }
             self.stash.push_back(msg);
         }
@@ -96,31 +124,36 @@ impl RankCtx {
 
     /// Gathers every rank's contribution at `root`, in rank order; other
     /// ranks receive an empty vector.
-    pub fn gather_bytes(&mut self, mine: Vec<u8>, root: usize, tag: u64) -> Vec<Vec<u8>> {
+    pub fn gather_bytes(&mut self, mine: Vec<u8>, root: usize, tag: u64) -> Result<Vec<Vec<u8>>> {
         if self.rank == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.world];
             out[root] = mine;
             for _ in 0..self.world - 1 {
-                let msg = self.recv_any(tag);
+                let msg = self.recv_any(tag)?;
                 out[msg.0] = msg.1;
             }
-            out
+            Ok(out)
         } else {
-            self.send(root, tag, mine);
-            Vec::new()
+            self.send(root, tag, mine)?;
+            Ok(Vec::new())
         }
     }
 
     /// Receives the next message with `tag` from any rank, returning
     /// `(sender, payload)`.
-    fn recv_any(&mut self, tag: u64) -> (usize, Vec<u8>) {
-        let m = self.recv_where(|m| m.tag == tag);
-        (m.from, m.payload)
+    fn recv_any(&mut self, tag: u64) -> Result<(usize, Vec<u8>)> {
+        let m = self.recv_where(|m| m.tag == tag)?;
+        Ok((m.from, m.payload))
     }
 
     /// Broadcasts `payload` from `root` via a binomial tree (the MPICH
     /// algorithm); every rank returns the payload. Non-roots pass `None`.
-    pub fn broadcast_bytes(&mut self, payload: Option<Vec<u8>>, root: usize, tag: u64) -> Vec<u8> {
+    pub fn broadcast_bytes(
+        &mut self,
+        payload: Option<Vec<u8>>,
+        root: usize,
+        tag: u64,
+    ) -> Result<Vec<u8>> {
         let np = self.world;
         // Rotate so the root is virtual rank 0. A non-root receives from
         // `vrank - lsb(vrank)` (its parent clears the lowest set bit), then
@@ -133,25 +166,25 @@ impl RankCtx {
                 mask <<= 1;
             }
             let from = (vrank - mask + root) % np;
-            data = Some(self.recv(from, tag));
+            data = Some(self.recv(from, tag)?);
         } else {
             mask = np.next_power_of_two();
         }
-        let data = data.expect("root must supply the payload");
+        let data = data.ok_or_else(|| NbfsError::comm("broadcast root supplied no payload"))?;
         let mut m = mask >> 1;
         while m > 0 {
             if vrank + m < np {
                 let to = (vrank + m + root) % np;
-                self.send(to, tag, data.clone());
+                self.send(to, tag, data.clone())?;
             }
             m >>= 1;
         }
-        data
+        Ok(data)
     }
 
     /// A simple ring allgather built from send/recv: returns every rank's
     /// contribution, in rank order.
-    pub fn allgather_bytes(&mut self, mine: Vec<u8>, tag: u64) -> Vec<Vec<u8>> {
+    pub fn allgather_bytes(&mut self, mine: Vec<u8>, tag: u64) -> Result<Vec<Vec<u8>>> {
         let np = self.world;
         let mut have: Vec<Vec<u8>> = vec![Vec::new(); np];
         let next = (self.rank + 1) % np;
@@ -162,19 +195,20 @@ impl RankCtx {
         let mut outgoing = mine.clone();
         have[self.rank] = mine;
         for r in 0..np.saturating_sub(1) {
-            self.send(next, tag.wrapping_add(r as u64), outgoing);
+            self.send(next, tag.wrapping_add(r as u64), outgoing)?;
             let recv_idx = (prev + np - r) % np;
-            let got = self.recv(prev, tag.wrapping_add(r as u64));
+            let got = self.recv(prev, tag.wrapping_add(r as u64))?;
             have[recv_idx] = got.clone();
             outgoing = got;
         }
-        have
+        Ok(have)
     }
 }
 
 /// Runs `body` on `world` rank threads and collects their results in rank
-/// order. Panics in any rank propagate.
-pub fn run_spmd<F, R>(world: usize, body: F) -> Vec<R>
+/// order. Panics in any rank propagate; a rank that exits without
+/// producing a result surfaces as [`NbfsError::Comm`].
+pub fn run_spmd<F, R>(world: usize, body: F) -> Result<Vec<R>>
 where
     F: Fn(&mut RankCtx) -> R + Sync,
     R: Send,
@@ -195,6 +229,7 @@ where
                 receiver: receiver.clone(),
                 stash: VecDeque::new(),
                 barrier: Arc::clone(&barrier),
+                traffic: RankTraffic::default(),
             };
             let body = &body;
             let slot = &results[rank];
@@ -206,7 +241,11 @@ where
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("rank did not finish"))
+        .enumerate()
+        .map(|(rank, m)| {
+            m.into_inner()
+                .ok_or_else(|| NbfsError::comm(format!("rank {rank} did not finish")))
+        })
         .collect()
 }
 
@@ -217,7 +256,7 @@ mod tests {
 
     #[test]
     fn ranks_identify_themselves() {
-        let out = run_spmd(8, |ctx| (ctx.rank(), ctx.world()));
+        let out = run_spmd(8, |ctx| (ctx.rank(), ctx.world())).unwrap();
         for (i, (rank, world)) in out.iter().enumerate() {
             assert_eq!(*rank, i);
             assert_eq!(*world, 8);
@@ -229,9 +268,10 @@ mod tests {
         let out = run_spmd(4, |ctx| {
             let next = (ctx.rank() + 1) % ctx.world();
             let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
-            ctx.send(next, 7, vec![ctx.rank() as u8]);
-            ctx.recv(prev, 7)
-        });
+            ctx.send(next, 7, vec![ctx.rank() as u8]).unwrap();
+            ctx.recv(prev, 7).unwrap()
+        })
+        .unwrap();
         assert_eq!(out, vec![vec![3], vec![0], vec![1], vec![2]]);
     }
 
@@ -239,16 +279,17 @@ mod tests {
     fn out_of_order_tags_are_stashed() {
         let out = run_spmd(2, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 1, vec![1]);
-                ctx.send(1, 2, vec![2]);
+                ctx.send(1, 1, vec![1]).unwrap();
+                ctx.send(1, 2, vec![2]).unwrap();
                 vec![]
             } else {
                 // Receive in the reverse order of sending.
-                let b = ctx.recv(0, 2);
-                let a = ctx.recv(0, 1);
+                let b = ctx.recv(0, 2).unwrap();
+                let a = ctx.recv(0, 1).unwrap();
                 vec![a[0], b[0]]
             }
-        });
+        })
+        .unwrap();
         assert_eq!(out[1], vec![1, 2]);
     }
 
@@ -261,12 +302,16 @@ mod tests {
             ctx.barrier();
             // After the barrier every rank's increment must be visible.
             assert_eq!(counter.load(Ordering::SeqCst), 8);
-        });
+        })
+        .unwrap();
     }
 
     #[test]
     fn gather_collects_at_root_only() {
-        let out = run_spmd(5, |ctx| ctx.gather_bytes(vec![ctx.rank() as u8], 2, 9));
+        let out = run_spmd(5, |ctx| {
+            ctx.gather_bytes(vec![ctx.rank() as u8], 2, 9).unwrap()
+        })
+        .unwrap();
         for (rank, view) in out.iter().enumerate() {
             if rank == 2 {
                 let expect: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8]).collect();
@@ -283,8 +328,9 @@ mod tests {
             for root in [0, world - 1, world / 2] {
                 let out = run_spmd(world, |ctx| {
                     let payload = (ctx.rank() == root).then(|| vec![0xAB, root as u8]);
-                    ctx.broadcast_bytes(payload, root, 33)
-                });
+                    ctx.broadcast_bytes(payload, root, 33).unwrap()
+                })
+                .unwrap();
                 for (rank, got) in out.iter().enumerate() {
                     assert_eq!(
                         got,
@@ -300,8 +346,9 @@ mod tests {
     fn allgather_bytes_collects_in_rank_order() {
         let out = run_spmd(6, |ctx| {
             let mine = vec![ctx.rank() as u8; ctx.rank() + 1]; // ragged sizes
-            ctx.allgather_bytes(mine, 100)
-        });
+            ctx.allgather_bytes(mine, 100).unwrap()
+        })
+        .unwrap();
         let expect: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; i as usize + 1]).collect();
         for rank_view in out {
             assert_eq!(rank_view, expect);
@@ -310,7 +357,36 @@ mod tests {
 
     #[test]
     fn single_rank_world() {
-        let out = run_spmd(1, |ctx| ctx.allgather_bytes(vec![42], 0));
+        let out = run_spmd(1, |ctx| ctx.allgather_bytes(vec![42], 0).unwrap()).unwrap();
         assert_eq!(out[0], vec![vec![42]]);
+    }
+
+    #[test]
+    fn send_outside_world_is_an_error_not_a_panic() {
+        let out = run_spmd(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(5, 1, vec![0]).is_err()
+            } else {
+                true
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn traffic_counters_track_ring_allgather() {
+        // A ring allgather over np ranks sends np-1 messages per rank.
+        let np = 4usize;
+        let out = run_spmd(np, |ctx| {
+            let mine = vec![0u8; 8];
+            ctx.allgather_bytes(mine, 3).unwrap();
+            ctx.traffic()
+        })
+        .unwrap();
+        for t in out {
+            assert_eq!(t.messages_sent, (np - 1) as u64);
+            assert_eq!(t.bytes_sent, 8 * (np - 1) as u64);
+        }
     }
 }

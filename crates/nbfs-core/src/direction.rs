@@ -7,17 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Traversal direction of one BFS level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Direction {
-    /// Explore from the frontier outward ("for each vertex in the current
-    /// frontier, its adjacent vertices are checked").
-    TopDown,
-    /// Search from unvisited vertices backward ("for each unvisited vertex
-    /// ... it is put into the next frontier only if at least one of its
-    /// adjacent vertices is in the current frontier").
-    BottomUp,
-}
+// The Direction enum itself lives in `nbfs-trace` (trace events carry it);
+// re-exported here so `nbfs_core::direction::Direction` keeps working.
+pub use nbfs_trace::Direction;
 
 /// The α/β thresholds of \[9\].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]

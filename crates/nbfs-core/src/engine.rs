@@ -15,14 +15,17 @@
 
 use rayon::prelude::*;
 
-use nbfs_comm::allgather::{allgather_cost_bytes, allgather_words_into, allgatherv_items};
+use nbfs_comm::allgather::{
+    allgather_cost_bytes, allgather_stats_bytes, allgather_words_into, allgatherv_items,
+};
 use nbfs_comm::collectives::allreduce_sum;
 use nbfs_graph::partition::LocalGraph;
 use nbfs_graph::{vid, Csr, PartitionedGraph, NO_PARENT};
 use nbfs_simnet::compute::{ModelParams, ProbeClass};
 use nbfs_simnet::{ComputeContext, ComputeEvents, NetworkModel, Residence};
 use nbfs_topology::{MachineConfig, MemoryProfile, PlacementPolicy, ProcessMap};
-use nbfs_util::{Bitmap, SimTime, SummaryBitmap, WORD_BITS};
+use nbfs_trace::{CollectiveKind, CommCost, RunMeta, TraceConfig, TraceEvent, TraceReport, Tracer};
+use nbfs_util::{Bitmap, NbfsError, SimTime, SummaryBitmap, WORD_BITS};
 
 use crate::direction::{Direction, SwitchPolicy};
 use crate::opt::OptLevel;
@@ -75,6 +78,9 @@ pub struct Scenario {
     /// Top-down communication strategy (ablation; default sparse
     /// allgather).
     pub td_strategy: TdStrategy,
+    /// Run-event recording ([`TraceConfig::Off`] by default; see
+    /// [`DistributedBfs::run_traced`]).
+    pub trace: TraceConfig,
 }
 
 impl Scenario {
@@ -83,7 +89,8 @@ impl Scenario {
     /// # Panics
     /// If `machine` fails [`MachineConfig::validate`] — simulated times
     /// over an inconsistent machine description would be meaningless, so
-    /// construction refuses up front (allowlisted NBFS003).
+    /// construction refuses up front (allowlisted NBFS003). Use
+    /// [`Scenario::builder`] for the fallible, fluent form.
     pub fn new(machine: MachineConfig, opt: OptLevel) -> Self {
         machine.validate().expect("invalid machine");
         Self {
@@ -93,7 +100,36 @@ impl Scenario {
             placement_override: None,
             params: ModelParams::default(),
             td_strategy: TdStrategy::SparseAllgather,
+            trace: TraceConfig::Off,
         }
+    }
+
+    /// Starts a fluent builder; every knob the `with_*` methods expose is
+    /// available pre-construction, and [`ScenarioBuilder::build`] returns
+    /// a unified [`NbfsError`] instead of panicking on a bad machine.
+    ///
+    /// ```
+    /// use nbfs_core::engine::Scenario;
+    /// use nbfs_core::opt::OptLevel;
+    /// use nbfs_topology::MachineConfig;
+    ///
+    /// let scenario = Scenario::builder(
+    ///     MachineConfig::small_test_cluster(2, 4),
+    ///     OptLevel::ShareAll,
+    /// )
+    /// .build()
+    /// .expect("valid machine");
+    /// assert_eq!(scenario.opt, OptLevel::ShareAll);
+    /// ```
+    pub fn builder(machine: MachineConfig, opt: OptLevel) -> ScenarioBuilder {
+        ScenarioBuilder::new(machine, opt)
+    }
+
+    /// Selects the run-event recording configuration used by
+    /// [`DistributedBfs::run_traced`].
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Selects the top-down communication strategy.
@@ -156,6 +192,84 @@ impl Scenario {
         } else {
             self.opt.summary_residence()
         }
+    }
+}
+
+/// Fluent, fallible construction of a [`Scenario`] — the builder form of
+/// `Scenario::new().with_*()` chains. Unset knobs keep the same defaults
+/// as [`Scenario::new`], so `Scenario::builder(m, o).build().unwrap()`
+/// is field-for-field identical to `Scenario::new(m, o)`.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    machine: MachineConfig,
+    opt: OptLevel,
+    switch_policy: SwitchPolicy,
+    placement_override: Option<(usize, PlacementPolicy)>,
+    params: ModelParams,
+    td_strategy: TdStrategy,
+    trace: TraceConfig,
+}
+
+impl ScenarioBuilder {
+    /// Starts from the same defaults as [`Scenario::new`].
+    pub fn new(machine: MachineConfig, opt: OptLevel) -> Self {
+        Self {
+            machine,
+            opt,
+            switch_policy: SwitchPolicy::default(),
+            placement_override: None,
+            params: ModelParams::default(),
+            td_strategy: TdStrategy::SparseAllgather,
+            trace: TraceConfig::Off,
+        }
+    }
+
+    /// Overrides the hybrid switch thresholds.
+    pub fn switch_policy(mut self, policy: SwitchPolicy) -> Self {
+        self.switch_policy = policy;
+        self
+    }
+
+    /// Overrides ppn and placement policy (Fig. 10's flag matrix).
+    pub fn placement(mut self, ppn: usize, policy: PlacementPolicy) -> Self {
+        self.placement_override = Some((ppn, policy));
+        self
+    }
+
+    /// Overrides the cost-model constants (ablations).
+    pub fn params(mut self, params: ModelParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Selects the top-down communication strategy.
+    pub fn td_strategy(mut self, td_strategy: TdStrategy) -> Self {
+        self.td_strategy = td_strategy;
+        self
+    }
+
+    /// Selects the run-event recording configuration.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Validates the machine and assembles the scenario.
+    ///
+    /// # Errors
+    /// [`NbfsError::Config`] if the machine description is inconsistent
+    /// (see [`MachineConfig::validate`]).
+    pub fn build(self) -> Result<Scenario, NbfsError> {
+        self.machine.validate().map_err(NbfsError::config)?;
+        Ok(Scenario {
+            machine: self.machine,
+            opt: self.opt,
+            switch_policy: self.switch_policy,
+            placement_override: self.placement_override,
+            params: self.params,
+            td_strategy: self.td_strategy,
+            trace: self.trace,
+        })
     }
 }
 
@@ -425,17 +539,34 @@ impl<'g> DistributedBfs<'g> {
         ctx
     }
 
-    /// Mean/max reduction for one computation sub-phase: the mean is the
-    /// busy slice, the skew (`max - mean`) is stall.
-    fn phase_times(&self, outs: &[KernelOut]) -> (SimTime, SimTime) {
+    /// Per-rank simulated times of one computation sub-phase, in rank
+    /// order — the raw material for both the mean/stall reduction and the
+    /// per-rank trace events.
+    fn rank_times(&self, outs: &[KernelOut]) -> Vec<SimTime> {
         let ctx = self.compute_context();
-        let times: Vec<SimTime> = outs
-            .iter()
+        outs.iter()
             .map(|o| ctx.time(&self.scenario.machine, &o.events))
-            .collect();
+            .collect()
+    }
+
+    /// Mean/max reduction: the mean is the busy slice, the skew
+    /// (`max - mean`) is stall. Same float-op order as the original
+    /// single-pass reduction.
+    fn mean_and_stall(times: &[SimTime]) -> (SimTime, SimTime) {
         let max = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
         let mean = times.iter().copied().sum::<SimTime>() / times.len() as f64;
         (mean, max - mean)
+    }
+
+    /// Identity block for the reports of this engine's traced runs.
+    fn run_meta(&self, root: usize) -> RunMeta {
+        RunMeta {
+            world: self.pmap.world_size(),
+            nodes: self.pmap.nodes(),
+            ppn: self.pmap.ppn(),
+            opt_label: self.scenario.opt.label(),
+            root: root as u64,
+        }
     }
 
     /// Runs a BFS from `root`, producing the tree and the profile.
@@ -443,10 +574,49 @@ impl<'g> DistributedBfs<'g> {
         self.run_timed(root, &NoClock).0
     }
 
+    /// Runs a BFS from `root` with run-event recording per the scenario's
+    /// [`TraceConfig`], returning the run and the merged [`TraceReport`].
+    ///
+    /// The report's [`TraceReport::run_profile`] projection reproduces
+    /// `run.profile` bit for bit: the engine commits each level's times
+    /// from per-level accumulators and emits the same values in the
+    /// level's trace event.
+    pub fn run_traced(&self, root: usize) -> (BfsRun, TraceReport) {
+        let (run, _, report) = self.run_traced_timed(root, &NoClock);
+        (run, report)
+    }
+
+    /// Like [`Self::run_traced`], also reading host wall-clock kernel
+    /// timings from `clock` (they land in [`WallClock`] and in each level
+    /// report's `wall_comp_secs`).
+    pub fn run_traced_timed(
+        &self,
+        root: usize,
+        clock: &dyn HostClock,
+    ) -> (BfsRun, WallClock, TraceReport) {
+        let mut tracer = Tracer::new(self.scenario.trace, self.pmap.world_size());
+        let (run, wall) = self.run_instrumented(root, clock, &mut tracer);
+        let report = tracer.finish(self.run_meta(root));
+        (run, wall, report)
+    }
+
     /// Like [`Self::run`], also reporting host wall-clock kernel timings
     /// read from the injected `clock` (pass [`NoClock`] when the timings
     /// do not matter).
     pub fn run_timed(&self, root: usize, clock: &dyn HostClock) -> (BfsRun, WallClock) {
+        self.run_instrumented(root, clock, &mut Tracer::off())
+    }
+
+    /// The full level loop, shared by every entry point. `tracer` is
+    /// [`Tracer::off`] unless the caller asked for a traced run; every
+    /// recording site is either a single discriminant check or gated on
+    /// [`Tracer::enabled`].
+    fn run_instrumented(
+        &self,
+        root: usize,
+        clock: &dyn HostClock,
+        tracer: &mut Tracer,
+    ) -> (BfsRun, WallClock) {
         let run_start = clock.now_secs();
         let mut wall = WallClock::default();
         let n = self.parts.num_vertices();
@@ -495,6 +665,7 @@ impl<'g> DistributedBfs<'g> {
         let mut profile = RunProfile::default();
         let mut direction = Direction::TopDown;
         let mut prev_direction: Option<Direction> = None;
+        let mut level_idx: usize = 0;
 
         loop {
             // --- per-level statistics and direction choice ---------------
@@ -517,16 +688,43 @@ impl<'g> DistributedBfs<'g> {
             let n_f = allreduce_sum(&frontier_counts, &self.pmap, &self.net);
             let m_f: u64 = frontier_degrees.iter().sum();
             let m_u: u64 = unexplored.iter().sum();
+            // Recorded before the termination check: the terminal allreduce
+            // belongs to a level that never commits, so the merge files it
+            // under `post_collectives` and the profile projection stays
+            // exact (the engine, too, discards its cost on termination).
+            tracer.record(TraceEvent::Collective {
+                level: level_idx,
+                kind: CollectiveKind::Allreduce,
+                cost: n_f.cost,
+                stats: n_f.stats,
+            });
             if n_f.value == 0 {
                 break;
             }
+            let prev = direction;
             direction = self
                 .scenario
                 .switch_policy
                 .choose(direction, m_f, m_u, n_f.value, n as u64);
+            tracer.record(TraceEvent::Decision {
+                level: level_idx,
+                prev,
+                chosen: direction,
+                m_f,
+                m_u,
+                n_f: n_f.value,
+                n: n as u64,
+            });
+            // Per-level accumulators, committed to the profile once at the
+            // level tail. The level's trace event carries exactly the
+            // committed values, which is what makes the report projection
+            // (`TraceReport::run_profile`) bitwise-exact.
             let mut level_comm = SimTime::ZERO;
             let mut level_comp = SimTime::ZERO;
             let mut level_stall = SimTime::ZERO;
+            let mut level_switch = SimTime::ZERO;
+            let mut level_detail = CommCost::ZERO;
+            let mut level_wall = 0.0f64;
             // The control-plane allreduce is charged to the level's direction.
             let control = n_f.cost.total();
             level_comm += control;
@@ -546,7 +744,7 @@ impl<'g> DistributedBfs<'g> {
                                 st.out_words[local_bit / 64] |= 1u64 << (local_bit % 64);
                             }
                         });
-                        profile.switch += self.conversion_time(&partition);
+                        level_switch += self.conversion_time(&partition);
                     }
 
                     // The two allgathers of Fig. 1: in_queue, then summary.
@@ -574,11 +772,25 @@ impl<'g> DistributedBfs<'g> {
                     };
                     let summary_cost =
                         allgather_cost_bytes(&summary_bytes, &self.pmap, &self.net, algo);
+                    if tracer.enabled() {
+                        let part_bytes: Vec<u64> =
+                            parts_ref.iter().map(|p| p.len() as u64 * 8).collect();
+                        tracer.record(TraceEvent::Collective {
+                            level: level_idx,
+                            kind: CollectiveKind::AllgatherWords,
+                            cost: words_cost,
+                            stats: allgather_stats_bytes(&part_bytes, &self.pmap, algo),
+                        });
+                        tracer.record(TraceEvent::Collective {
+                            level: level_idx,
+                            kind: CollectiveKind::AllgatherSummary,
+                            cost: summary_cost,
+                            stats: allgather_stats_bytes(&summary_bytes, &self.pmap, algo),
+                        });
+                    }
                     let comm = words_cost + summary_cost;
-                    profile.bu_comm_detail += comm;
-                    profile.bu_comm_phases += 1;
+                    level_detail += comm;
                     level_comm += comm.total();
-                    profile.bu_comm += comm.total() + control;
 
                     // --- bottom-up kernel --------------------------------
                     let in_queue_ref = &in_queue;
@@ -602,7 +814,9 @@ impl<'g> DistributedBfs<'g> {
                             ),
                         })
                         .collect();
-                    wall.bottom_up_secs += clock.now_secs() - t0;
+                    let kernel_secs = clock.now_secs() - t0;
+                    wall.bottom_up_secs += kernel_secs;
+                    level_wall += kernel_secs;
                     wall.bottom_up_levels += 1;
                     wall.bottom_up_edges +=
                         outs.iter().map(|o| o.events.edge_bytes / 4).sum::<u64>();
@@ -614,10 +828,27 @@ impl<'g> DistributedBfs<'g> {
                         st.visited.or_words_from(0, &st.out_words);
                     }
                     // nbfs-analysis: end-hot-path
-                    let (mean, stall) = self.phase_times(&outs);
-                    profile.bu_comp += mean;
-                    level_comp = mean;
-                    level_stall = stall;
+                    let times = self.rank_times(&outs);
+                    if tracer.enabled() {
+                        for (r, (o, t)) in outs.iter().zip(&times).enumerate() {
+                            tracer.record_rank(
+                                r,
+                                TraceEvent::RankLevel {
+                                    level: level_idx,
+                                    rank: r,
+                                    discovered: o.discovered,
+                                    edges_scanned: o.events.edge_bytes / 4,
+                                    summary_probes: o.events.probes.first().map_or(0, |p| p.count),
+                                    inqueue_probes: o.events.probes.get(1).map_or(0, |p| p.count),
+                                    write_bytes: o.events.write_bytes,
+                                    comp: *t,
+                                },
+                            );
+                        }
+                    }
+                    let (mean, stall) = Self::mean_and_stall(&times);
+                    level_comp += mean;
+                    level_stall += stall;
                     discovered_total = outs.iter().map(|o| o.discovered).sum::<u64>();
                 }
                 Direction::TopDown => {
@@ -625,96 +856,162 @@ impl<'g> DistributedBfs<'g> {
                         // Bitmap -> queue conversion on the way out of
                         // bottom-up (queues are already maintained; charge
                         // the sweep that the real code performs).
-                        profile.switch += self.conversion_time(&partition);
+                        level_switch += self.conversion_time(&partition);
                     }
 
                     if self.scenario.td_strategy == TdStrategy::Alltoallv {
                         let t0 = clock.now_secs();
-                        let (comm, comp, stall, discovered) =
-                            self.top_down_alltoallv_level(&mut states, &partition);
-                        wall.top_down_secs += clock.now_secs() - t0;
-                        profile.td_comm += comm + control;
-                        profile.td_comp += comp;
+                        let (comm, comp, stall, discovered) = self.top_down_alltoallv_level(
+                            &mut states,
+                            &partition,
+                            level_idx,
+                            tracer,
+                        );
+                        let kernel_secs = clock.now_secs() - t0;
+                        wall.top_down_secs += kernel_secs;
+                        level_wall += kernel_secs;
                         level_comm += comm;
                         level_comp += comp;
                         level_stall += stall;
-                        profile.stall += level_stall;
-                        profile.levels.push(LevelProfile {
-                            direction,
-                            discovered,
-                            comp: level_comp,
-                            comm: level_comm,
-                            stall: level_stall,
-                        });
-                        prev_direction = Some(direction);
-                        if discovered == 0 {
-                            break;
-                        }
-                        continue;
-                    }
-                    // Replicate the frontier: sparse allgatherv of the
-                    // newly discovered vertex lists when the frontier is
-                    // sparse (why top-down communication stays off the
-                    // Fig. 11 radar), or the frontier *bitmap* when the
-                    // list would be larger than the bitmap — the dense/
-                    // sparse frontier-representation switch of [9].
-                    let algo = self.scenario.opt.allgather_algorithm();
-                    let list_bytes: usize = states.iter().map(|s| s.frontier.len() * 4).sum();
-                    let bitmap_bytes = n.div_ceil(8);
-                    let full_frontier: Vec<u32>;
-                    let exchange_cost;
-                    if list_bytes > bitmap_bytes {
-                        // Dense path: allgather the out_words segments and
-                        // extract the sorted vertex list locally.
-                        states.par_iter_mut().enumerate().for_each(|(r, st)| {
-                            let (bit_start, _) = partition.item_range(r);
-                            st.out_words.fill(0);
-                            for &v in &st.frontier {
-                                let local_bit = v as usize - bit_start;
-                                st.out_words[local_bit / 64] |= 1u64 << (local_bit % 64);
-                            }
-                        });
-                        let parts_ref: Vec<&[u64]> =
-                            states.iter().map(|s| s.out_words.as_slice()).collect();
-                        let cost = allgather_words_into(
-                            td_scratch.words_mut(),
-                            &parts_ref,
-                            &self.pmap,
-                            &self.net,
-                            algo,
-                        );
-                        td_scratch.repair_padding();
-                        full_frontier = td_scratch.iter_ones().map(vid::to_stored).collect();
-                        exchange_cost = cost.total();
-                        profile.switch += self.conversion_time(&partition);
+                        discovered_total = discovered;
                     } else {
-                        let lists: Vec<Vec<u32>> =
-                            states.iter().map(|s| s.frontier.clone()).collect();
-                        let gathered = allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
-                        full_frontier = gathered.items;
-                        exchange_cost = gathered.cost.total();
-                    }
-                    profile.td_comm += exchange_cost + control;
-                    level_comm += exchange_cost;
+                        // Replicate the frontier: sparse allgatherv of the
+                        // newly discovered vertex lists when the frontier is
+                        // sparse (why top-down communication stays off the
+                        // Fig. 11 radar), or the frontier *bitmap* when the
+                        // list would be larger than the bitmap — the dense/
+                        // sparse frontier-representation switch of [9].
+                        let algo = self.scenario.opt.allgather_algorithm();
+                        let list_bytes: usize = states.iter().map(|s| s.frontier.len() * 4).sum();
+                        let bitmap_bytes = n.div_ceil(8);
+                        let full_frontier: Vec<u32>;
+                        let exchange_cost;
+                        if list_bytes > bitmap_bytes {
+                            // Dense path: allgather the out_words segments and
+                            // extract the sorted vertex list locally.
+                            states.par_iter_mut().enumerate().for_each(|(r, st)| {
+                                let (bit_start, _) = partition.item_range(r);
+                                st.out_words.fill(0);
+                                for &v in &st.frontier {
+                                    let local_bit = v as usize - bit_start;
+                                    st.out_words[local_bit / 64] |= 1u64 << (local_bit % 64);
+                                }
+                            });
+                            let parts_ref: Vec<&[u64]> =
+                                states.iter().map(|s| s.out_words.as_slice()).collect();
+                            let cost = allgather_words_into(
+                                td_scratch.words_mut(),
+                                &parts_ref,
+                                &self.pmap,
+                                &self.net,
+                                algo,
+                            );
+                            td_scratch.repair_padding();
+                            full_frontier = td_scratch.iter_ones().map(vid::to_stored).collect();
+                            if tracer.enabled() {
+                                let part_bytes: Vec<u64> =
+                                    parts_ref.iter().map(|p| p.len() as u64 * 8).collect();
+                                tracer.record(TraceEvent::Collective {
+                                    level: level_idx,
+                                    kind: CollectiveKind::AllgatherWords,
+                                    cost,
+                                    stats: allgather_stats_bytes(&part_bytes, &self.pmap, algo),
+                                });
+                            }
+                            exchange_cost = cost.total();
+                            level_switch += self.conversion_time(&partition);
+                        } else {
+                            let lists: Vec<Vec<u32>> =
+                                states.iter().map(|s| s.frontier.clone()).collect();
+                            if tracer.enabled() {
+                                let list_sizes: Vec<u64> =
+                                    lists.iter().map(|l| l.len() as u64 * 4).collect();
+                                let gathered =
+                                    allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
+                                tracer.record(TraceEvent::Collective {
+                                    level: level_idx,
+                                    kind: CollectiveKind::Allgatherv,
+                                    cost: gathered.cost,
+                                    stats: allgather_stats_bytes(&list_sizes, &self.pmap, algo),
+                                });
+                                full_frontier = gathered.items;
+                                exchange_cost = gathered.cost.total();
+                            } else {
+                                let gathered =
+                                    allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
+                                full_frontier = gathered.items;
+                                exchange_cost = gathered.cost.total();
+                            }
+                        }
+                        level_comm += exchange_cost;
 
-                    // --- top-down kernel over the transposed index -------
-                    let frontier_ref = &full_frontier;
-                    let t0 = clock.now_secs();
-                    let outs: Vec<KernelOut> = states
-                        .par_iter_mut()
-                        .enumerate()
-                        .map(|(r, st)| self.top_down_kernel(self.parts.local(r), st, frontier_ref))
-                        .collect();
-                    wall.top_down_secs += clock.now_secs() - t0;
-                    let (mean, stall) = self.phase_times(&outs);
-                    profile.td_comp += mean;
-                    level_comp += mean;
-                    level_stall += stall;
-                    discovered_total = outs.iter().map(|o| o.discovered).sum::<u64>();
+                        // --- top-down kernel over the transposed index -------
+                        let frontier_ref = &full_frontier;
+                        let t0 = clock.now_secs();
+                        let outs: Vec<KernelOut> = states
+                            .par_iter_mut()
+                            .enumerate()
+                            .map(|(r, st)| {
+                                self.top_down_kernel(self.parts.local(r), st, frontier_ref)
+                            })
+                            .collect();
+                        let kernel_secs = clock.now_secs() - t0;
+                        wall.top_down_secs += kernel_secs;
+                        level_wall += kernel_secs;
+                        let times = self.rank_times(&outs);
+                        if tracer.enabled() {
+                            for (r, (o, t)) in outs.iter().zip(&times).enumerate() {
+                                tracer.record_rank(
+                                    r,
+                                    TraceEvent::RankLevel {
+                                        level: level_idx,
+                                        rank: r,
+                                        discovered: o.discovered,
+                                        edges_scanned: o.events.edge_bytes / 8,
+                                        summary_probes: 0,
+                                        inqueue_probes: 0,
+                                        write_bytes: o.events.write_bytes,
+                                        comp: *t,
+                                    },
+                                );
+                            }
+                        }
+                        let (mean, stall) = Self::mean_and_stall(&times);
+                        level_comp += mean;
+                        level_stall += stall;
+                        discovered_total = outs.iter().map(|o| o.discovered).sum::<u64>();
+                    }
                 }
             }
 
+            // --- level commit (the single write site for the profile) ----
+            // The trace event carries exactly the values committed here,
+            // which is what keeps `TraceReport::run_profile` bitwise-exact.
             profile.stall += level_stall;
+            profile.switch += level_switch;
+            match direction {
+                Direction::BottomUp => {
+                    profile.bu_comp += level_comp;
+                    profile.bu_comm += level_comm;
+                    profile.bu_comm_detail += level_detail;
+                    profile.bu_comm_phases += 1;
+                }
+                Direction::TopDown => {
+                    profile.td_comp += level_comp;
+                    profile.td_comm += level_comm;
+                }
+            }
+            tracer.record(TraceEvent::Level {
+                level: level_idx,
+                direction,
+                discovered: discovered_total,
+                comp: level_comp,
+                comm: level_comm,
+                stall: level_stall,
+                switch: level_switch,
+                detail: level_detail,
+                wall_comp_secs: level_wall,
+            });
             profile.levels.push(LevelProfile {
                 direction,
                 discovered: discovered_total,
@@ -723,6 +1020,7 @@ impl<'g> DistributedBfs<'g> {
                 stall: level_stall,
             });
             prev_direction = Some(direction);
+            level_idx += 1;
             if discovered_total == 0 {
                 break;
             }
@@ -946,10 +1244,16 @@ impl<'g> DistributedBfs<'g> {
     /// expands its own frontier queue, buckets `(neighbour, parent)` pairs
     /// by owner, exchanges them, and owners adopt first arrivals. Returns
     /// `(comm, comp, stall, discovered)`.
+    ///
+    /// When the tracer is live, records the exchange as an `Alltoallv`
+    /// collective and one `RankLevel` event per rank (scatter and inbox
+    /// phases combined; scatter edge entries are 4 bytes each).
     fn top_down_alltoallv_level(
         &self,
         states: &mut [RankState],
         partition: &nbfs_util::BlockPartition,
+        level_idx: usize,
+        tracer: &mut Tracer,
     ) -> (SimTime, SimTime, SimTime, u64) {
         let np = self.pmap.world_size();
         // --- scatter kernel ------------------------------------------------
@@ -985,10 +1289,17 @@ impl<'g> DistributedBfs<'g> {
             })
             .collect();
         let (scatter_outs, sends): (Vec<KernelOut>, Vec<SendBuckets>) = results.into_iter().unzip();
-        let (mean_scatter, stall_scatter) = self.phase_times(&scatter_outs);
+        let scatter_times = self.rank_times(&scatter_outs);
+        let (mean_scatter, stall_scatter) = Self::mean_and_stall(&scatter_times);
 
         // --- exchange ------------------------------------------------------
         let exchange = nbfs_comm::alltoallv::alltoallv(&sends, 8, &self.pmap, &self.net);
+        tracer.record(TraceEvent::Collective {
+            level: level_idx,
+            kind: CollectiveKind::Alltoallv,
+            cost: exchange.cost,
+            stats: exchange.stats,
+        });
 
         // --- inbox processing ------------------------------------------------
         let outs: Vec<KernelOut> = states
@@ -1033,7 +1344,25 @@ impl<'g> DistributedBfs<'g> {
                 KernelOut { events, discovered }
             })
             .collect();
-        let (mean_inbox, stall_inbox) = self.phase_times(&outs);
+        let inbox_times = self.rank_times(&outs);
+        let (mean_inbox, stall_inbox) = Self::mean_and_stall(&inbox_times);
+        if tracer.enabled() {
+            for (r, (s, o)) in scatter_outs.iter().zip(&outs).enumerate() {
+                tracer.record_rank(
+                    r,
+                    TraceEvent::RankLevel {
+                        level: level_idx,
+                        rank: r,
+                        discovered: o.discovered,
+                        edges_scanned: s.events.edge_bytes / 4,
+                        summary_probes: 0,
+                        inqueue_probes: 0,
+                        write_bytes: s.events.write_bytes + o.events.write_bytes,
+                        comp: scatter_times[r] + inbox_times[r],
+                    },
+                );
+            }
+        }
         let discovered = outs.iter().map(|o| o.discovered).sum();
         (
             exchange.cost.total(),

@@ -35,10 +35,14 @@ use nbfs_graph::{vid, Csr, NO_PARENT};
 use nbfs_simnet::compute::ProbeClass;
 use nbfs_simnet::{ComputeContext, ComputeEvents, Flow, NetworkModel};
 use nbfs_topology::{MachineConfig, ProcessMap};
+use nbfs_trace::{
+    CollectiveKind, CollectiveStats, CommCost, RunMeta, TraceEvent, TraceReport, Tracer,
+};
 use nbfs_util::{BlockPartition, SimTime};
 
+use crate::direction::Direction;
 use crate::engine::Scenario;
-use crate::profile::RunProfile;
+use crate::profile::{LevelProfile, RunProfile};
 
 /// Per-destination buckets of `(vertex, parent)` records.
 type SendBuckets = Vec<Vec<(u32, u32)>>;
@@ -177,8 +181,61 @@ impl<'g> TwoDimBfs<'g> {
         total
     }
 
+    /// Counting twin of [`Self::expand_cost`]: the same ring schedule,
+    /// tallied as volume (pure wire traffic under the natural mapping —
+    /// each column's ranks sit on distinct nodes).
+    fn expand_stats(&self, piece_bytes: &[u64]) -> CollectiveStats {
+        if self.rows <= 1 {
+            return CollectiveStats::ZERO;
+        }
+        let mut stats = CollectiveStats {
+            rounds: (self.rows - 1) as u64,
+            ..CollectiveStats::ZERO
+        };
+        for r in 0..self.rows - 1 {
+            for node in 0..self.rows {
+                let origin_row = (node + self.rows - r) % self.rows;
+                for col in 0..self.cols {
+                    let bytes = piece_bytes[self.rank_of(origin_row, col)];
+                    if bytes > 0 {
+                        stats.flows += 1;
+                        stats.wire_bytes += bytes;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Identity block for this engine's trace reports.
+    fn run_meta(&self, root: usize) -> RunMeta {
+        RunMeta {
+            world: self.pmap.world_size(),
+            nodes: self.pmap.nodes(),
+            ppn: self.pmap.ppn(),
+            opt_label: self.scenario.opt.label(),
+            root: root as u64,
+        }
+    }
+
     /// Runs a 2-D top-down BFS from `root`.
     pub fn run(&self, root: usize) -> Bfs2DRun {
+        self.run_instrumented(root, &mut Tracer::off())
+    }
+
+    /// Like [`Self::run`], also recording run events into a
+    /// [`TraceReport`] under the scenario's [`TraceConfig`]
+    /// (`Scenario::trace`).
+    ///
+    /// [`TraceConfig`]: nbfs_trace::TraceConfig
+    pub fn run_traced(&self, root: usize) -> (Bfs2DRun, TraceReport) {
+        let mut tracer = Tracer::new(self.scenario.trace, self.pmap.world_size());
+        let run = self.run_instrumented(root, &mut tracer);
+        let report = tracer.finish(self.run_meta(root));
+        (run, report)
+    }
+
+    fn run_instrumented(&self, root: usize, tracer: &mut Tracer) -> Bfs2DRun {
         let n = self.graph.num_vertices();
         assert!(root < n, "root out of range");
         let np = self.pmap.world_size();
@@ -201,18 +258,43 @@ impl<'g> TwoDimBfs<'g> {
             c
         };
 
+        let mut level_idx: usize = 0;
         loop {
             // Termination check (one latency-bound allreduce per level).
             let counts: Vec<u64> = ranks.iter().map(|r| r.frontier.len() as u64).collect();
             let n_f = allreduce_sum(&counts, &self.pmap, &self.net);
-            profile.td_comm += n_f.cost.total();
+            // Recorded before the (normally unreachable) termination check
+            // so a terminal allreduce would file under `post_collectives`.
+            tracer.record(TraceEvent::Collective {
+                level: level_idx,
+                kind: CollectiveKind::Allreduce,
+                cost: n_f.cost,
+                stats: n_f.stats,
+            });
             if n_f.value == 0 {
+                // Unreachable once the root is installed (the adopt-phase
+                // break fires first); kept as a safety net with the
+                // control charge the pre-trace engine applied.
+                profile.td_comm += n_f.cost.total();
                 break;
             }
+            // Per-level accumulators, committed once at the level tail —
+            // the same values land in the `Level` trace event, keeping
+            // `TraceReport::run_profile` exact.
+            let mut level_comm = n_f.cost.total();
 
             // --- expand: column allgather of frontier pieces ------------
             let piece_bytes: Vec<u64> = ranks.iter().map(|r| r.frontier.len() as u64 * 4).collect();
-            profile.td_comm += self.expand_cost(&piece_bytes);
+            let expand = self.expand_cost(&piece_bytes);
+            if tracer.enabled() {
+                tracer.record(TraceEvent::Collective {
+                    level: level_idx,
+                    kind: CollectiveKind::Expand2d,
+                    cost: CommCost::inter_only(expand),
+                    stats: self.expand_stats(&piece_bytes),
+                });
+            }
+            level_comm += expand;
             // Functional result: the union of a column's pieces, sorted.
             let col_frontiers: Vec<Vec<u32>> = (0..self.cols)
                 .map(|col| {
@@ -263,8 +345,8 @@ impl<'g> TwoDimBfs<'g> {
                 .collect();
             let max = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
             let mean = times.iter().copied().sum::<SimTime>() / times.len() as f64;
-            profile.td_comp += mean;
-            profile.stall += max - mean;
+            let level_comp = mean;
+            let level_stall = max - mean;
 
             // --- fold: intra-row scatter (intra-node with this mapping) --
             debug_assert!(sends.iter().enumerate().all(|(src, row)| {
@@ -273,10 +355,16 @@ impl<'g> TwoDimBfs<'g> {
                     .all(|(dst, msgs)| msgs.is_empty() || self.pmap.same_node(src, dst))
             }));
             let exchange = alltoallv(&sends, 8, &self.pmap, &self.net);
-            profile.td_comm += exchange.cost.total();
+            tracer.record(TraceEvent::Collective {
+                level: level_idx,
+                kind: CollectiveKind::Alltoallv,
+                cost: exchange.cost,
+                stats: exchange.stats,
+            });
+            level_comm += exchange.cost.total();
 
             // --- adopt -----------------------------------------------------
-            let discovered: u64 = ranks
+            let found_per_rank: Vec<u64> = ranks
                 .par_iter_mut()
                 .zip(exchange.received.into_par_iter())
                 .map(|(rk, inbox)| {
@@ -295,7 +383,49 @@ impl<'g> TwoDimBfs<'g> {
                     rk.frontier.sort_unstable();
                     found
                 })
-                .sum();
+                .collect();
+            let discovered: u64 = found_per_rank.iter().sum();
+            if tracer.enabled() {
+                for (r, (e, &found)) in events.iter().zip(&found_per_rank).enumerate() {
+                    tracer.record_rank(
+                        r,
+                        TraceEvent::RankLevel {
+                            level: level_idx,
+                            rank: r,
+                            discovered: found,
+                            edges_scanned: e.edge_bytes / 8,
+                            summary_probes: 0,
+                            inqueue_probes: 0,
+                            write_bytes: e.write_bytes,
+                            comp: times[r],
+                        },
+                    );
+                }
+            }
+
+            // --- level commit -------------------------------------------
+            profile.td_comp += level_comp;
+            profile.td_comm += level_comm;
+            profile.stall += level_stall;
+            tracer.record(TraceEvent::Level {
+                level: level_idx,
+                direction: Direction::TopDown,
+                discovered,
+                comp: level_comp,
+                comm: level_comm,
+                stall: level_stall,
+                switch: SimTime::ZERO,
+                detail: CommCost::ZERO,
+                wall_comp_secs: 0.0,
+            });
+            profile.levels.push(LevelProfile {
+                direction: Direction::TopDown,
+                discovered,
+                comp: level_comp,
+                comm: level_comm,
+                stall: level_stall,
+            });
+            level_idx += 1;
             if discovered == 0 {
                 break;
             }

@@ -17,7 +17,9 @@ use nbfs_util::rng::Xoroshiro128;
 use nbfs_util::stats::RateSummary;
 use nbfs_util::SimTime;
 
-use crate::engine::{DistributedBfs, Scenario};
+use nbfs_trace::TraceReport;
+
+use crate::engine::{BfsRun, DistributedBfs, Scenario};
 use crate::profile::RunProfile;
 
 /// Measurement configuration.
@@ -49,6 +51,57 @@ impl HarnessConfig {
             seed: 12345,
             validate: true,
         }
+    }
+
+    /// Starts a fluent builder from the Graph500 defaults (64 roots,
+    /// validation on). `HarnessConfig::builder().build()` equals
+    /// `HarnessConfig::default()`.
+    ///
+    /// ```
+    /// use nbfs_core::harness::HarnessConfig;
+    ///
+    /// let cfg = HarnessConfig::builder().roots(8).validate(false).build();
+    /// assert_eq!(cfg.roots, 8);
+    /// assert!(!cfg.validate);
+    /// assert_eq!(cfg.seed, HarnessConfig::default().seed);
+    /// ```
+    pub fn builder() -> HarnessConfigBuilder {
+        HarnessConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Fluent construction of a [`HarnessConfig`]; see
+/// [`HarnessConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct HarnessConfigBuilder {
+    config: HarnessConfig,
+}
+
+impl HarnessConfigBuilder {
+    /// Number of BFS roots (Graph500 mandates 64).
+    pub fn roots(mut self, roots: usize) -> Self {
+        self.config.roots = roots;
+        self
+    }
+
+    /// Root-sampling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Whether to run the Graph500 validation kernel on every tree.
+    pub fn validate(mut self, validate: bool) -> Self {
+        self.config.validate = validate;
+        self
+    }
+
+    /// Assembles the configuration (infallible — every combination of
+    /// knobs is meaningful; a zero root count simply measures nothing).
+    pub fn build(self) -> HarnessConfig {
+        self.config
     }
 }
 
@@ -119,6 +172,43 @@ impl<'g> Graph500Harness<'g> {
         chosen
     }
 
+    /// Validates (when asked) and summarizes one iteration.
+    ///
+    /// # Panics
+    /// If validation is enabled and the BFS tree is invalid.
+    fn root_result(&self, root: usize, run: &BfsRun, validate: bool) -> RootResult {
+        if validate {
+            let visited = validate_bfs_tree(self.graph, root, &run.parent)
+                .unwrap_or_else(|e| panic!("validation failed at root {root}: {e}"));
+            assert_eq!(visited, run.visited);
+        }
+        let traversed_edges = self.graph.component_edges(root) as u64;
+        let time = run.profile.total();
+        RootResult {
+            root,
+            traversed_edges,
+            time,
+            teps: traversed_edges as f64 / time.as_secs(),
+        }
+    }
+
+    /// Folds per-root results into the campaign aggregate. Profiles are
+    /// averaged in root order for determinism.
+    fn summarize(per_root: Vec<RootResult>, profiles: &[RunProfile]) -> HarnessResult {
+        let mut mean_profile = RunProfile::default();
+        for p in profiles {
+            mean_profile.accumulate(p);
+        }
+        let mean_profile = mean_profile.scaled(profiles.len() as f64);
+        let teps_samples: Vec<f64> = per_root.iter().map(|r| r.teps).collect();
+        HarnessResult {
+            teps: RateSummary::from_samples(&teps_samples)
+                .expect("TEPS samples are positive: one per validated root"),
+            mean_profile,
+            per_root,
+        }
+    }
+
     /// Runs the full campaign.
     ///
     /// # Panics
@@ -129,40 +219,41 @@ impl<'g> Graph500Harness<'g> {
             .par_iter()
             .map(|&root| {
                 let run = self.engine.run(root);
-                if config.validate {
-                    let visited = validate_bfs_tree(self.graph, root, &run.parent)
-                        .unwrap_or_else(|e| panic!("validation failed at root {root}: {e}"));
-                    assert_eq!(visited, run.visited);
-                }
-                let traversed_edges = self.graph.component_edges(root) as u64;
-                let time = run.profile.total();
-                (
-                    RootResult {
-                        root,
-                        traversed_edges,
-                        time,
-                        teps: traversed_edges as f64 / time.as_secs(),
-                    },
-                    run.profile,
-                )
+                (self.root_result(root, &run, config.validate), run.profile)
             })
             .collect();
         let (per_root, profiles): (Vec<RootResult>, Vec<RunProfile>) = results.into_iter().unzip();
+        Self::summarize(per_root, &profiles)
+    }
 
-        // Profiles are averaged in root order for determinism.
-        let mut mean_profile = RunProfile::default();
-        for p in &profiles {
-            mean_profile.accumulate(p);
+    /// Runs the full campaign with run-event recording: every iteration
+    /// also yields its [`TraceReport`] (in root order, under the
+    /// scenario's `TraceConfig`).
+    ///
+    /// # Panics
+    /// If validation is enabled and any BFS tree is invalid.
+    pub fn run_traced(&self, config: &HarnessConfig) -> (HarnessResult, Vec<TraceReport>) {
+        let roots = self.sample_roots(config.roots, config.seed);
+        let results: Vec<(RootResult, RunProfile, TraceReport)> = roots
+            .par_iter()
+            .map(|&root| {
+                let (run, report) = self.engine.run_traced(root);
+                (
+                    self.root_result(root, &run, config.validate),
+                    run.profile,
+                    report,
+                )
+            })
+            .collect();
+        let mut per_root = Vec::with_capacity(results.len());
+        let mut profiles = Vec::with_capacity(results.len());
+        let mut reports = Vec::with_capacity(results.len());
+        for (r, p, t) in results {
+            per_root.push(r);
+            profiles.push(p);
+            reports.push(t);
         }
-        let mean_profile = mean_profile.scaled(roots.len() as f64);
-
-        let teps_samples: Vec<f64> = per_root.iter().map(|r| r.teps).collect();
-        HarnessResult {
-            teps: RateSummary::from_samples(&teps_samples)
-                .expect("TEPS samples are positive: one per validated root"),
-            mean_profile,
-            per_root,
-        }
+        (Self::summarize(per_root, &profiles), reports)
     }
 
     /// The underlying engine.

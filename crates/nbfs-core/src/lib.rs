@@ -36,7 +36,7 @@ pub mod profile;
 pub mod seq;
 pub mod tuning;
 
-pub use engine::{BfsRun, DistributedBfs, Scenario};
-pub use harness::{Graph500Harness, HarnessConfig};
+pub use engine::{BfsRun, DistributedBfs, Scenario, ScenarioBuilder};
+pub use harness::{Graph500Harness, HarnessConfig, HarnessConfigBuilder};
 pub use opt::OptLevel;
 pub use profile::{Phase, RunProfile};

@@ -19,9 +19,11 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use rayon::prelude::*;
 
 use nbfs_graph::{vid, Csr, NO_PARENT};
-use nbfs_util::{AtomicBitmap, Bitmap};
+use nbfs_trace::{CommCost, RunMeta, TraceConfig, TraceEvent, TraceReport, Tracer};
+use nbfs_util::{AtomicBitmap, Bitmap, SimTime};
 
 use crate::direction::{Direction, SwitchPolicy};
+use crate::engine::{HostClock, NoClock};
 use crate::seq::{LevelTrace, SeqBfs};
 
 /// Chunk of vertices processed per work-stealing task.
@@ -34,6 +36,40 @@ const BU_TASK_WORDS: usize = 64;
 
 /// Runs the hybrid BFS from `root` using the current rayon thread pool.
 pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
+    bfs_hybrid_parallel_instrumented(graph, root, policy, &NoClock, &mut Tracer::off())
+}
+
+/// Like [`bfs_hybrid_parallel`], also recording run events. This kernel
+/// runs for real (no cost model), so the trace carries the direction
+/// decisions, per-level discoveries/edge counts, and — when `clock` is a
+/// real timer — wall-clock kernel seconds; the simulated-time fields stay
+/// zero.
+pub fn bfs_hybrid_parallel_traced(
+    graph: &Csr,
+    root: usize,
+    policy: SwitchPolicy,
+    trace: TraceConfig,
+    clock: &dyn HostClock,
+) -> (SeqBfs, TraceReport) {
+    let mut tracer = Tracer::new(trace, 1);
+    let run = bfs_hybrid_parallel_instrumented(graph, root, policy, clock, &mut tracer);
+    let meta = RunMeta {
+        world: 1,
+        nodes: 1,
+        ppn: 1,
+        opt_label: "shared-memory".to_string(),
+        root: root as u64,
+    };
+    (run, tracer.finish(meta))
+}
+
+fn bfs_hybrid_parallel_instrumented(
+    graph: &Csr,
+    root: usize,
+    policy: SwitchPolicy,
+    clock: &dyn HostClock,
+    tracer: &mut Tracer,
+) -> SeqBfs {
     let n = graph.num_vertices();
     assert!(root < n, "root out of range");
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
@@ -51,6 +87,7 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
     let mut m_u = total_degree - graph.degree(root) as u64;
     let mut direction = Direction::TopDown;
     let mut levels = Vec::new();
+    let mut level_idx: usize = 0;
 
     loop {
         let n_f = frontier.len() as u64;
@@ -61,9 +98,20 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
             .par_iter()
             .map(|&u| graph.degree(u as usize) as u64)
             .sum();
+        let prev = direction;
         direction = policy.choose(direction, m_f, m_u, n_f, n as u64);
+        tracer.record(TraceEvent::Decision {
+            level: level_idx,
+            prev,
+            chosen: direction,
+            m_f,
+            m_u,
+            n_f,
+            n: n as u64,
+        });
 
         let edges = AtomicU64::new(0);
+        let t0 = clock.now_secs();
         let next: Vec<u32> = match direction {
             Direction::TopDown => {
                 // Workers expand disjoint frontier chunks; parent adoption
@@ -147,6 +195,8 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
             }
         };
 
+        let kernel_secs = clock.now_secs() - t0;
+
         m_u -= next
             .par_iter()
             .map(|&v| graph.degree(v as usize) as u64)
@@ -158,11 +208,40 @@ pub fn bfs_hybrid_parallel(graph: &Csr, root: usize, policy: SwitchPolicy) -> Se
             in_queue.set(v as usize);
             visited.set(v as usize);
         });
+        let discovered = next.len() as u64;
+        let edges_examined = edges.load(Ordering::Relaxed);
+        if tracer.enabled() {
+            tracer.record_rank(
+                0,
+                TraceEvent::RankLevel {
+                    level: level_idx,
+                    rank: 0,
+                    discovered,
+                    edges_scanned: edges_examined,
+                    summary_probes: 0,
+                    inqueue_probes: 0,
+                    write_bytes: discovered * 4,
+                    comp: SimTime::ZERO,
+                },
+            );
+        }
+        tracer.record(TraceEvent::Level {
+            level: level_idx,
+            direction,
+            discovered,
+            comp: SimTime::ZERO,
+            comm: SimTime::ZERO,
+            stall: SimTime::ZERO,
+            switch: SimTime::ZERO,
+            detail: CommCost::ZERO,
+            wall_comp_secs: kernel_secs,
+        });
         levels.push(LevelTrace {
             direction,
-            discovered: next.len() as u64,
-            edges_examined: edges.load(Ordering::Relaxed),
+            discovered,
+            edges_examined,
         });
+        level_idx += 1;
         frontier = next;
     }
 

@@ -11,16 +11,21 @@
 //!   mis-parsed.
 //! * **text** — one `u v` pair per line, `#` comments allowed; the common
 //!   interchange format of SNAP and friends.
+//!
+//! All functions return [`nbfs_util::Result`]: transport failures surface
+//! as [`NbfsError::Io`], format violations as [`NbfsError::InvalidData`].
 
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+use nbfs_util::{NbfsError, Result};
 
 use crate::edge::{Edge, EdgeList};
 
 const MAGIC: &[u8; 8] = b"NBFSEDG1";
 
 /// Writes the binary format to `w`.
-pub fn write_binary<W: Write>(w: &mut W, edges: &EdgeList) -> io::Result<()> {
+pub fn write_binary<W: Write>(w: &mut W, edges: &EdgeList) -> Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&(edges.num_vertices as u64).to_le_bytes())?;
     w.write_all(&(edges.edges.len() as u64).to_le_bytes())?;
@@ -32,14 +37,11 @@ pub fn write_binary<W: Write>(w: &mut W, edges: &EdgeList) -> io::Result<()> {
 }
 
 /// Reads the binary format from `r`.
-pub fn read_binary<R: Read>(r: &mut R) -> io::Result<EdgeList> {
+pub fn read_binary<R: Read>(r: &mut R) -> Result<EdgeList> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not an nbfs edge file (bad magic)",
-        ));
+        return Err(NbfsError::invalid_data("not an nbfs edge file (bad magic)"));
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
@@ -47,16 +49,16 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<EdgeList> {
     r.read_exact(&mut buf8)?;
     let num_edges = u64::from_le_bytes(buf8) as usize;
     let mut edges = Vec::with_capacity(num_edges);
-    let mut pair = [0u8; 8];
+    let mut buf4 = [0u8; 4];
     for _ in 0..num_edges {
-        r.read_exact(&mut pair)?;
-        let u = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
-        let v = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
+        r.read_exact(&mut buf4)?;
+        let u = u32::from_le_bytes(buf4);
+        r.read_exact(&mut buf4)?;
+        let v = u32::from_le_bytes(buf4);
         if u as usize >= num_vertices || v as usize >= num_vertices {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("edge ({u}, {v}) out of range {num_vertices}"),
-            ));
+            return Err(NbfsError::invalid_data(format!(
+                "edge ({u}, {v}) out of range {num_vertices}"
+            )));
         }
         edges.push(Edge { u, v });
     }
@@ -64,7 +66,7 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<EdgeList> {
 }
 
 /// Writes the text format (`u v` per line) to `w`.
-pub fn write_text<W: Write>(w: &mut W, edges: &EdgeList) -> io::Result<()> {
+pub fn write_text<W: Write>(w: &mut W, edges: &EdgeList) -> Result<()> {
     writeln!(
         w,
         "# nbfs edge list: {} vertices, {} edges",
@@ -79,7 +81,7 @@ pub fn write_text<W: Write>(w: &mut W, edges: &EdgeList) -> io::Result<()> {
 
 /// Reads the text format. The vertex-id space is sized by the maximum id
 /// seen (plus one), or can be forced with `num_vertices`.
-pub fn read_text<R: Read>(r: R, num_vertices: Option<usize>) -> io::Result<EdgeList> {
+pub fn read_text<R: Read>(r: R, num_vertices: Option<usize>) -> Result<EdgeList> {
     let mut edges = Vec::new();
     let mut max_id = 0u32;
     for (lineno, line) in BufReader::new(r).lines().enumerate() {
@@ -89,20 +91,12 @@ pub fn read_text<R: Read>(r: R, num_vertices: Option<usize>) -> io::Result<EdgeL
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> io::Result<u32> {
+        let parse = |tok: Option<&str>| -> Result<u32> {
             tok.ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: expected two vertex ids", lineno + 1),
-                )
+                NbfsError::invalid_data(format!("line {}: expected two vertex ids", lineno + 1))
             })?
             .parse()
-            .map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: {e}", lineno + 1),
-                )
-            })
+            .map_err(|e| NbfsError::invalid_data(format!("line {}: {e}", lineno + 1)))
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
@@ -115,14 +109,13 @@ pub fn read_text<R: Read>(r: R, num_vertices: Option<usize>) -> io::Result<EdgeL
         max_id as usize + 1
     });
     let el = EdgeList::new(n, edges);
-    el.check_bounds()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    el.check_bounds().map_err(NbfsError::invalid_data)?;
     Ok(el)
 }
 
 /// Writes `edges` to `path`, picking the format from the extension
 /// (`.txt`/`.el` → text, anything else → binary).
-pub fn save(path: &Path, edges: &EdgeList) -> io::Result<()> {
+pub fn save(path: &Path, edges: &EdgeList) -> Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     match path.extension().and_then(|e| e.to_str()) {
         Some("txt") | Some("el") => write_text(&mut w, edges),
@@ -131,7 +124,7 @@ pub fn save(path: &Path, edges: &EdgeList) -> io::Result<()> {
 }
 
 /// Loads an edge list from `path`, picking the format from the extension.
-pub fn load(path: &Path) -> io::Result<EdgeList> {
+pub fn load(path: &Path) -> Result<EdgeList> {
     let f = std::fs::File::open(path)?;
     match path.extension().and_then(|e| e.to_str()) {
         Some("txt") | Some("el") => read_text(f, None),
@@ -179,7 +172,7 @@ mod tests {
     fn bad_magic_rejected() {
         let buf = b"NOTMAGIC\x00\x00\x00\x00\x00\x00\x00\x00";
         let err = read_binary(&mut buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, NbfsError::InvalidData(_)), "{err}");
     }
 
     #[test]
@@ -188,7 +181,8 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&mut buf, &el).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_binary(&mut buf.as_slice()).is_err());
+        let err = read_binary(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, NbfsError::Io(_)), "{err}");
     }
 
     #[test]
@@ -199,7 +193,8 @@ mod tests {
         buf.extend_from_slice(&1u64.to_le_bytes()); // 1 edge
         buf.extend_from_slice(&0u32.to_le_bytes());
         buf.extend_from_slice(&7u32.to_le_bytes()); // vertex 7 out of range
-        assert!(read_binary(&mut buf.as_slice()).is_err());
+        let err = read_binary(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, NbfsError::InvalidData(_)), "{err}");
     }
 
     #[test]

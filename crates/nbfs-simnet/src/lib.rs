@@ -30,5 +30,5 @@ pub mod osu;
 
 pub use cache::{CacheModel, Residence};
 pub use compute::{ComputeContext, ComputeEvents};
-pub use flows::{Flow, FlowSolver};
+pub use flows::{Flow, FlowRoundSummary, FlowSolver};
 pub use network::NetworkModel;

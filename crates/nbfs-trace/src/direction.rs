@@ -1,0 +1,29 @@
+//! The traversal-direction vocabulary shared by engines and traces.
+//!
+//! Only the [`Direction`] enum lives here; the α/β switch heuristic
+//! (`SwitchPolicy`) stays in `nbfs-core`, which re-exports this type so
+//! existing import paths keep working.
+
+use serde::{Deserialize, Serialize};
+
+/// Traversal direction of one BFS level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Explore from the frontier outward ("for each vertex in the current
+    /// frontier, its adjacent vertices are checked").
+    TopDown,
+    /// Search from unvisited vertices backward ("for each unvisited vertex
+    /// ... it is put into the next frontier only if at least one of its
+    /// adjacent vertices is in the current frontier").
+    BottomUp,
+}
+
+impl Direction {
+    /// Short label used by reports and the `nbfs trace` table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::TopDown => "top-down",
+            Direction::BottomUp => "bottom-up",
+        }
+    }
+}

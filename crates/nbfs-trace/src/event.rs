@@ -1,0 +1,237 @@
+//! The run-event taxonomy.
+//!
+//! Events are small `Copy` values so that recording one into a pre-sized
+//! [`crate::EventRing`] is a store, not an allocation. [`TraceEvent`] is the
+//! in-ring representation and is deliberately **not** serialized; the merged
+//! [`crate::TraceReport`] is the exchange format.
+
+use serde::{Deserialize, Serialize};
+
+use nbfs_util::SimTime;
+
+use crate::cost::CommCost;
+use crate::direction::Direction;
+
+/// Which collective operation a cost sample came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// The frontier-word allgather of the bottom-up exchange (Fig. 1).
+    AllgatherWords,
+    /// The `in_queue_summary` allgather that follows it.
+    AllgatherSummary,
+    /// The variable-length frontier-list allgather of sparse top-down.
+    Allgatherv,
+    /// The pairwise alltoallv exchange of the 1-D alltoallv strategy.
+    Alltoallv,
+    /// A scalar allreduce (frontier size / termination vote).
+    Allreduce,
+    /// A broadcast.
+    Broadcast,
+    /// A barrier.
+    Barrier,
+    /// The row-ring frontier expansion of the 2-D engine.
+    Expand2d,
+}
+
+impl CollectiveKind {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectiveKind::AllgatherWords => "allgather-words",
+            CollectiveKind::AllgatherSummary => "allgather-summary",
+            CollectiveKind::Allgatherv => "allgatherv",
+            CollectiveKind::Alltoallv => "alltoallv",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Expand2d => "expand-2d",
+        }
+    }
+}
+
+/// Integer byproducts of a collective cost evaluation: how the algorithm
+/// moved the bytes, not just how long it took. Filled by the cost models in
+/// `nbfs-comm` while they walk their rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveStats {
+    /// Algorithm rounds executed (ring steps, doubling rounds, tree depth).
+    pub rounds: u64,
+    /// Wire flows solved by the network model across all rounds.
+    pub flows: u64,
+    /// Bytes that crossed the inter-node wire.
+    pub wire_bytes: u64,
+    /// Bytes moved through shared memory inside nodes.
+    pub shm_bytes: u64,
+}
+
+impl CollectiveStats {
+    /// No work.
+    pub const ZERO: CollectiveStats = CollectiveStats {
+        rounds: 0,
+        flows: 0,
+        wire_bytes: 0,
+        shm_bytes: 0,
+    };
+
+    /// Componentwise sum.
+    pub fn merge(&mut self, other: CollectiveStats) {
+        self.rounds += other.rounds;
+        self.flows += other.flows;
+        self.wire_bytes += other.wire_bytes;
+        self.shm_bytes += other.shm_bytes;
+    }
+}
+
+/// One record in an event ring.
+///
+/// Not serialized (see module docs); the variants carry everything the
+/// report merge needs, keyed by `level` so that a wrapped ring still merges
+/// correctly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The α/β heuristic chose a direction for a level.
+    Decision {
+        /// BFS level the decision applies to.
+        level: usize,
+        /// Direction of the previous level.
+        prev: Direction,
+        /// Direction chosen.
+        chosen: Direction,
+        /// Edges incident to the current frontier.
+        m_f: u64,
+        /// Edges incident to still-unvisited vertices.
+        m_u: u64,
+        /// Vertices in the current frontier.
+        n_f: u64,
+        /// Total vertices.
+        n: u64,
+    },
+    /// One collective operation completed during a level.
+    Collective {
+        /// BFS level it ran in (the level *about* to be committed; the
+        /// terminal allreduce carries the level that was never executed).
+        level: usize,
+        /// Which operation.
+        kind: CollectiveKind,
+        /// Step-wise simulated cost.
+        cost: CommCost,
+        /// Byte/round/flow counters.
+        stats: CollectiveStats,
+    },
+    /// One rank's computation counters for one level.
+    RankLevel {
+        /// BFS level.
+        level: usize,
+        /// Rank id.
+        rank: usize,
+        /// Vertices this rank discovered.
+        discovered: u64,
+        /// Edges scanned (CSR adjacency entries touched).
+        edges_scanned: u64,
+        /// Summary-bitmap word probes issued (each non-zero result saved a
+        /// full `in_queue` word load — the Section III.C instrument).
+        summary_probes: u64,
+        /// `in_queue` bitmap probes issued.
+        inqueue_probes: u64,
+        /// Bytes written to queues / parent entries.
+        write_bytes: u64,
+        /// Simulated computation time of this rank.
+        comp: SimTime,
+    },
+    /// A committed BFS level: the per-level span whose fields sum to the
+    /// Fig. 11 slices exactly (see `TraceReport::run_profile`).
+    Level {
+        /// BFS level index.
+        level: usize,
+        /// Direction executed.
+        direction: Direction,
+        /// Vertices discovered across all ranks.
+        discovered: u64,
+        /// Mean per-rank computation time.
+        comp: SimTime,
+        /// Communication time (collectives plus control allreduce).
+        comm: SimTime,
+        /// Barrier skew absorbed at the end of the level.
+        stall: SimTime,
+        /// Data-structure conversion time charged to this level.
+        switch: SimTime,
+        /// Step split of the bottom-up collectives (zero for top-down).
+        detail: CommCost,
+        /// Host wall-clock seconds spent in the kernels of this level
+        /// (zero under `NoClock`).
+        wall_comp_secs: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The BFS level this event is keyed to.
+    pub fn level(&self) -> usize {
+        match *self {
+            TraceEvent::Decision { level, .. }
+            | TraceEvent::Collective { level, .. }
+            | TraceEvent::RankLevel { level, .. }
+            | TraceEvent::Level { level, .. } => level,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_is_componentwise() {
+        let mut a = CollectiveStats {
+            rounds: 1,
+            flows: 2,
+            wire_bytes: 3,
+            shm_bytes: 4,
+        };
+        a.merge(CollectiveStats {
+            rounds: 10,
+            flows: 20,
+            wire_bytes: 30,
+            shm_bytes: 40,
+        });
+        assert_eq!(
+            a,
+            CollectiveStats {
+                rounds: 11,
+                flows: 22,
+                wire_bytes: 33,
+                shm_bytes: 44,
+            }
+        );
+    }
+
+    #[test]
+    fn events_expose_their_level() {
+        let ev = TraceEvent::Collective {
+            level: 7,
+            kind: CollectiveKind::Allreduce,
+            cost: CommCost::ZERO,
+            stats: CollectiveStats::ZERO,
+        };
+        assert_eq!(ev.level(), 7);
+    }
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        let kinds = [
+            CollectiveKind::AllgatherWords,
+            CollectiveKind::AllgatherSummary,
+            CollectiveKind::Allgatherv,
+            CollectiveKind::Alltoallv,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Broadcast,
+            CollectiveKind::Barrier,
+            CollectiveKind::Expand2d,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+}

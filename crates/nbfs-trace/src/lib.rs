@@ -1,0 +1,47 @@
+//! Structured run-event observability for the `numa-bfs` workspace.
+//!
+//! The paper's argument is carried by per-phase breakdowns — Fig. 11's
+//! TD-comp / BU-comp / BU-comm / stall split and Figs. 12–14's
+//! communication proportions. This crate makes that instrument a
+//! first-class subsystem instead of a bench-only artifact:
+//!
+//! * [`TraceEvent`] — the event taxonomy (per-level spans, per-rank
+//!   counters, collective cost samples, switch decisions),
+//! * [`EventRing`] — a pre-sized ring buffer recorded into without heap
+//!   allocation on the hot path,
+//! * [`Tracer`] — the recording facade the engines thread through a run;
+//!   [`Tracer::off`] compiles to a `None` check and nothing else,
+//! * [`TraceReport`] — the merged, serializable output; the retained
+//!   [`RunProfile`] is a projection of it ([`TraceReport::run_profile`]),
+//! * [`RunProfile`] / [`LevelProfile`] / [`Phase`] / [`CommCost`] /
+//!   [`Direction`] — the breakdown vocabulary, moved here from the three
+//!   ad-hoc profiling structs this crate replaces.
+
+#![forbid(unsafe_code)]
+// u64 counters are folded into usize indices and f64 seconds throughout;
+// usize is 64 bits on every supported target (documented in DESIGN.md).
+#![allow(clippy::cast_possible_truncation)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod direction;
+pub mod event;
+pub mod phase;
+pub mod profile;
+pub mod report;
+pub mod ring;
+pub mod tracer;
+
+pub use config::TraceConfig;
+pub use cost::CommCost;
+pub use direction::Direction;
+pub use event::{CollectiveKind, CollectiveStats, TraceEvent};
+pub use phase::Phase;
+pub use profile::{LevelProfile, RunProfile};
+pub use report::{
+    CollectiveRecord, DecisionRecord, LevelReport, RankLevelRecord, RunMeta, TraceReport,
+    SCHEMA_VERSION,
+};
+pub use ring::EventRing;
+pub use tracer::Tracer;

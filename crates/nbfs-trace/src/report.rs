@@ -1,0 +1,319 @@
+//! The merged, serializable output of a traced run.
+//!
+//! [`TraceReport`] is the superset the three sinks share: the in-memory
+//! structure itself, the versioned JSON exporter
+//! ([`TraceReport::to_json`] / [`TraceReport::from_json`], guarded by
+//! [`SCHEMA_VERSION`] like `BENCH_BFS.json`), and the `nbfs trace` CLI
+//! table, which formats it. The retained [`RunProfile`] is a projection:
+//! [`TraceReport::run_profile`] folds the per-level spans in level order
+//! with the same `f64` additions the engine used to perform itself, so the
+//! phase totals match the legacy accounting bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+use nbfs_util::{NbfsError, SimTime};
+
+use crate::cost::CommCost;
+use crate::direction::Direction;
+use crate::event::{CollectiveKind, CollectiveStats};
+use crate::profile::{LevelProfile, RunProfile};
+
+/// Version stamp of the JSON layout. Bump when renaming or removing fields.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Identity of a traced run, supplied by the engine at merge time.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// MPI world size (ranks).
+    pub world: usize,
+    /// Nodes in the machine.
+    pub nodes: usize,
+    /// Processes per node.
+    pub ppn: usize,
+    /// Label of the optimization level executed.
+    pub opt_label: String,
+    /// BFS root vertex.
+    pub root: u64,
+}
+
+/// One collective cost sample attached to a level.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveRecord {
+    /// Level the collective ran in.
+    pub level: usize,
+    /// Which operation.
+    pub kind: CollectiveKind,
+    /// Step-wise simulated cost.
+    pub cost: CommCost,
+    /// Byte/round/flow counters from the cost model.
+    pub stats: CollectiveStats,
+}
+
+/// One rank's computation counters for one level.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RankLevelRecord {
+    /// Rank id.
+    pub rank: usize,
+    /// Vertices this rank discovered.
+    pub discovered: u64,
+    /// Edges scanned (CSR adjacency entries touched).
+    pub edges_scanned: u64,
+    /// Summary-bitmap word probes issued.
+    pub summary_probes: u64,
+    /// `in_queue` bitmap probes issued.
+    pub inqueue_probes: u64,
+    /// Bytes written to queues / parent entries.
+    pub write_bytes: u64,
+    /// Simulated computation time of this rank.
+    pub comp: SimTime,
+}
+
+/// One α/β switch decision.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Level the decision applies to.
+    pub level: usize,
+    /// Direction of the previous level.
+    pub prev: Direction,
+    /// Direction chosen.
+    pub chosen: Direction,
+    /// Edges incident to the current frontier.
+    pub m_f: u64,
+    /// Edges incident to still-unvisited vertices.
+    pub m_u: u64,
+    /// Vertices in the current frontier.
+    pub n_f: u64,
+    /// Total vertices.
+    pub n: u64,
+}
+
+/// The per-level span of a committed BFS level plus everything recorded
+/// while it ran.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelReport {
+    /// BFS level index.
+    pub level: usize,
+    /// Direction executed.
+    pub direction: Direction,
+    /// Vertices discovered across all ranks.
+    pub discovered: u64,
+    /// Mean per-rank computation time.
+    pub comp: SimTime,
+    /// Communication time (collectives plus control allreduce).
+    pub comm: SimTime,
+    /// Barrier skew absorbed at the end of the level.
+    pub stall: SimTime,
+    /// Data-structure conversion time charged to this level.
+    pub switch: SimTime,
+    /// Step split of the bottom-up collectives (zero for top-down).
+    pub detail: CommCost,
+    /// Host wall-clock seconds spent in this level's kernels (zero under
+    /// `NoClock`).
+    pub wall_comp_secs: f64,
+    /// Collective cost samples, in execution order.
+    pub collectives: Vec<CollectiveRecord>,
+    /// Per-rank computation counters, in rank order.
+    pub ranks: Vec<RankLevelRecord>,
+}
+
+impl LevelReport {
+    /// Total simulated time of the level.
+    pub fn total(&self) -> SimTime {
+        self.comp + self.comm + self.stall + self.switch
+    }
+
+    /// Maximum per-rank computation time minus the mean — the skew the
+    /// barrier absorbed, reconstructed from the rank records.
+    pub fn rank_skew(&self) -> SimTime {
+        let max = self
+            .ranks
+            .iter()
+            .map(|r| r.comp)
+            .fold(SimTime::ZERO, SimTime::max);
+        if max > self.comp {
+            max - self.comp
+        } else {
+            SimTime::ZERO
+        }
+    }
+}
+
+/// The merged output of a traced run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Run identity.
+    pub meta: RunMeta,
+    /// Committed levels, in execution order.
+    pub levels: Vec<LevelReport>,
+    /// Switch decisions, in execution order.
+    pub decisions: Vec<DecisionRecord>,
+    /// Collectives that ran outside any committed level (the terminal
+    /// allreduce that detected the empty frontier).
+    pub post_collectives: Vec<CollectiveRecord>,
+    /// Events lost to ring overwrites (0 unless a ring was undersized).
+    pub dropped_events: u64,
+}
+
+impl TraceReport {
+    /// An empty report carrying only identity — what a disabled tracer
+    /// produces.
+    pub fn empty(meta: RunMeta) -> Self {
+        TraceReport {
+            schema_version: SCHEMA_VERSION,
+            meta,
+            levels: Vec::new(),
+            decisions: Vec::new(),
+            post_collectives: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    /// Projects the legacy [`RunProfile`] out of the per-level spans.
+    ///
+    /// Folds levels in execution order with one addition per field per
+    /// level — the same sequence of `f64` additions the engine applies to
+    /// its own `RunProfile` — so every phase total matches the engine's
+    /// accounting bit-for-bit (IEEE 754 addition is deterministic).
+    pub fn run_profile(&self) -> RunProfile {
+        let mut p = RunProfile::default();
+        for lv in &self.levels {
+            match lv.direction {
+                Direction::TopDown => {
+                    p.td_comp += lv.comp;
+                    p.td_comm += lv.comm;
+                }
+                Direction::BottomUp => {
+                    p.bu_comp += lv.comp;
+                    p.bu_comm += lv.comm;
+                    p.bu_comm_detail += lv.detail;
+                    p.bu_comm_phases += 1;
+                }
+            }
+            p.switch += lv.switch;
+            p.stall += lv.stall;
+            p.levels.push(LevelProfile {
+                direction: lv.direction,
+                discovered: lv.discovered,
+                comp: lv.comp,
+                comm: lv.comm,
+                stall: lv.stall,
+            });
+        }
+        p
+    }
+
+    /// Total simulated run time across all levels.
+    pub fn total(&self) -> SimTime {
+        self.levels
+            .iter()
+            .map(LevelReport::total)
+            .fold(SimTime::ZERO, |a, b| a + b)
+    }
+
+    /// Serializes to pretty-printed, versioned JSON.
+    pub fn to_json(&self) -> nbfs_util::Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| NbfsError::Serde(e.to_string()))
+    }
+
+    /// Parses a report exported by [`TraceReport::to_json`], rejecting
+    /// other schema versions.
+    pub fn from_json(text: &str) -> nbfs_util::Result<TraceReport> {
+        let report: TraceReport =
+            serde_json::from_str(text).map_err(|e| NbfsError::Serde(e.to_string()))?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(NbfsError::invalid_data(format!(
+                "trace schema version {} (this build reads {})",
+                report.schema_version, SCHEMA_VERSION
+            )));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+
+    fn level(level: usize, direction: Direction, ms: f64) -> LevelReport {
+        LevelReport {
+            level,
+            direction,
+            discovered: 10 * level as u64,
+            comp: SimTime::from_millis(ms),
+            comm: SimTime::from_millis(ms / 2.0),
+            stall: SimTime::from_millis(ms / 10.0),
+            switch: SimTime::ZERO,
+            detail: CommCost::inter_only(SimTime::from_millis(ms / 2.0)),
+            wall_comp_secs: 0.0,
+            collectives: Vec::new(),
+            ranks: Vec::new(),
+        }
+    }
+
+    fn sample() -> TraceReport {
+        let mut r = TraceReport::empty(RunMeta {
+            world: 8,
+            nodes: 4,
+            ppn: 2,
+            opt_label: "ShareAll".to_string(),
+            root: 42,
+        });
+        r.levels.push(level(0, Direction::TopDown, 1.0));
+        r.levels.push(level(1, Direction::BottomUp, 4.0));
+        r.levels.push(level(2, Direction::BottomUp, 2.0));
+        r.levels.push(level(3, Direction::TopDown, 0.5));
+        r
+    }
+
+    #[test]
+    fn projection_folds_levels_in_order() {
+        let r = sample();
+        let p = r.run_profile();
+        assert_eq!(p.levels.len(), 4);
+        assert_eq!(p.bu_comm_phases, 2);
+        let td_comp = SimTime::from_millis(1.0) + SimTime::from_millis(0.5);
+        assert_eq!(p.td_comp, td_comp);
+        let bu_comm = SimTime::from_millis(2.0) + SimTime::from_millis(1.0);
+        assert_eq!(p.bu_comm, bu_comm);
+        // Projection total equals the span total (same additions).
+        assert!((p.total().as_secs() - r.total().as_secs()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let r = sample();
+        let text = r.to_json().unwrap();
+        let back = TraceReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn foreign_schema_versions_are_rejected() {
+        let mut r = sample();
+        r.schema_version = SCHEMA_VERSION + 1;
+        let text = r.to_json().unwrap();
+        let err = TraceReport::from_json(&text).unwrap_err();
+        assert!(matches!(err, NbfsError::InvalidData(_)));
+    }
+
+    #[test]
+    fn rank_skew_reconstructs_stall() {
+        let mut lv = level(0, Direction::BottomUp, 2.0);
+        for (rank, ms) in [(0usize, 1.0), (1, 3.0)] {
+            lv.ranks.push(RankLevelRecord {
+                rank,
+                discovered: 1,
+                edges_scanned: 10,
+                summary_probes: 4,
+                inqueue_probes: 2,
+                write_bytes: 8,
+                comp: SimTime::from_millis(ms),
+            });
+        }
+        // mean comp is 2ms, max is 3ms → skew 1ms.
+        assert!((lv.rank_skew().as_millis() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! The workspace-wide error type and [`Result`] alias.
+//!
+//! Every fallible operation in the `numa-bfs` workspace funnels into
+//! [`NbfsError`] so that callers match on one enum instead of juggling
+//! `io::Result`, stringly-typed `Result<_, String>` and panics. Library
+//! crates propagate these errors; only binaries and examples decide how to
+//! surface them.
+
+use std::fmt;
+
+/// Unified error type for the `numa-bfs` workspace.
+#[derive(Debug)]
+pub enum NbfsError {
+    /// An underlying I/O failure (file open / read / write).
+    Io(std::io::Error),
+    /// Structurally invalid input data: bad magic, truncated section,
+    /// inconsistent header fields.
+    InvalidData(String),
+    /// An invalid configuration: machine shape, builder parameters,
+    /// placement that does not fit the topology.
+    Config(String),
+    /// A communication-runtime failure: a rank disconnected mid-run or a
+    /// collective could not complete.
+    Comm(String),
+    /// A serialization or deserialization failure (JSON import/export).
+    Serde(String),
+}
+
+impl NbfsError {
+    /// Shorthand for [`NbfsError::InvalidData`].
+    pub fn invalid_data(msg: impl Into<String>) -> Self {
+        NbfsError::InvalidData(msg.into())
+    }
+
+    /// Shorthand for [`NbfsError::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        NbfsError::Config(msg.into())
+    }
+
+    /// Shorthand for [`NbfsError::Comm`].
+    pub fn comm(msg: impl Into<String>) -> Self {
+        NbfsError::Comm(msg.into())
+    }
+}
+
+impl fmt::Display for NbfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NbfsError::Io(e) => write!(f, "i/o error: {e}"),
+            NbfsError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            NbfsError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            NbfsError::Comm(msg) => write!(f, "communication error: {msg}"),
+            NbfsError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NbfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NbfsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NbfsError {
+    fn from(e: std::io::Error) -> Self {
+        NbfsError::Io(e)
+    }
+}
+
+/// Workspace-wide result alias carrying [`NbfsError`].
+pub type Result<T> = std::result::Result<T, NbfsError>;
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_prefixed_by_category() {
+        assert_eq!(
+            NbfsError::invalid_data("bad magic").to_string(),
+            "invalid data: bad magic"
+        );
+        assert_eq!(
+            NbfsError::config("ppn exceeds cores").to_string(),
+            "invalid configuration: ppn exceeds cores"
+        );
+        assert_eq!(
+            NbfsError::comm("rank 3 disconnected").to_string(),
+            "communication error: rank 3 disconnected"
+        );
+        assert_eq!(
+            NbfsError::Serde("eof".to_string()).to_string(),
+            "serialization error: eof"
+        );
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: NbfsError = io.into();
+        assert!(matches!(err, NbfsError::Io(_)));
+        assert!(err.source().is_some());
+        assert!(NbfsError::invalid_data("x").source().is_none());
+    }
+
+    #[test]
+    fn result_alias_propagates_with_question_mark() {
+        fn inner() -> Result<u32> {
+            Err(NbfsError::invalid_data("short header"))
+        }
+        fn outer() -> Result<u32> {
+            let v = inner()?;
+            Ok(v + 1)
+        }
+        assert!(outer().is_err());
+    }
+}

@@ -15,7 +15,8 @@
 //! * [`stats`] — the harmonic-mean TEPS statistics mandated by the Graph500
 //!   run rules,
 //! * [`SimTime`] — the simulated-seconds newtype threaded through the cost
-//!   models.
+//!   models,
+//! * [`NbfsError`] / [`Result`] — the workspace-wide error surface.
 
 #![forbid(unsafe_code)]
 // u64 offsets and counters are indexed into slices throughout; usize is
@@ -27,6 +28,7 @@
 
 pub mod atomic_bitmap;
 pub mod bitmap;
+pub mod error;
 pub mod ownership;
 pub mod rng;
 pub mod simtime;
@@ -36,6 +38,7 @@ pub mod units;
 
 pub use atomic_bitmap::AtomicBitmap;
 pub use bitmap::{Bitmap, CachedWordProbe};
+pub use error::{NbfsError, Result};
 pub use ownership::BlockPartition;
 pub use simtime::SimTime;
 pub use summary::{SummaryBitmap, SummaryProbe};

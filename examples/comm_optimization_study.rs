@@ -43,7 +43,9 @@ fn main() {
             .max_by_key(|&v| graph.degree(v))
             .expect("non-empty graph");
         for opt in ladder {
-            let scenario = Scenario::new(machine.clone(), opt);
+            let scenario = Scenario::builder(machine.clone(), opt)
+                .build()
+                .expect("preset machine is valid");
             let run = DistributedBfs::new(&graph, &scenario).run(root);
             println!(
                 "{:<8} {:<8} {:<18} {:>16} {:>11.1}%",

@@ -89,7 +89,9 @@ fn main() {
     println!("{:<14} {:>14} {:>10}", "granularity", "TEPS", "vs g=64");
     let mut baseline = None;
     for g in [64usize, 128, 256, 512, 1024, 2048, 4096] {
-        let scenario = Scenario::new(machine.clone(), OptLevel::Granularity(g));
+        let scenario = Scenario::builder(machine.clone(), OptLevel::Granularity(g))
+            .build()
+            .expect("preset machine is valid");
         let t = DistributedBfs::new(&graph, &scenario)
             .run(root)
             .profile

@@ -97,15 +97,18 @@ fn main() {
     );
 
     let machine = presets::xeon_x7550_cluster(args.nodes).scaled_to_graph(args.scale, 28);
-    let scenario = Scenario::new(machine, args.opt);
+    let scenario = Scenario::builder(machine, args.opt)
+        .build()
+        .expect("preset machine is valid");
     let harness = Graph500Harness::new(&graph, &scenario);
 
     let t1 = std::time::Instant::now();
-    let result = harness.run(&HarnessConfig {
-        roots: args.roots,
-        seed: 2012,
-        validate: true,
-    });
+    let config = HarnessConfig::builder()
+        .roots(args.roots)
+        .seed(2012)
+        .validate(true)
+        .build();
+    let result = harness.run(&config);
     println!(
         "kernel 2 (BFS x{} + validation): {:.2}s wall",
         args.roots,

@@ -34,8 +34,10 @@ fn main() {
     for ppn in [1usize, 2, 4, 8] {
         for policy in [PlacementPolicy::Noflag, PlacementPolicy::Interleave] {
             let label = format!("ppn={ppn}.{}", policy.label());
-            let scenario =
-                Scenario::new(machine.clone(), OptLevel::OriginalPpn8).with_placement(ppn, policy);
+            let scenario = Scenario::builder(machine.clone(), OptLevel::OriginalPpn8)
+                .placement(ppn, policy)
+                .build()
+                .expect("preset machine is valid");
             let t = DistributedBfs::new(&graph, &scenario)
                 .run(root)
                 .profile
@@ -45,8 +47,10 @@ fn main() {
     }
     // bind-to-socket "only works when more than 8 processes are spawned":
     // every socket must receive a rank.
-    let scenario = Scenario::new(machine.clone(), OptLevel::OriginalPpn8)
-        .with_placement(8, PlacementPolicy::BindToSocket);
+    let scenario = Scenario::builder(machine.clone(), OptLevel::OriginalPpn8)
+        .placement(8, PlacementPolicy::BindToSocket)
+        .build()
+        .expect("preset machine is valid");
     let t = DistributedBfs::new(&graph, &scenario)
         .run(root)
         .profile

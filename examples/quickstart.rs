@@ -40,7 +40,9 @@ fn main() {
 
     // Run the best configuration: one bound rank per socket, all shared
     // buffers, parallel allgather, granularity 256.
-    let scenario = Scenario::new(machine, OptLevel::Granularity(256));
+    let scenario = Scenario::builder(machine, OptLevel::Granularity(256))
+        .build()
+        .expect("preset machine is valid");
     let engine = DistributedBfs::new(&graph, &scenario);
 
     let root = (0..graph.num_vertices())

@@ -47,7 +47,7 @@ fn main() {
             .collect();
         ctx.barrier();
         // ...and ring-allgathers the rest over channels.
-        let chunks = ctx.allgather_bytes(mine, 1);
+        let chunks = ctx.allgather_bytes(mine, 1).unwrap();
         chunks
             .into_iter()
             .flat_map(|c| {
@@ -56,7 +56,8 @@ fn main() {
                     .collect::<Vec<u64>>()
             })
             .collect::<Vec<u64>>()
-    });
+    })
+    .unwrap();
     println!(
         "threaded ring allgather over mailboxes: {:.1} ms wall",
         t0.elapsed().as_secs_f64() * 1e3

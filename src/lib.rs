@@ -36,12 +36,13 @@ pub use nbfs_core as core;
 pub use nbfs_graph as graph;
 pub use nbfs_simnet as simnet;
 pub use nbfs_topology as topology;
+pub use nbfs_trace as trace;
 pub use nbfs_util as util;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use nbfs_comm::allgather::AllgatherAlgorithm;
-    pub use nbfs_core::engine::{DistributedBfs, Scenario};
+    pub use nbfs_core::engine::{DistributedBfs, Scenario, ScenarioBuilder};
     pub use nbfs_core::harness::{Graph500Harness, HarnessConfig};
     pub use nbfs_core::opt::OptLevel;
     pub use nbfs_core::profile::{Phase, RunProfile};
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use nbfs_graph::validate::validate_bfs_tree;
     pub use nbfs_topology::machine::MachineConfig;
     pub use nbfs_topology::placement::{PlacementPolicy, ProcessMap};
+    pub use nbfs_trace::{TraceConfig, TraceReport};
     pub use nbfs_util::stats::format_teps;
-    pub use nbfs_util::{Bitmap, SimTime, SummaryBitmap};
+    pub use nbfs_util::{Bitmap, NbfsError, SimTime, SummaryBitmap};
 }

@@ -1,0 +1,216 @@
+//! The observability contract: a `TraceReport` is a lossless superset of
+//! the engine's `RunProfile` (the projection reproduces it **bitwise**),
+//! tracing is behaviour-preserving (`Off` or not, the BFS result is
+//! identical), the JSON exchange format round-trips under a pinned schema
+//! version, and the builder facade is a drop-in for the legacy
+//! constructor chains.
+
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+use numa_bfs::core::direction::SwitchPolicy;
+use numa_bfs::core::engine::{DistributedBfs, NoClock, Scenario, TdStrategy};
+use numa_bfs::core::engine2d::TwoDimBfs;
+use numa_bfs::core::harness::HarnessConfig;
+use numa_bfs::core::opt::OptLevel;
+use numa_bfs::core::par::bfs_hybrid_parallel_traced;
+use numa_bfs::core::profile::{Phase, RunProfile};
+use numa_bfs::graph::{Csr, GraphBuilder};
+use numa_bfs::topology::{presets, MachineConfig, PlacementPolicy};
+use numa_bfs::trace::{TraceConfig, TraceReport, SCHEMA_VERSION};
+
+fn graph() -> Csr {
+    GraphBuilder::rmat(11, 8).seed(5).build()
+}
+
+/// Bitwise (not approximate) equality of two profiles: every phase slice,
+/// the step split, the phase counter and every per-level row.
+fn assert_profiles_bitwise(projected: &RunProfile, engine: &RunProfile, context: &str) {
+    for phase in Phase::ALL {
+        assert!(
+            projected.phase(phase) == engine.phase(phase),
+            "{context}: phase {} differs: {:?} vs {:?}",
+            phase.label(),
+            projected.phase(phase),
+            engine.phase(phase),
+        );
+    }
+    assert!(
+        projected.bu_comm_detail == engine.bu_comm_detail,
+        "{context}: bu_comm_detail differs"
+    );
+    assert_eq!(
+        projected.bu_comm_phases, engine.bu_comm_phases,
+        "{context}: bu_comm_phases"
+    );
+    assert_eq!(
+        projected.levels.len(),
+        engine.levels.len(),
+        "{context}: level count"
+    );
+    for (i, (p, e)) in projected.levels.iter().zip(&engine.levels).enumerate() {
+        assert_eq!(p.direction, e.direction, "{context}: level {i} direction");
+        assert_eq!(
+            p.discovered, e.discovered,
+            "{context}: level {i} discovered"
+        );
+        assert!(
+            p.comp == e.comp && p.comm == e.comm && p.stall == e.stall,
+            "{context}: level {i} times differ"
+        );
+    }
+}
+
+#[test]
+fn trace_projection_is_bitwise_exact_across_the_ladder() {
+    let g = graph();
+    let machine = presets::xeon_x7550_cluster(2).scaled_to_graph(11, 28);
+    for opt in OptLevel::LADDER {
+        let scenario = Scenario::builder(machine.clone(), opt)
+            .trace(TraceConfig::Standard)
+            .build()
+            .unwrap();
+        let (run, report) = DistributedBfs::new(&g, &scenario).run_traced(0);
+        assert_eq!(report.dropped_events, 0, "{}", opt.label());
+        assert_profiles_bitwise(&report.run_profile(), &run.profile, &opt.label());
+    }
+}
+
+#[test]
+fn trace_projection_is_bitwise_exact_for_alltoallv_top_down() {
+    let g = graph();
+    let scenario = Scenario::builder(
+        MachineConfig::small_test_cluster(2, 2),
+        OptLevel::OriginalPpn8,
+    )
+    .td_strategy(TdStrategy::Alltoallv)
+    .trace(TraceConfig::Standard)
+    .build()
+    .unwrap();
+    let (run, report) = DistributedBfs::new(&g, &scenario).run_traced(0);
+    assert_profiles_bitwise(&report.run_profile(), &run.profile, "alltoallv");
+}
+
+#[test]
+fn trace_projection_is_bitwise_exact_for_2d_engine() {
+    let g = graph();
+    let scenario = Scenario::builder(
+        MachineConfig::small_test_cluster(2, 2),
+        OptLevel::OriginalPpn8,
+    )
+    .trace(TraceConfig::Standard)
+    .build()
+    .unwrap();
+    let (run, report) = TwoDimBfs::new(&g, &scenario).run_traced(0);
+    assert_profiles_bitwise(&report.run_profile(), &run.profile, "2d");
+}
+
+#[test]
+fn tracing_is_behaviour_preserving_and_off_records_nothing() {
+    let g = graph();
+    let machine = presets::xeon_x7550_cluster(2).scaled_to_graph(11, 28);
+    // Off (the default): run_traced must return the identical BfsRun and
+    // an empty report.
+    let off = Scenario::builder(machine.clone(), OptLevel::ShareAll)
+        .build()
+        .unwrap();
+    let engine = DistributedBfs::new(&g, &off);
+    let plain = engine.run(0);
+    let (traced, report) = engine.run_traced(0);
+    assert_eq!(plain.parent, traced.parent);
+    assert_eq!(plain.visited, traced.visited);
+    assert_profiles_bitwise(&plain.profile, &traced.profile, "off-identity");
+    assert!(report.levels.is_empty() && report.decisions.is_empty());
+
+    // Standard: recording events must not perturb the simulation either.
+    let on = Scenario::builder(machine, OptLevel::ShareAll)
+        .trace(TraceConfig::Standard)
+        .build()
+        .unwrap();
+    let (recorded, _) = DistributedBfs::new(&g, &on).run_traced(0);
+    assert_eq!(plain.parent, recorded.parent);
+    assert_profiles_bitwise(&plain.profile, &recorded.profile, "standard-identity");
+}
+
+#[test]
+fn trace_report_json_round_trips_under_pinned_schema() {
+    let g = graph();
+    let scenario = Scenario::builder(
+        MachineConfig::small_test_cluster(2, 2),
+        OptLevel::Granularity(256),
+    )
+    .trace(TraceConfig::Standard)
+    .build()
+    .unwrap();
+    let (_, report) = DistributedBfs::new(&g, &scenario).run_traced(0);
+
+    // Schema pin: bumping SCHEMA_VERSION without migrating consumers must
+    // trip this test.
+    assert_eq!(SCHEMA_VERSION, 1, "schema changed: update exporters");
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+
+    let json = report.to_json().unwrap();
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    let back = TraceReport::from_json(&json).unwrap();
+    assert_eq!(back, report);
+
+    // A report stamped with a future schema is refused, not misread.
+    let future = json.replacen("\"schema_version\": 1", "\"schema_version\": 999", 1);
+    assert!(TraceReport::from_json(&future).is_err());
+}
+
+#[test]
+fn parallel_kernel_trace_carries_real_execution_counters() {
+    let g = graph();
+    let (run, report) = bfs_hybrid_parallel_traced(
+        &g,
+        0,
+        SwitchPolicy::default(),
+        TraceConfig::Standard,
+        &NoClock,
+    );
+    assert_eq!(report.levels.len(), run.levels.len());
+    let traced: u64 = report.levels.iter().map(|l| l.discovered).sum();
+    let engine: u64 = run.levels.iter().map(|l| l.discovered).sum();
+    assert_eq!(traced, engine);
+    // The shared-memory kernel runs for real; simulated times stay zero.
+    assert!(report.total() == numa_bfs::util::SimTime::ZERO);
+    assert_eq!(report.meta.opt_label, "shared-memory");
+}
+
+#[test]
+fn scenario_builder_is_a_drop_in_for_the_legacy_chain() {
+    let g = graph();
+    let machine = presets::xeon_x7550_node().scaled_to_graph(11, 28);
+    let legacy = Scenario::new(machine.clone(), OptLevel::OriginalPpn8)
+        .with_switch_policy(SwitchPolicy::default())
+        .with_placement(4, PlacementPolicy::Interleave)
+        .with_td_strategy(TdStrategy::Alltoallv);
+    let built = Scenario::builder(machine, OptLevel::OriginalPpn8)
+        .switch_policy(SwitchPolicy::default())
+        .placement(4, PlacementPolicy::Interleave)
+        .td_strategy(TdStrategy::Alltoallv)
+        .build()
+        .unwrap();
+    let a = DistributedBfs::new(&g, &legacy).run(7);
+    let b = DistributedBfs::new(&g, &built).run(7);
+    assert_eq!(a.parent, b.parent);
+    assert_eq!(a.visited, b.visited);
+    assert_profiles_bitwise(&a.profile, &b.profile, "builder-vs-legacy");
+}
+
+#[test]
+fn harness_config_builder_matches_the_literal() {
+    let built = HarnessConfig::builder()
+        .roots(3)
+        .seed(7)
+        .validate(false)
+        .build();
+    assert_eq!(built.roots, 3);
+    assert_eq!(built.seed, 7);
+    assert!(!built.validate);
+    // An invalid machine is a builder error, not a panic.
+    let mut bad = MachineConfig::small_test_cluster(2, 2);
+    bad.nodes = 0;
+    assert!(Scenario::builder(bad, OptLevel::ShareAll).build().is_err());
+}

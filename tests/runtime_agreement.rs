@@ -45,8 +45,9 @@ fn threaded_ring_allgather_matches_bsp_collective() {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect();
-        ctx.allgather_bytes(mine, 42)
-    });
+        ctx.allgather_bytes(mine, 42).unwrap()
+    })
+    .unwrap();
 
     for (rank, view) in views.into_iter().enumerate() {
         let words: Vec<u64> = view
@@ -82,8 +83,9 @@ fn threaded_runtime_supports_unequal_segments() {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect();
-        ctx.allgather_bytes(mine, 7)
-    });
+        ctx.allgather_bytes(mine, 7).unwrap()
+    })
+    .unwrap();
     let words: Vec<u64> = views[0]
         .iter()
         .flat_map(|chunk| {
