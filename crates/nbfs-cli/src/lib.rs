@@ -12,6 +12,10 @@
 //! * `bench` — a Graph500-style campaign (N roots, harmonic-mean TEPS);
 //! * `tune` — the analytic summary-granularity recommendation of
 //!   `nbfs_core::tuning` for a given frontier density.
+//! * `chaos` — the seeded fault-injection conformance matrix: every fault
+//!   kind against every communication target, with recoverable cells
+//!   required to reproduce the fault-free BFS parents bit for bit and
+//!   unrecoverable cells required to fail with a structured error.
 //!
 //! The library half exists so argument parsing and command execution are
 //! unit-testable; `main.rs` is a thin shim.
@@ -26,6 +30,8 @@
 
 use std::path::PathBuf;
 
+use nbfs_comm::runtime::run_spmd_faulted;
+use nbfs_comm::{FaultPlan, FaultScope, FaultSpec};
 use nbfs_core::engine::{DistributedBfs, Scenario, TdStrategy};
 use nbfs_core::harness::{Graph500Harness, HarnessConfig};
 use nbfs_core::opt::OptLevel;
@@ -34,10 +40,12 @@ use nbfs_graph::stats::DegreeStats;
 use nbfs_graph::{io, Csr, GraphBuilder};
 use nbfs_simnet::Residence;
 use nbfs_topology::presets;
-use nbfs_trace::{CollectiveKind, CollectiveStats, TraceConfig};
+use nbfs_trace::{CollectiveKind, CollectiveStats, FaultKind, TraceConfig};
 use nbfs_util::stats::format_teps;
 use nbfs_util::units::format_bytes;
+use nbfs_util::NbfsError;
 use nbfs_util::{Bitmap, SimTime};
+use serde::Serialize;
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -109,6 +117,17 @@ pub enum Command {
         scale: u32,
         /// Frontier density in (0, 1).
         density: f64,
+    },
+    /// `chaos [--scale N] [--nodes N] [--seed S] [--json PATH]`
+    Chaos {
+        /// Scale to generate.
+        scale: u32,
+        /// Simulated node count.
+        nodes: usize,
+        /// Fault-plan seed (same seed ⇒ identical fault matrix).
+        seed: u64,
+        /// Write the machine-readable cell report here.
+        json: Option<PathBuf>,
     },
     /// `--help`
     Help,
@@ -201,6 +220,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .map(|v| v.parse().map_err(|e| format!("bad --density: {e}")))
                 .unwrap_or(Ok(0.02))?,
         },
+        "chaos" => Command::Chaos {
+            scale: num("--scale", 12)? as u32,
+            nodes: num("--nodes", 4)? as usize,
+            seed: num("--seed", 2012)?,
+            json: flag("--json").map(PathBuf::from),
+        },
         "--help" | "-h" | "help" => Command::Help,
         other => return Err(format!("unknown subcommand {other}")),
     })
@@ -219,6 +244,9 @@ USAGE:
   nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K] [--json PATH]
              (--json PATH runs the wall-clock kernel snapshot and writes BENCH_BFS.json there)
   nbfs tune  [--scale N] [--density D]
+  nbfs chaos [--scale N] [--nodes N] [--seed S] [--json PATH]
+             (seeded fault matrix: every fault kind against every communication target;
+              recoverable cells must reproduce the fault-free BFS parents bit for bit)
 
 OPT: ppn1 | ppn8 | share-in-queue | share-all | par-allgather | best | granularity=G"
 }
@@ -552,8 +580,287 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 writeln!(out, "  g={cand:<5} expected check cost {c:.1} ns").map_err(err)?;
             }
         }
+        Command::Chaos {
+            scale,
+            nodes,
+            seed,
+            json,
+        } => {
+            let report = run_chaos(scale, nodes, seed)?;
+            writeln!(
+                out,
+                "chaos matrix: seed {seed}, scale {scale}, {nodes} nodes"
+            )
+            .map_err(err)?;
+            writeln!(
+                out,
+                "{:<18} {:<10} {:<8} {:>7} {:>10} {:>14}  outcome",
+                "target", "kind", "expect", "faults", "identical", "deterministic"
+            )
+            .map_err(err)?;
+            for c in &report.cells {
+                writeln!(
+                    out,
+                    "{:<18} {:<10} {:<8} {:>7} {:>10} {:>14}  {}",
+                    c.target,
+                    c.kind,
+                    c.expectation,
+                    c.faults,
+                    if c.identical { "yes" } else { "NO" },
+                    if c.deterministic { "yes" } else { "NO" },
+                    c.outcome
+                )
+                .map_err(err)?;
+            }
+            let passed = report.cells.iter().filter(|c| c.passed).count();
+            writeln!(out, "chaos: {passed}/{} cells passed", report.cells.len()).map_err(err)?;
+            if let Some(path) = json {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?,
+                )
+                .map_err(err)?;
+                writeln!(out, "wrote {}", path.display()).map_err(err)?;
+            }
+            if !report.passed {
+                return Err(format!(
+                    "chaos: {} cell(s) failed",
+                    report.cells.len() - passed
+                ));
+            }
+        }
     }
     Ok(())
+}
+
+/// One cell of the chaos matrix: a fault kind injected into one
+/// communication target.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosCell {
+    /// Communication target (`p2p`, `ring-allgather`, `leader-allgather`,
+    /// `par-allgather`, `alltoallv`).
+    pub target: String,
+    /// Fault kind injected (`drop`, `delay`, …).
+    pub kind: String,
+    /// What the cell must do: `recover` or `error`.
+    pub expectation: String,
+    /// What actually happened (`recovered`, `structured-error`, or a
+    /// failure description).
+    pub outcome: String,
+    /// Fault records logged by the run.
+    pub faults: u64,
+    /// Recovered results bit-identical to the fault-free run (always true
+    /// for a passing `recover` cell; vacuously true for `error` cells).
+    pub identical: bool,
+    /// Re-running with the same seed reproduced the identical fault log /
+    /// trace report.
+    pub deterministic: bool,
+    /// The cell met its expectation.
+    pub passed: bool,
+}
+
+/// The machine-readable result of `nbfs chaos`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosReport {
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Graph scale.
+    pub scale: u32,
+    /// Simulated node count.
+    pub nodes: usize,
+    /// Every cell passed.
+    pub passed: bool,
+    /// The matrix, row-major (target × kind).
+    pub cells: Vec<ChaosCell>,
+}
+
+/// A single-spec plan: `kind` on every matching site, rate 1.0. First
+/// attempts only, so drops deterministically recover on retry; crashes are
+/// always fatal.
+fn chaos_plan(seed: u64, kind: FaultKind) -> FaultPlan {
+    FaultPlan::new(seed).spec(FaultSpec::new(kind, FaultScope::any()))
+}
+
+/// Runs the seeded fault matrix: every [`FaultKind`] against the
+/// point-to-point runtime and each engine in the collective ladder
+/// (ring, leader-based, parallelized allgather, alltoallv top-down).
+///
+/// Recoverable cells must reproduce the fault-free results bit for bit and
+/// the same seed must reproduce the identical fault log; crash cells must
+/// fail with a structured error — completion of the matrix at all is the
+/// no-hang check.
+pub fn run_chaos(scale: u32, nodes: usize, seed: u64) -> Result<ChaosReport, String> {
+    let mut cells = Vec::new();
+
+    // --- point-to-point: the threaded SPMD runtime -----------------------
+    let world = 8usize;
+    let expect: Vec<Vec<u8>> = (0..world).map(|r| vec![r as u8; 4]).collect();
+    let ring =
+        |ctx: &mut nbfs_comm::runtime::RankCtx| ctx.allgather_bytes(vec![ctx.rank() as u8; 4], 17);
+    for kind in FaultKind::ALL {
+        let plan = chaos_plan(seed, kind);
+        let out = run_spmd_faulted(world, &plan, ring);
+        let cell = if kind == FaultKind::Crash {
+            let all_structured = out
+                .results
+                .iter()
+                .all(|r| matches!(r, Err(NbfsError::RankFailed { .. })));
+            ChaosCell {
+                target: "p2p".into(),
+                kind: kind.label().into(),
+                expectation: "error".into(),
+                outcome: if all_structured {
+                    "structured-error".into()
+                } else {
+                    "FAIL: expected RankFailed on every rank".into()
+                },
+                faults: out.faults.len() as u64,
+                identical: true,
+                deterministic: true,
+                passed: all_structured,
+            }
+        } else {
+            let identical = out
+                .results
+                .iter()
+                .all(|r| r.as_ref().map(|v| v == &expect).unwrap_or(false));
+            let rerun = run_spmd_faulted(world, &plan, ring);
+            let deterministic = out.faults == rerun.faults;
+            let fired = !out.faults.is_empty();
+            ChaosCell {
+                target: "p2p".into(),
+                kind: kind.label().into(),
+                expectation: "recover".into(),
+                outcome: if identical && fired {
+                    "recovered".into()
+                } else if !fired {
+                    "FAIL: plan never fired".into()
+                } else {
+                    "FAIL: recovered results differ from fault-free".into()
+                },
+                faults: out.faults.len() as u64,
+                identical,
+                deterministic,
+                passed: identical && deterministic && fired,
+            }
+        };
+        cells.push(cell);
+    }
+
+    // --- engine collectives: one target per allgather family -------------
+    let g = GraphBuilder::rmat(scale, 16).seed(1).build();
+    let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(scale, 28);
+    let root = (0..g.num_vertices())
+        .max_by_key(|&v| g.degree(v))
+        .ok_or("empty graph")?;
+    let targets: [(&str, OptLevel, TdStrategy); 4] = [
+        (
+            "ring-allgather",
+            OptLevel::OriginalPpn8,
+            TdStrategy::SparseAllgather,
+        ),
+        (
+            "leader-allgather",
+            OptLevel::ShareInQueue,
+            TdStrategy::SparseAllgather,
+        ),
+        (
+            "par-allgather",
+            OptLevel::ParAllgather,
+            TdStrategy::SparseAllgather,
+        ),
+        ("alltoallv", OptLevel::ShareAll, TdStrategy::Alltoallv),
+    ];
+
+    for (label, opt, td) in targets {
+        let scenario = |faults: Option<FaultPlan>| -> Result<Scenario, String> {
+            let mut b = Scenario::builder(machine.clone(), opt)
+                .td_strategy(td)
+                .trace(TraceConfig::Standard);
+            if let Some(plan) = faults {
+                b = b.faults(plan);
+            }
+            b.build().map_err(|e| e.to_string())
+        };
+        let baseline = DistributedBfs::new(&g, &scenario(None)?).run(root);
+        for kind in FaultKind::ALL {
+            let plan = chaos_plan(seed, kind);
+            let faulted = DistributedBfs::new(&g, &scenario(Some(plan.clone()))?);
+            let cell = if kind == FaultKind::Crash {
+                match faulted.try_run_traced(root) {
+                    Err(e) => ChaosCell {
+                        target: label.into(),
+                        kind: kind.label().into(),
+                        expectation: "error".into(),
+                        outcome: format!("structured-error: {e}"),
+                        faults: 0,
+                        identical: true,
+                        deterministic: true,
+                        passed: true,
+                    },
+                    Ok(_) => ChaosCell {
+                        target: label.into(),
+                        kind: kind.label().into(),
+                        expectation: "error".into(),
+                        outcome: "FAIL: crash plan completed".into(),
+                        faults: 0,
+                        identical: true,
+                        deterministic: true,
+                        passed: false,
+                    },
+                }
+            } else {
+                match faulted.try_run_traced(root) {
+                    Ok((run, report)) => {
+                        let identical = run.parent == baseline.parent;
+                        let json = report.to_json().map_err(|e| e.to_string())?;
+                        let rerun = faulted.try_run_traced(root);
+                        let deterministic = match rerun {
+                            Ok((_, second)) => second.to_json().map_err(|e| e.to_string())? == json,
+                            Err(_) => false,
+                        };
+                        let fired = !report.faults.is_empty();
+                        ChaosCell {
+                            target: label.into(),
+                            kind: kind.label().into(),
+                            expectation: "recover".into(),
+                            outcome: if identical && fired {
+                                "recovered".into()
+                            } else if !fired {
+                                "FAIL: plan never fired".into()
+                            } else {
+                                "FAIL: recovered parents differ from fault-free".into()
+                            },
+                            faults: report.faults.len() as u64,
+                            identical,
+                            deterministic,
+                            passed: identical && deterministic && fired,
+                        }
+                    }
+                    Err(e) => ChaosCell {
+                        target: label.into(),
+                        kind: kind.label().into(),
+                        expectation: "recover".into(),
+                        outcome: format!("FAIL: unexpected error: {e}"),
+                        faults: 0,
+                        identical: false,
+                        deterministic: false,
+                        passed: false,
+                    },
+                }
+            };
+            cells.push(cell);
+        }
+    }
+
+    let passed = cells.iter().all(|c| c.passed);
+    Ok(ChaosReport {
+        seed,
+        scale,
+        nodes,
+        passed,
+        cells,
+    })
 }
 
 #[cfg(test)]
@@ -747,6 +1054,59 @@ mod tests {
             density: 2.0,
         };
         assert!(execute(bad, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn parse_chaos_flags() {
+        let cmd = parse(&argv(
+            "chaos --scale 10 --nodes 2 --seed 7 --json /tmp/c.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                scale: 10,
+                nodes: 2,
+                seed: 7,
+                json: Some(PathBuf::from("/tmp/c.json")),
+            }
+        );
+        // Defaults mirror the fast CI profile documented in usage().
+        match parse(&argv("chaos")).unwrap() {
+            Command::Chaos {
+                scale, nodes, seed, ..
+            } => {
+                assert_eq!((scale, nodes, seed), (12, 4, 2012));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_command_end_to_end() {
+        let path = std::env::temp_dir().join("nbfs-cli-chaos.json");
+        let cmd = parse(&argv(&format!(
+            "chaos --scale 9 --nodes 2 --seed 5 --json {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("cells passed"), "{text}");
+        // Every cell of the matrix must pass: recoverable kinds converge
+        // to the fault-free parents, crashes end in structured errors.
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc["seed"], 5);
+        assert!(doc["passed"].as_bool().unwrap());
+        let cells = doc["cells"].as_array().unwrap();
+        assert_eq!(cells.len(), 30, "6 kinds x 5 targets");
+        for cell in cells {
+            assert!(cell["passed"].as_bool().unwrap(), "{cell:?}");
+            assert!(cell["deterministic"].as_bool().unwrap(), "{cell:?}");
+        }
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

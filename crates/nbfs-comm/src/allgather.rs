@@ -233,6 +233,30 @@ pub fn allgather_stats_bytes(
     }
 }
 
+/// Fault-layer twin of the cost/stats walks: resolves `plan` against this
+/// allgather's transfer schedule (`fault::allgather_edges`), charging
+/// retransmit + backoff penalties against the supplied cost sample.
+/// `kind` distinguishes the frontier-word and summary allgathers in the
+/// records.
+pub fn inject_allgather_faults(
+    plan: &crate::fault::FaultPlan,
+    level: usize,
+    kind: nbfs_trace::CollectiveKind,
+    pmap: &ProcessMap,
+    algo: AllgatherAlgorithm,
+    cost: &CommCost,
+    stats: &CollectiveStats,
+) -> crate::fault::FaultAdjustment {
+    crate::fault::inject_collective(
+        plan,
+        level,
+        kind,
+        &crate::fault::allgather_edges(pmap, algo),
+        cost,
+        stats,
+    )
+}
+
 /// Counting twin of [`ring_cost`].
 fn ring_stats(bytes: &[u64], pmap: &ProcessMap) -> CollectiveStats {
     let np = bytes.len();

@@ -118,6 +118,26 @@ pub fn alltoallv<T: Clone>(
     }
 }
 
+/// Fault-layer twin of the exchange: resolves `plan` against the node-pair
+/// transfer schedule (`fault::alltoallv_edges`), charging retransmit +
+/// backoff penalties against the supplied cost sample.
+pub fn inject_alltoallv_faults(
+    plan: &crate::fault::FaultPlan,
+    level: usize,
+    pmap: &ProcessMap,
+    cost: &CommCost,
+    stats: &CollectiveStats,
+) -> crate::fault::FaultAdjustment {
+    crate::fault::inject_collective(
+        plan,
+        level,
+        nbfs_trace::CollectiveKind::Alltoallv,
+        &crate::fault::alltoallv_edges(pmap),
+        cost,
+        stats,
+    )
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {

@@ -98,6 +98,27 @@ pub fn broadcast_cost(bytes: u64, pmap: &ProcessMap, net: &NetworkModel) -> Comm
     }
 }
 
+/// Fault-layer twin of the allreduce: resolves `plan` against the
+/// leader-level recursive-doubling schedule (`fault::allreduce_edges`),
+/// charging retransmit + backoff penalties against the supplied cost
+/// sample.
+pub fn inject_allreduce_faults(
+    plan: &crate::fault::FaultPlan,
+    level: usize,
+    pmap: &ProcessMap,
+    cost: &CommCost,
+    stats: &CollectiveStats,
+) -> crate::fault::FaultAdjustment {
+    crate::fault::inject_collective(
+        plan,
+        level,
+        nbfs_trace::CollectiveKind::Allreduce,
+        &crate::fault::allreduce_edges(pmap),
+        cost,
+        stats,
+    )
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {

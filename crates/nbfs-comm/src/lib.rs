@@ -38,10 +38,12 @@ pub mod allgather;
 pub mod alltoallv;
 pub mod buffers;
 pub mod collectives;
+pub mod fault;
 pub mod profile;
 pub mod runtime;
 
 pub use allgather::{
     allgather_cost, allgather_cost_bytes, allgather_words, AllgatherAlgorithm, AllgatherOutcome,
 };
+pub use fault::{FaultAdjustment, FaultPlan, FaultScope, FaultSpec};
 pub use profile::CommCost;

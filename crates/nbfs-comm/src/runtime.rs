@@ -10,17 +10,39 @@
 //! both agree.
 //!
 //! Every fallible operation returns [`nbfs_util::Result`]: a disconnected
-//! channel mid-run surfaces as [`NbfsError::Comm`] instead of a panic.
+//! channel mid-run surfaces as [`NbfsError::Comm`] instead of a panic, and
+//! a rank that panics (or crashes via fault injection) degrades the world
+//! to [`NbfsError::RankFailed`] — tombstone control messages plus a
+//! departable barrier guarantee the survivors error out rather than hang.
 //! Each context also counts the point-to-point traffic it sends
 //! ([`RankCtx::traffic`]) so runtime-level tests and demos can report
 //! message/byte volumes next to the simulated collective costs.
+//!
+//! # Fault injection
+//!
+//! [`run_spmd_faulted`] threads a [`FaultPlan`] through every send: drops
+//! retry with exponential backoff under a bounded budget, duplicates and
+//! reorders are absorbed by per-sender sequence numbers on the receive
+//! side, delays and stalls charge simulated penalties, and crashes kill
+//! the rank. Fates are resolved **sender-side only** — each rank's send
+//! sequence is deterministic, so the merged fault log is identical across
+//! runs and thread interleavings; receive-side recovery (dedup,
+//! resequencing) is deliberately silent because arrival interleaving is
+//! not deterministic.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use nbfs_util::{NbfsError, Result};
+use nbfs_trace::{FaultKind, FaultOp, FaultRecord};
+use nbfs_util::{NbfsError, Result, SimTime};
 use parking_lot::Mutex;
+
+use crate::fault::{FaultPlan, FaultSite};
+
+/// Tag reserved for runtime control traffic (crash tombstones).
+const TOMBSTONE_TAG: u64 = u64::MAX;
 
 /// A point-to-point message.
 #[derive(Clone, Debug)]
@@ -31,6 +53,9 @@ pub struct Message {
     pub tag: u64,
     /// Payload bytes.
     pub payload: Vec<u8>,
+    /// Per-(sender, destination) sequence number; lets receivers discard
+    /// duplicates and resequence reordered arrivals under fault injection.
+    pub seq: u64,
 }
 
 /// Point-to-point traffic counters of one rank context.
@@ -42,6 +67,86 @@ pub struct RankTraffic {
     pub bytes_sent: u64,
 }
 
+/// A generation barrier ranks can *depart* from: when a rank dies, waiters
+/// are released with [`NbfsError::RankFailed`] instead of blocking forever
+/// on an arrival that will never come. Spin-yield keeps it free of poisoning
+/// (the vendored `parking_lot` has no `Condvar`); worlds are small thread
+/// counts, and only tests/examples drive this runtime.
+struct WorldBarrier {
+    inner: Mutex<BarrierState>,
+}
+
+struct BarrierState {
+    arrived: usize,
+    alive: usize,
+    generation: u64,
+    failed: Option<usize>,
+}
+
+impl WorldBarrier {
+    fn new(world: usize) -> WorldBarrier {
+        WorldBarrier {
+            inner: Mutex::new(BarrierState {
+                arrived: 0,
+                alive: world,
+                generation: 0,
+                failed: None,
+            }),
+        }
+    }
+
+    fn wait(&self) -> Result<()> {
+        let gen = {
+            let mut s = self.inner.lock();
+            if let Some(rank) = s.failed {
+                return Err(NbfsError::RankFailed { rank });
+            }
+            s.arrived += 1;
+            if s.arrived >= s.alive {
+                s.arrived = 0;
+                s.generation = s.generation.wrapping_add(1);
+                return Ok(());
+            }
+            s.generation
+        };
+        loop {
+            std::thread::yield_now();
+            let s = self.inner.lock();
+            // Generation moved: the barrier completed normally while we
+            // were out of the lock.
+            if s.generation != gen {
+                return Ok(());
+            }
+            if let Some(rank) = s.failed {
+                return Err(NbfsError::RankFailed { rank });
+            }
+        }
+    }
+
+    /// Permanently removes `rank` from the world; current and future
+    /// waiters observe the failure instead of hanging.
+    fn depart(&self, rank: usize) {
+        let mut s = self.inner.lock();
+        s.alive = s.alive.saturating_sub(1);
+        if s.failed.is_none() {
+            s.failed = Some(rank);
+        }
+    }
+}
+
+/// Per-send fate after drop retries are resolved.
+enum P2pFate {
+    Deliver,
+    DeliverTwice,
+    Hold,
+}
+
+struct FaultCtx {
+    plan: Arc<FaultPlan>,
+    log: Vec<FaultRecord>,
+    penalty: SimTime,
+}
+
 /// Per-rank communication context handed to the SPMD body.
 pub struct RankCtx {
     rank: usize,
@@ -50,8 +155,21 @@ pub struct RankCtx {
     receiver: Receiver<Message>,
     /// Messages received but not yet matched by a `recv` call.
     stash: VecDeque<Message>,
-    barrier: Arc<std::sync::Barrier>,
+    barrier: Arc<WorldBarrier>,
     traffic: RankTraffic,
+    /// Next sequence number per destination.
+    send_seq: Vec<u64>,
+    /// Next expected sequence number per sender (fault mode only).
+    expect_seq: Vec<u64>,
+    /// Out-of-sequence arrivals awaiting their gap (fault mode only).
+    out_of_seq: Vec<Message>,
+    /// One-slot hold-back buffer implementing the reorder fault.
+    held: Option<(usize, Message)>,
+    /// Peers observed dead via tombstones.
+    dead: Vec<bool>,
+    /// This rank died (crash fault fired).
+    crashed: bool,
+    faults: Option<FaultCtx>,
 }
 
 impl RankCtx {
@@ -70,39 +188,241 @@ impl RankCtx {
         self.traffic
     }
 
+    /// Faults this rank's sends have resolved so far (sender-side log;
+    /// deterministic for a given plan and body).
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        self.faults.as_ref().map_or(&[], |f| f.log.as_slice())
+    }
+
+    /// Total simulated penalty charged to this rank's sends.
+    pub fn fault_penalty(&self) -> SimTime {
+        self.faults.as_ref().map_or(SimTime::ZERO, |f| f.penalty)
+    }
+
+    fn log_fault(&mut self, record: FaultRecord) {
+        if let Some(f) = self.faults.as_mut() {
+            f.penalty += record.penalty;
+            f.log.push(record);
+        }
+    }
+
     /// Sends `payload` to rank `to` with `tag`. Non-blocking (buffered).
+    ///
+    /// Under fault injection the send may retry (drops), duplicate,
+    /// be held back one slot (reorder), or kill this rank (crash); an
+    /// exhausted retry budget surfaces as [`NbfsError::Fault`].
     pub fn send(&mut self, to: usize, tag: u64, payload: Vec<u8>) -> Result<()> {
-        let bytes = payload.len() as u64;
+        if self.crashed {
+            return Err(NbfsError::RankFailed { rank: self.rank });
+        }
+        if tag == TOMBSTONE_TAG {
+            return Err(NbfsError::comm(
+                "tag u64::MAX is reserved for runtime control",
+            ));
+        }
+        if self.senders.get(to).is_none() {
+            return Err(NbfsError::comm(format!("send to rank {to} outside world")));
+        }
+        if self.dead.get(to).copied().unwrap_or(false) {
+            return Err(NbfsError::RankFailed { rank: to });
+        }
+        let seq = self.send_seq[to];
+        self.send_seq[to] += 1;
+        let msg = Message {
+            from: self.rank,
+            tag,
+            payload,
+            seq,
+        };
+        match self.resolve_p2p_fate(to, tag, seq)? {
+            P2pFate::Deliver => {
+                self.deliver(to, msg)?;
+                self.flush_held()?;
+            }
+            P2pFate::DeliverTwice => {
+                self.deliver(to, msg.clone())?;
+                self.deliver(to, msg)?;
+                self.flush_held()?;
+            }
+            P2pFate::Hold => {
+                // One-slot buffer: a previously held message goes out
+                // first, then this one waits to be overtaken.
+                self.flush_held()?;
+                self.held = Some((to, msg));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the fate of one send, charging retries and backoff.
+    fn resolve_p2p_fate(&mut self, to: usize, tag: u64, seq: u64) -> Result<P2pFate> {
+        let Some(plan) = self.faults.as_ref().map(|f| Arc::clone(&f.plan)) else {
+            return Ok(P2pFate::Deliver);
+        };
+        if !plan.covers(FaultOp::P2p) {
+            return Ok(P2pFate::Deliver);
+        }
+        let site = FaultSite::p2p(self.rank, to, tag, seq);
+        let record =
+            |kind: FaultKind, attempts: u32, recovered: bool, penalty: SimTime| FaultRecord {
+                level: 0,
+                kind,
+                op: FaultOp::P2p,
+                src: site.src,
+                dst: site.dst,
+                tag,
+                attempts,
+                recovered,
+                penalty,
+            };
+        let mut attempt: u32 = 0;
+        let mut penalty = SimTime::ZERO;
+        loop {
+            let Some(fate) = plan.fires(&site, attempt) else {
+                if attempt > 0 {
+                    self.log_fault(record(FaultKind::Drop, attempt + 1, true, penalty));
+                }
+                return Ok(P2pFate::Deliver);
+            };
+            match fate {
+                FaultKind::Drop => {
+                    penalty += plan.backoff_for(attempt);
+                    attempt += 1;
+                    if attempt >= plan.max_attempts {
+                        self.log_fault(record(FaultKind::Drop, attempt, false, penalty));
+                        return Err(NbfsError::Fault {
+                            op: "p2p".to_string(),
+                            kind: FaultKind::Drop.label().to_string(),
+                            src: self.rank,
+                            dst: to,
+                            tag,
+                            level: None,
+                            attempts: attempt,
+                        });
+                    }
+                }
+                FaultKind::Delay => {
+                    penalty += plan.delay_penalty;
+                    self.log_fault(record(FaultKind::Delay, attempt + 1, true, penalty));
+                    return Ok(P2pFate::Deliver);
+                }
+                FaultKind::Duplicate => {
+                    self.log_fault(record(FaultKind::Duplicate, attempt + 1, true, penalty));
+                    return Ok(P2pFate::DeliverTwice);
+                }
+                FaultKind::Reorder => {
+                    self.log_fault(record(FaultKind::Reorder, attempt + 1, true, penalty));
+                    return Ok(P2pFate::Hold);
+                }
+                FaultKind::Stall => {
+                    penalty += plan.stall_penalty;
+                    self.log_fault(record(FaultKind::Stall, attempt + 1, true, penalty));
+                    return Ok(P2pFate::Deliver);
+                }
+                FaultKind::Crash => {
+                    self.log_fault(record(FaultKind::Crash, attempt + 1, false, penalty));
+                    self.depart_world();
+                    return Err(NbfsError::RankFailed { rank: self.rank });
+                }
+            }
+        }
+    }
+
+    /// Physically enqueues a message and counts it.
+    fn deliver(&mut self, to: usize, msg: Message) -> Result<()> {
+        let bytes = msg.payload.len() as u64;
         self.senders
             .get(to)
             .ok_or_else(|| NbfsError::comm(format!("send to rank {to} outside world")))?
-            .send(Message {
-                from: self.rank,
-                tag,
-                payload,
-            })
+            .send(msg)
             .map_err(|_| NbfsError::comm(format!("send to rank {to}: receiver thread gone")))?;
         self.traffic.messages_sent += 1;
         self.traffic.bytes_sent += bytes;
         Ok(())
     }
 
+    /// Delivers a held (reordered) message, if any. Called before every
+    /// blocking receive and barrier, and after the body returns, so a held
+    /// message is never lost.
+    fn flush_held(&mut self) -> Result<()> {
+        if let Some((to, msg)) = self.held.take() {
+            if !self.dead.get(to).copied().unwrap_or(false) {
+                self.deliver(to, msg)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks this rank dead: tombstones to every peer (so their receives
+    /// fail fast instead of hanging) and departure from the barrier.
+    fn depart_world(&mut self) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.held = None;
+        for to in 0..self.world {
+            if to == self.rank {
+                continue;
+            }
+            if let Some(sender) = self.senders.get(to) {
+                let _ = sender.send(Message {
+                    from: self.rank,
+                    tag: TOMBSTONE_TAG,
+                    payload: Vec::new(),
+                    seq: u64::MAX,
+                });
+            }
+        }
+        self.barrier.depart(self.rank);
+    }
+
     /// Receives the next message matching `(from, tag)`, blocking until it
-    /// arrives. Unmatched messages are stashed for later `recv`s.
+    /// arrives. Unmatched messages are stashed for later `recv`s. If
+    /// `from` dies first, returns [`NbfsError::RankFailed`] instead of
+    /// hanging.
     pub fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>> {
-        Ok(self.recv_where(|m| m.from == from && m.tag == tag)?.payload)
+        Ok(self
+            .recv_where(|m| m.from == from && m.tag == tag, Some(from))?
+            .payload)
     }
 
     /// Receives the next message satisfying `pred`, stashing everything
     /// that does not match. The single blocking receive both `recv` and
-    /// `recv_any` funnel through.
-    fn recv_where(&mut self, pred: impl Fn(&Message) -> bool) -> Result<Message> {
-        if let Some(pos) = self.stash.iter().position(&pred) {
-            if let Some(m) = self.stash.remove(pos) {
-                return Ok(m);
-            }
+    /// `recv_any` funnel through. `waiting_on` names the peer a failure of
+    /// which makes the wait unsatisfiable (`None`: any peer — used by
+    /// wildcard receives, which cannot complete once any rank died).
+    fn recv_where(
+        &mut self,
+        pred: impl Fn(&Message) -> bool,
+        waiting_on: Option<usize>,
+    ) -> Result<Message> {
+        if self.crashed {
+            return Err(NbfsError::RankFailed { rank: self.rank });
         }
+        self.flush_held()?;
         loop {
+            if let Some(pos) = self.stash.iter().position(&pred) {
+                if let Some(m) = self.stash.remove(pos) {
+                    return Ok(m);
+                }
+            }
+            // Channels are FIFO per sender, and the tombstone is the last
+            // thing a dying rank sends — so once a peer is marked dead,
+            // everything it ever sent has been admitted, and an
+            // unsatisfied wait on it can never complete.
+            match waiting_on {
+                Some(peer) => {
+                    if self.dead.get(peer).copied().unwrap_or(false) {
+                        return Err(NbfsError::RankFailed { rank: peer });
+                    }
+                }
+                None => {
+                    if let Some(peer) = self.dead.iter().position(|&d| d) {
+                        return Err(NbfsError::RankFailed { rank: peer });
+                    }
+                }
+            }
             // Every rank keeps a Sender to its own channel in
             // `self.senders`, so this can only fail if the runtime is torn
             // down mid-call — surfaced as an error, not a panic.
@@ -110,16 +430,62 @@ impl RankCtx {
                 .receiver
                 .recv()
                 .map_err(|_| NbfsError::comm("rank channel disconnected mid-receive"))?;
-            if pred(&msg) {
-                return Ok(msg);
-            }
-            self.stash.push_back(msg);
+            self.admit(msg);
         }
     }
 
-    /// Waits for every rank to arrive.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    /// Routes one arrival: tombstones mark peers dead; under fault
+    /// injection, per-sender sequence numbers discard duplicates and
+    /// resequence reordered messages before they reach the stash.
+    fn admit(&mut self, msg: Message) {
+        if msg.tag == TOMBSTONE_TAG {
+            if let Some(flag) = self.dead.get_mut(msg.from) {
+                *flag = true;
+            }
+            return;
+        }
+        if self.faults.is_none() {
+            self.stash.push_back(msg);
+            return;
+        }
+        let from = msg.from;
+        let Some(expect) = self.expect_seq.get_mut(from) else {
+            self.stash.push_back(msg);
+            return;
+        };
+        if msg.seq < *expect {
+            return; // duplicate — already admitted
+        }
+        if msg.seq > *expect {
+            self.out_of_seq.push(msg); // gap — wait for the overtaken one
+            return;
+        }
+        *expect += 1;
+        self.stash.push_back(msg);
+        // Drain any stashed successors that are now in sequence.
+        loop {
+            let next = self.expect_seq[from];
+            let Some(pos) = self
+                .out_of_seq
+                .iter()
+                .position(|m| m.from == from && m.seq == next)
+            else {
+                break;
+            };
+            let m = self.out_of_seq.swap_remove(pos);
+            self.expect_seq[from] += 1;
+            self.stash.push_back(m);
+        }
+    }
+
+    /// Waits for every live rank to arrive. If any rank died, returns
+    /// [`NbfsError::RankFailed`] instead of hanging.
+    pub fn barrier(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(NbfsError::RankFailed { rank: self.rank });
+        }
+        self.flush_held()?;
+        self.barrier.wait()
     }
 
     /// Gathers every rank's contribution at `root`, in rank order; other
@@ -142,7 +508,7 @@ impl RankCtx {
     /// Receives the next message with `tag` from any rank, returning
     /// `(sender, payload)`.
     fn recv_any(&mut self, tag: u64) -> Result<(usize, Vec<u8>)> {
-        let m = self.recv_where(|m| m.tag == tag)?;
+        let m = self.recv_where(|m| m.tag == tag, None)?;
         Ok((m.from, m.payload))
     }
 
@@ -205,21 +571,43 @@ impl RankCtx {
     }
 }
 
-/// Runs `body` on `world` rank threads and collects their results in rank
-/// order. Panics in any rank propagate; a rank that exits without
-/// producing a result surfaces as [`NbfsError::Comm`].
-pub fn run_spmd<F, R>(world: usize, body: F) -> Result<Vec<R>>
+/// The results of a faulted SPMD run: per-rank outcomes plus the merged
+/// sender-side fault log (rank order, so it is deterministic for a given
+/// plan and body).
+#[derive(Debug)]
+pub struct SpmdOutcome<R> {
+    /// Each rank's result, in rank order.
+    pub results: Vec<Result<R>>,
+    /// Every fault resolved by any rank's sends, in rank order.
+    pub faults: Vec<FaultRecord>,
+    /// Total simulated penalty charged across the world.
+    pub fault_penalty: SimTime,
+}
+
+impl<R> SpmdOutcome<R> {
+    /// The first failed rank's error, if any rank failed.
+    pub fn first_error(&self) -> Option<&NbfsError> {
+        self.results.iter().find_map(|r| r.as_ref().err())
+    }
+}
+
+/// Shared driver behind [`run_spmd`] and [`run_spmd_faulted`]: spawns the
+/// world, converts per-rank panics into [`NbfsError::RankFailed`], and
+/// makes every failing rank depart loudly (tombstones + barrier) so the
+/// survivors never hang on it.
+fn spawn_world<F, R>(world: usize, plan: Option<Arc<FaultPlan>>, body: F) -> SpmdOutcome<R>
 where
-    F: Fn(&mut RankCtx) -> R + Sync,
+    F: Fn(&mut RankCtx) -> Result<R> + Sync,
     R: Send,
 {
     assert!(world >= 1, "world must be non-empty");
     let channels: Vec<(Sender<Message>, Receiver<Message>)> =
         (0..world).map(|_| unbounded()).collect();
     let senders: Vec<Sender<Message>> = channels.iter().map(|(s, _)| s.clone()).collect();
-    let barrier = Arc::new(std::sync::Barrier::new(world));
+    let barrier = Arc::new(WorldBarrier::new(world));
 
-    let results: Vec<Mutex<Option<R>>> = (0..world).map(|_| Mutex::new(None)).collect();
+    type Slot<R> = (Result<R>, Vec<FaultRecord>, SimTime);
+    let slots: Vec<Mutex<Option<Slot<R>>>> = (0..world).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for (rank, (_, receiver)) in channels.iter().enumerate() {
             let mut ctx = RankCtx {
@@ -230,29 +618,92 @@ where
                 stash: VecDeque::new(),
                 barrier: Arc::clone(&barrier),
                 traffic: RankTraffic::default(),
+                send_seq: vec![0; world],
+                expect_seq: vec![0; world],
+                out_of_seq: Vec::new(),
+                held: None,
+                dead: vec![false; world],
+                crashed: false,
+                faults: plan.as_ref().map(|p| FaultCtx {
+                    plan: Arc::clone(p),
+                    log: Vec::new(),
+                    penalty: SimTime::ZERO,
+                }),
             };
             let body = &body;
-            let slot = &results[rank];
+            let slot = &slots[rank];
             scope.spawn(move || {
-                let r = body(&mut ctx);
-                *slot.lock() = Some(r);
+                let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                let result = match outcome {
+                    Ok(r) => r.and_then(|v| {
+                        ctx.flush_held()?;
+                        Ok(v)
+                    }),
+                    Err(_) => Err(NbfsError::RankFailed { rank: ctx.rank }),
+                };
+                if result.is_err() {
+                    ctx.depart_world();
+                }
+                let (log, penalty) = match ctx.faults.take() {
+                    Some(f) => (f.log, f.penalty),
+                    None => (Vec::new(), SimTime::ZERO),
+                };
+                *slot.lock() = Some((result, log, penalty));
             });
         }
     });
-    results
+
+    let mut results = Vec::with_capacity(world);
+    let mut faults = Vec::new();
+    let mut fault_penalty = SimTime::ZERO;
+    for (rank, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some((result, log, penalty)) => {
+                results.push(result);
+                faults.extend(log);
+                fault_penalty += penalty;
+            }
+            None => results.push(Err(NbfsError::comm(format!("rank {rank} did not finish")))),
+        }
+    }
+    SpmdOutcome {
+        results,
+        faults,
+        fault_penalty,
+    }
+}
+
+/// Runs `body` on `world` rank threads and collects their results in rank
+/// order. A rank that panics surfaces as [`NbfsError::RankFailed`] (the
+/// lowest failed rank's error is returned) — the rest of the world is
+/// released via tombstones and barrier departure, never poisoned or hung.
+pub fn run_spmd<F, R>(world: usize, body: F) -> Result<Vec<R>>
+where
+    F: Fn(&mut RankCtx) -> R + Sync,
+    R: Send,
+{
+    spawn_world(world, None, |ctx| Ok(body(ctx)))
+        .results
         .into_iter()
-        .enumerate()
-        .map(|(rank, m)| {
-            m.into_inner()
-                .ok_or_else(|| NbfsError::comm(format!("rank {rank} did not finish")))
-        })
         .collect()
+}
+
+/// Runs `body` on `world` rank threads under a [`FaultPlan`], returning
+/// per-rank results plus the merged (deterministic, sender-side) fault
+/// log. Bodies are fallible so injected failures propagate structurally.
+pub fn run_spmd_faulted<F, R>(world: usize, plan: &FaultPlan, body: F) -> SpmdOutcome<R>
+where
+    F: Fn(&mut RankCtx) -> Result<R> + Sync,
+    R: Send,
+{
+    spawn_world(world, Some(Arc::new(plan.clone())), body)
 }
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultScope, FaultSpec};
 
     #[test]
     fn ranks_identify_themselves() {
@@ -299,7 +750,7 @@ mod tests {
         let counter = AtomicUsize::new(0);
         run_spmd(8, |ctx| {
             counter.fetch_add(1, Ordering::SeqCst);
-            ctx.barrier();
+            ctx.barrier().unwrap();
             // After the barrier every rank's increment must be visible.
             assert_eq!(counter.load(Ordering::SeqCst), 8);
         })
@@ -388,5 +839,135 @@ mod tests {
             assert_eq!(t.messages_sent, (np - 1) as u64);
             assert_eq!(t.bytes_sent, 8 * (np - 1) as u64);
         }
+    }
+
+    // --- panic conversion & fault injection -----------------------------
+
+    #[test]
+    fn panic_in_one_rank_becomes_rank_failed_not_a_hang() {
+        // Regression: a panicking rank used to poison the shared barrier
+        // (survivors hung or the whole scope unwound). Now the panic is
+        // caught, the rank departs loudly, and the caller sees a
+        // structured error for exactly that rank.
+        let out = run_spmd(4, |ctx| {
+            if ctx.rank() == 2 {
+                panic!("injected panic");
+            }
+            // Survivors' barrier fails fast instead of hanging.
+            let b = ctx.barrier();
+            assert!(matches!(b, Err(NbfsError::RankFailed { rank: 2 })));
+            ctx.rank()
+        });
+        assert!(matches!(out, Err(NbfsError::RankFailed { rank: 2 })));
+    }
+
+    #[test]
+    fn dropped_sends_recover_and_are_logged() {
+        // First-attempt-only drops with rate 1.0: every send drops once,
+        // every retry succeeds, results are identical to fault-free.
+        let plan = FaultPlan::new(11).spec(FaultSpec::new(FaultKind::Drop, FaultScope::any()));
+        let out = run_spmd_faulted(4, &plan, |ctx| {
+            ctx.allgather_bytes(vec![ctx.rank() as u8], 5)
+        });
+        let expect: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8]).collect();
+        for r in &out.results {
+            assert_eq!(r.as_ref().unwrap(), &expect);
+        }
+        // 3 sends per rank, each dropped once then recovered.
+        assert_eq!(out.faults.len(), 12);
+        assert!(out
+            .faults
+            .iter()
+            .all(|f| f.kind == FaultKind::Drop && f.recovered && f.attempts == 2));
+        assert!(out.fault_penalty > SimTime::ZERO);
+    }
+
+    #[test]
+    fn duplicates_and_reorders_are_absorbed_by_sequencing() {
+        for kind in [FaultKind::Duplicate, FaultKind::Reorder] {
+            let plan = FaultPlan::new(3).spec(FaultSpec::new(kind, FaultScope::any()));
+            let out = run_spmd_faulted(4, &plan, |ctx| {
+                ctx.allgather_bytes(vec![ctx.rank() as u8], 5)
+            });
+            let expect: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8]).collect();
+            for r in &out.results {
+                assert_eq!(r.as_ref().unwrap(), &expect, "{kind:?}");
+            }
+            assert!(out.faults.iter().all(|f| f.kind == kind && f.recovered));
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_structured_error() {
+        let plan = FaultPlan::new(1)
+            .spec(FaultSpec::new(FaultKind::Drop, FaultScope::any()).every_attempt())
+            .max_attempts(3);
+        let out = run_spmd_faulted(2, &plan, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![1])?;
+            }
+            Ok(())
+        });
+        match out.results[0].as_ref().unwrap_err() {
+            NbfsError::Fault { op, attempts, .. } => {
+                assert_eq!(op, "p2p");
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("expected Fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crashed_rank_degrades_peers_to_errors_not_hangs() {
+        let plan =
+            FaultPlan::new(2).spec(FaultSpec::new(FaultKind::Crash, FaultScope::any().src(1)));
+        let out = run_spmd_faulted(3, &plan, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.world();
+            let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
+            ctx.send(next, 9, vec![ctx.rank() as u8])?;
+            ctx.recv(prev, 9)
+        });
+        // Rank 1 crashed on its send; rank 2 was waiting on rank 1.
+        assert!(matches!(
+            out.results[1],
+            Err(NbfsError::RankFailed { rank: 1 })
+        ));
+        assert!(matches!(
+            out.results[2],
+            Err(NbfsError::RankFailed { rank: 1 })
+        ));
+        // Completing at all (under a test harness timeout) proves no hang.
+        assert_eq!(out.faults.len(), 1);
+        assert_eq!(out.faults[0].kind, FaultKind::Crash);
+    }
+
+    #[test]
+    fn fault_logs_are_deterministic_across_runs() {
+        let plan = FaultPlan::new(42)
+            .spec(FaultSpec::new(FaultKind::Drop, FaultScope::any()).rate(0.3))
+            .spec(FaultSpec::new(FaultKind::Delay, FaultScope::any()).rate(0.2));
+        let run = || {
+            run_spmd_faulted(4, &plan, |ctx| {
+                ctx.allgather_bytes(vec![ctx.rank() as u8; 3], 21)
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.fault_penalty, b.fault_penalty);
+        assert!(a.results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn reserved_tag_is_rejected() {
+        let out = run_spmd(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, TOMBSTONE_TAG, vec![]).is_err()
+            } else {
+                true
+            }
+        })
+        .unwrap();
+        assert!(out[0]);
     }
 }

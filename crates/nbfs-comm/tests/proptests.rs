@@ -9,8 +9,11 @@ use nbfs_comm::allgather::{
     allgather_cost_bytes, allgather_words, allgatherv_items, AllgatherAlgorithm,
 };
 use nbfs_comm::alltoallv::alltoallv;
+use nbfs_comm::runtime::run_spmd_faulted;
+use nbfs_comm::{FaultPlan, FaultScope, FaultSpec};
 use nbfs_simnet::NetworkModel;
 use nbfs_topology::{presets, PlacementPolicy, ProcessMap};
+use nbfs_trace::{FaultKind, FaultRecord, RunMeta, TraceReport};
 use nbfs_util::SimTime;
 
 fn setup(nodes: usize, ppn: usize) -> (ProcessMap, NetworkModel) {
@@ -115,5 +118,74 @@ proptest! {
         let total_recv: usize = out.received.iter().map(Vec::len).sum();
         prop_assert_eq!(total_sent, total_recv);
         prop_assert!(out.cost.total() >= SimTime::ZERO);
+    }
+
+    /// Fault fates are sender-side pure functions of (seed, site, attempt),
+    /// so the same plan produces the identical merged fault log — and the
+    /// byte-identical `TraceReport` JSON built from it — across repeated
+    /// `run_spmd` worlds of 1, 4 and 8 threads, no matter how the OS
+    /// interleaves them. Recoverable kinds must also leave the allgather
+    /// results untouched.
+    #[test]
+    fn fault_logs_are_seed_deterministic_across_worlds(
+        seed in any::<u64>(),
+        rate_pct in 0u32..=100,
+    ) {
+        let rate = f64::from(rate_pct) / 100.0;
+        let plan = FaultPlan::new(seed)
+            .spec(FaultSpec::new(FaultKind::Drop, FaultScope::any()).rate(rate * 0.4))
+            .spec(FaultSpec::new(FaultKind::Delay, FaultScope::any()).rate(rate * 0.3))
+            .spec(FaultSpec::new(FaultKind::Duplicate, FaultScope::any()).rate(rate * 0.2))
+            .spec(FaultSpec::new(FaultKind::Reorder, FaultScope::any()).rate(rate * 0.2));
+        let report_json = |world: usize, faults: Vec<FaultRecord>| {
+            let meta = RunMeta {
+                world,
+                nodes: 1,
+                ppn: world,
+                opt_label: "spmd-proptest".to_string(),
+                root: 0,
+            };
+            let mut report = TraceReport::empty(meta);
+            report.faults = faults;
+            report.to_json().unwrap()
+        };
+        for world in [1usize, 4, 8] {
+            let expect: Vec<Vec<u8>> = (0..world).map(|r| vec![r as u8; 5]).collect();
+            let run = || run_spmd_faulted(world, &plan, |ctx| {
+                ctx.allgather_bytes(vec![ctx.rank() as u8; 5], 40)
+            });
+            let a = run();
+            let b = run();
+            for r in &a.results {
+                prop_assert_eq!(r.as_ref().unwrap(), &expect, "world {}", world);
+            }
+            prop_assert_eq!(&a.faults, &b.faults, "world {}", world);
+            prop_assert_eq!(a.fault_penalty, b.fault_penalty, "world {}", world);
+            prop_assert_eq!(
+                report_json(world, a.faults),
+                report_json(world, b.faults),
+                "world {}",
+                world
+            );
+        }
+    }
+
+    /// Whatever the seed, a crash plan terminates every world with
+    /// structured errors — the property run is itself the no-hang proof.
+    #[test]
+    fn crash_plans_never_hang(seed in any::<u64>()) {
+        let plan = FaultPlan::new(seed)
+            .spec(FaultSpec::new(FaultKind::Crash, FaultScope::any().src(0)));
+        let out = run_spmd_faulted(4, &plan, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.world();
+            let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
+            ctx.send(next, 2, vec![ctx.rank() as u8])?;
+            ctx.recv(prev, 2)
+        });
+        // Rank 0 crashes on its first send; rank 1 loses its inbound
+        // message and must error rather than wait forever.
+        prop_assert!(out.results[0].is_err());
+        prop_assert!(out.results[1].is_err());
+        prop_assert_eq!(out.faults.len(), 1);
     }
 }

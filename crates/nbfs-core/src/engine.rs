@@ -17,8 +17,11 @@ use rayon::prelude::*;
 
 use nbfs_comm::allgather::{
     allgather_cost_bytes, allgather_stats_bytes, allgather_words_into, allgatherv_items,
+    inject_allgather_faults,
 };
-use nbfs_comm::collectives::allreduce_sum;
+use nbfs_comm::collectives::{allreduce_sum, inject_allreduce_faults};
+use nbfs_comm::fault::inject_rank_faults;
+use nbfs_comm::{FaultAdjustment, FaultPlan};
 use nbfs_graph::partition::LocalGraph;
 use nbfs_graph::{vid, Csr, PartitionedGraph, NO_PARENT};
 use nbfs_simnet::compute::{ModelParams, ProbeClass};
@@ -81,6 +84,10 @@ pub struct Scenario {
     /// Run-event recording ([`TraceConfig::Off`] by default; see
     /// [`DistributedBfs::run_traced`]).
     pub trace: TraceConfig,
+    /// Deterministic fault injection (`None` = fault-free). With a plan
+    /// installed, use the `try_run*` entry points: injected crashes and
+    /// exhausted retry budgets surface as structured [`NbfsError`]s.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -101,6 +108,7 @@ impl Scenario {
             params: ModelParams::default(),
             td_strategy: TdStrategy::SparseAllgather,
             trace: TraceConfig::Off,
+            faults: None,
         }
     }
 
@@ -129,6 +137,14 @@ impl Scenario {
     /// [`DistributedBfs::run_traced`].
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (see
+    /// [`nbfs_comm::fault`]). Use the `try_run*` entry points to observe
+    /// injected failures structurally.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -208,6 +224,7 @@ pub struct ScenarioBuilder {
     params: ModelParams,
     td_strategy: TdStrategy,
     trace: TraceConfig,
+    faults: Option<FaultPlan>,
 }
 
 impl ScenarioBuilder {
@@ -221,6 +238,7 @@ impl ScenarioBuilder {
             params: ModelParams::default(),
             td_strategy: TdStrategy::SparseAllgather,
             trace: TraceConfig::Off,
+            faults: None,
         }
     }
 
@@ -254,6 +272,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a deterministic fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Validates the machine and assembles the scenario.
     ///
     /// # Errors
@@ -269,6 +293,7 @@ impl ScenarioBuilder {
             params: self.params,
             td_strategy: self.td_strategy,
             trace: self.trace,
+            faults: self.faults,
         })
     }
 }
@@ -569,9 +594,30 @@ impl<'g> DistributedBfs<'g> {
         }
     }
 
+    /// Unwraps a result that can only be `Err` when the scenario carries a
+    /// [`FaultPlan`]; the infallible `run*` entry points funnel through
+    /// here (allowlisted NBFS003 — this is the one deliberate panic).
+    fn fault_free<T>(result: Result<T, NbfsError>) -> T {
+        result.expect("scenario has a fault plan: use the try_run* entry points")
+    }
+
     /// Runs a BFS from `root`, producing the tree and the profile.
+    ///
+    /// # Panics
+    /// If the scenario carries a [`FaultPlan`] whose faults prove
+    /// unrecoverable — use [`Self::try_run`] for faulted scenarios.
     pub fn run(&self, root: usize) -> BfsRun {
-        self.run_timed(root, &NoClock).0
+        Self::fault_free(self.try_run(root))
+    }
+
+    /// Fallible form of [`Self::run`]: injected crashes and exhausted
+    /// retry budgets surface as structured [`NbfsError`]s.
+    ///
+    /// # Errors
+    /// [`NbfsError::RankFailed`] or [`NbfsError::Fault`] when the
+    /// scenario's fault plan kills a rank or exhausts a retry budget.
+    pub fn try_run(&self, root: usize) -> Result<BfsRun, NbfsError> {
+        Ok(self.try_run_timed(root, &NoClock)?.0)
     }
 
     /// Runs a BFS from `root` with run-event recording per the scenario's
@@ -580,43 +626,113 @@ impl<'g> DistributedBfs<'g> {
     /// The report's [`TraceReport::run_profile`] projection reproduces
     /// `run.profile` bit for bit: the engine commits each level's times
     /// from per-level accumulators and emits the same values in the
-    /// level's trace event.
+    /// level's trace event. Fault penalties flow through those same
+    /// accumulators, so the invariant holds for faulted runs too.
+    ///
+    /// # Panics
+    /// If the scenario carries a [`FaultPlan`] whose faults prove
+    /// unrecoverable — use [`Self::try_run_traced`].
     pub fn run_traced(&self, root: usize) -> (BfsRun, TraceReport) {
-        let (run, _, report) = self.run_traced_timed(root, &NoClock);
-        (run, report)
+        Self::fault_free(self.try_run_traced(root))
+    }
+
+    /// Fallible form of [`Self::run_traced`].
+    ///
+    /// # Errors
+    /// [`NbfsError::RankFailed`] or [`NbfsError::Fault`] when the
+    /// scenario's fault plan kills a rank or exhausts a retry budget.
+    pub fn try_run_traced(&self, root: usize) -> Result<(BfsRun, TraceReport), NbfsError> {
+        let (run, _, report) = self.try_run_traced_timed(root, &NoClock)?;
+        Ok((run, report))
     }
 
     /// Like [`Self::run_traced`], also reading host wall-clock kernel
     /// timings from `clock` (they land in [`WallClock`] and in each level
     /// report's `wall_comp_secs`).
+    ///
+    /// # Panics
+    /// If the scenario carries a [`FaultPlan`] whose faults prove
+    /// unrecoverable — use [`Self::try_run_traced_timed`].
     pub fn run_traced_timed(
         &self,
         root: usize,
         clock: &dyn HostClock,
     ) -> (BfsRun, WallClock, TraceReport) {
+        Self::fault_free(self.try_run_traced_timed(root, clock))
+    }
+
+    /// Fallible form of [`Self::run_traced_timed`].
+    ///
+    /// # Errors
+    /// [`NbfsError::RankFailed`] or [`NbfsError::Fault`] when the
+    /// scenario's fault plan kills a rank or exhausts a retry budget.
+    pub fn try_run_traced_timed(
+        &self,
+        root: usize,
+        clock: &dyn HostClock,
+    ) -> Result<(BfsRun, WallClock, TraceReport), NbfsError> {
         let mut tracer = Tracer::new(self.scenario.trace, self.pmap.world_size());
-        let (run, wall) = self.run_instrumented(root, clock, &mut tracer);
+        let (run, wall) = self.try_run_instrumented(root, clock, &mut tracer)?;
         let report = tracer.finish(self.run_meta(root));
-        (run, wall, report)
+        Ok((run, wall, report))
     }
 
     /// Like [`Self::run`], also reporting host wall-clock kernel timings
     /// read from the injected `clock` (pass [`NoClock`] when the timings
     /// do not matter).
+    ///
+    /// # Panics
+    /// If the scenario carries a [`FaultPlan`] whose faults prove
+    /// unrecoverable — use [`Self::try_run_timed`].
     pub fn run_timed(&self, root: usize, clock: &dyn HostClock) -> (BfsRun, WallClock) {
-        self.run_instrumented(root, clock, &mut Tracer::off())
+        Self::fault_free(self.try_run_timed(root, clock))
+    }
+
+    /// Fallible form of [`Self::run_timed`].
+    ///
+    /// # Errors
+    /// [`NbfsError::RankFailed`] or [`NbfsError::Fault`] when the
+    /// scenario's fault plan kills a rank or exhausts a retry budget.
+    pub fn try_run_timed(
+        &self,
+        root: usize,
+        clock: &dyn HostClock,
+    ) -> Result<(BfsRun, WallClock), NbfsError> {
+        self.try_run_instrumented(root, clock, &mut Tracer::off())
+    }
+
+    /// Applies one injection site's [`FaultAdjustment`]: every fault is
+    /// recorded as a trace event, the recovery penalty folds into the
+    /// caller's accumulator (the same one the level commit and the Level
+    /// trace event read, preserving the profile-projection invariant), and
+    /// an unrecoverable fault aborts the run.
+    fn apply_faults(
+        tracer: &mut Tracer,
+        adjustment: FaultAdjustment,
+        accumulator: &mut SimTime,
+    ) -> Result<(), NbfsError> {
+        *accumulator += adjustment.penalty;
+        for record in adjustment.records {
+            tracer.record(TraceEvent::Fault(record));
+        }
+        match adjustment.failure {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
     }
 
     /// The full level loop, shared by every entry point. `tracer` is
     /// [`Tracer::off`] unless the caller asked for a traced run; every
     /// recording site is either a single discriminant check or gated on
-    /// [`Tracer::enabled`].
-    fn run_instrumented(
+    /// [`Tracer::enabled`]. Fault injection (when the scenario carries a
+    /// plan) resolves against the same collective schedules the cost twins
+    /// walk, so recovered runs stay bit-identical to fault-free ones.
+    fn try_run_instrumented(
         &self,
         root: usize,
         clock: &dyn HostClock,
         tracer: &mut Tracer,
-    ) -> (BfsRun, WallClock) {
+    ) -> Result<(BfsRun, WallClock), NbfsError> {
         let run_start = clock.now_secs();
         let mut wall = WallClock::default();
         let n = self.parts.num_vertices();
@@ -698,6 +814,16 @@ impl<'g> DistributedBfs<'g> {
                 cost: n_f.cost,
                 stats: n_f.stats,
             });
+            // The control allreduce really runs on the terminal level too,
+            // so faults resolve before the termination check; a terminal
+            // level that never commits simply discards the penalty (like
+            // the engine discards the allreduce's own cost).
+            let mut control_penalty = SimTime::ZERO;
+            if let Some(plan) = &self.scenario.faults {
+                let adj =
+                    inject_allreduce_faults(plan, level_idx, &self.pmap, &n_f.cost, &n_f.stats);
+                Self::apply_faults(tracer, adj, &mut control_penalty)?;
+            }
             if n_f.value == 0 {
                 break;
             }
@@ -725,9 +851,10 @@ impl<'g> DistributedBfs<'g> {
             let mut level_switch = SimTime::ZERO;
             let mut level_detail = CommCost::ZERO;
             let mut level_wall = 0.0f64;
-            // The control-plane allreduce is charged to the level's direction.
+            // The control-plane allreduce (plus any recovery penalty it
+            // incurred) is charged to the level's direction.
             let control = n_f.cost.total();
-            level_comm += control;
+            level_comm += control + control_penalty;
 
             let discovered_total;
             match direction {
@@ -772,21 +899,45 @@ impl<'g> DistributedBfs<'g> {
                     };
                     let summary_cost =
                         allgather_cost_bytes(&summary_bytes, &self.pmap, &self.net, algo);
-                    if tracer.enabled() {
+                    if tracer.enabled() || self.scenario.faults.is_some() {
                         let part_bytes: Vec<u64> =
                             parts_ref.iter().map(|p| p.len() as u64 * 8).collect();
+                        let words_stats = allgather_stats_bytes(&part_bytes, &self.pmap, algo);
+                        let summary_stats = allgather_stats_bytes(&summary_bytes, &self.pmap, algo);
                         tracer.record(TraceEvent::Collective {
                             level: level_idx,
                             kind: CollectiveKind::AllgatherWords,
                             cost: words_cost,
-                            stats: allgather_stats_bytes(&part_bytes, &self.pmap, algo),
+                            stats: words_stats,
                         });
                         tracer.record(TraceEvent::Collective {
                             level: level_idx,
                             kind: CollectiveKind::AllgatherSummary,
                             cost: summary_cost,
-                            stats: allgather_stats_bytes(&summary_bytes, &self.pmap, algo),
+                            stats: summary_stats,
                         });
+                        if let Some(plan) = &self.scenario.faults {
+                            let adj = inject_allgather_faults(
+                                plan,
+                                level_idx,
+                                CollectiveKind::AllgatherWords,
+                                &self.pmap,
+                                algo,
+                                &words_cost,
+                                &words_stats,
+                            );
+                            Self::apply_faults(tracer, adj, &mut level_comm)?;
+                            let adj = inject_allgather_faults(
+                                plan,
+                                level_idx,
+                                CollectiveKind::AllgatherSummary,
+                                &self.pmap,
+                                algo,
+                                &summary_cost,
+                                &summary_stats,
+                            );
+                            Self::apply_faults(tracer, adj, &mut level_comm)?;
+                        }
                     }
                     let comm = words_cost + summary_cost;
                     level_detail += comm;
@@ -866,7 +1017,7 @@ impl<'g> DistributedBfs<'g> {
                             &partition,
                             level_idx,
                             tracer,
-                        );
+                        )?;
                         let kernel_secs = clock.now_secs() - t0;
                         wall.top_down_secs += kernel_secs;
                         level_wall += kernel_secs;
@@ -908,40 +1059,60 @@ impl<'g> DistributedBfs<'g> {
                             );
                             td_scratch.repair_padding();
                             full_frontier = td_scratch.iter_ones().map(vid::to_stored).collect();
-                            if tracer.enabled() {
+                            if tracer.enabled() || self.scenario.faults.is_some() {
                                 let part_bytes: Vec<u64> =
                                     parts_ref.iter().map(|p| p.len() as u64 * 8).collect();
+                                let stats = allgather_stats_bytes(&part_bytes, &self.pmap, algo);
                                 tracer.record(TraceEvent::Collective {
                                     level: level_idx,
                                     kind: CollectiveKind::AllgatherWords,
                                     cost,
-                                    stats: allgather_stats_bytes(&part_bytes, &self.pmap, algo),
+                                    stats,
                                 });
+                                if let Some(plan) = &self.scenario.faults {
+                                    let adj = inject_allgather_faults(
+                                        plan,
+                                        level_idx,
+                                        CollectiveKind::AllgatherWords,
+                                        &self.pmap,
+                                        algo,
+                                        &cost,
+                                        &stats,
+                                    );
+                                    Self::apply_faults(tracer, adj, &mut level_comm)?;
+                                }
                             }
                             exchange_cost = cost.total();
                             level_switch += self.conversion_time(&partition);
                         } else {
                             let lists: Vec<Vec<u32>> =
                                 states.iter().map(|s| s.frontier.clone()).collect();
-                            if tracer.enabled() {
+                            let gathered = allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
+                            if tracer.enabled() || self.scenario.faults.is_some() {
                                 let list_sizes: Vec<u64> =
                                     lists.iter().map(|l| l.len() as u64 * 4).collect();
-                                let gathered =
-                                    allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
+                                let stats = allgather_stats_bytes(&list_sizes, &self.pmap, algo);
                                 tracer.record(TraceEvent::Collective {
                                     level: level_idx,
                                     kind: CollectiveKind::Allgatherv,
                                     cost: gathered.cost,
-                                    stats: allgather_stats_bytes(&list_sizes, &self.pmap, algo),
+                                    stats,
                                 });
-                                full_frontier = gathered.items;
-                                exchange_cost = gathered.cost.total();
-                            } else {
-                                let gathered =
-                                    allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
-                                full_frontier = gathered.items;
-                                exchange_cost = gathered.cost.total();
+                                if let Some(plan) = &self.scenario.faults {
+                                    let adj = inject_allgather_faults(
+                                        plan,
+                                        level_idx,
+                                        CollectiveKind::Allgatherv,
+                                        &self.pmap,
+                                        algo,
+                                        &gathered.cost,
+                                        &stats,
+                                    );
+                                    Self::apply_faults(tracer, adj, &mut level_comm)?;
+                                }
                             }
+                            full_frontier = gathered.items;
+                            exchange_cost = gathered.cost.total();
                         }
                         level_comm += exchange_cost;
 
@@ -982,6 +1153,13 @@ impl<'g> DistributedBfs<'g> {
                         discovered_total = outs.iter().map(|o| o.discovered).sum::<u64>();
                     }
                 }
+            }
+
+            // Rank-level faults (stall, crash) resolve once per level; a
+            // stall's penalty is skew, so it lands in the stall slice.
+            if let Some(plan) = &self.scenario.faults {
+                let adj = inject_rank_faults(plan, level_idx, self.pmap.world_size());
+                Self::apply_faults(tracer, adj, &mut level_stall)?;
             }
 
             // --- level commit (the single write site for the profile) ----
@@ -1034,14 +1212,14 @@ impl<'g> DistributedBfs<'g> {
         parent.truncate(n);
         let visited = parent.iter().filter(|&&p| p != NO_PARENT).count();
         wall.total_secs = clock.now_secs() - run_start;
-        (
+        Ok((
             BfsRun {
                 parent,
                 profile,
                 visited,
             },
             wall,
-        )
+        ))
     }
 
     /// Cost of one queue<->bitmap conversion sweep: each rank streams its
@@ -1254,7 +1432,7 @@ impl<'g> DistributedBfs<'g> {
         partition: &nbfs_util::BlockPartition,
         level_idx: usize,
         tracer: &mut Tracer,
-    ) -> (SimTime, SimTime, SimTime, u64) {
+    ) -> Result<(SimTime, SimTime, SimTime, u64), NbfsError> {
         let np = self.pmap.world_size();
         // --- scatter kernel ------------------------------------------------
         let results: Vec<(KernelOut, SendBuckets)> = states
@@ -1300,6 +1478,17 @@ impl<'g> DistributedBfs<'g> {
             cost: exchange.cost,
             stats: exchange.stats,
         });
+        let mut exchange_penalty = SimTime::ZERO;
+        if let Some(plan) = &self.scenario.faults {
+            let adj = nbfs_comm::alltoallv::inject_alltoallv_faults(
+                plan,
+                level_idx,
+                &self.pmap,
+                &exchange.cost,
+                &exchange.stats,
+            );
+            Self::apply_faults(tracer, adj, &mut exchange_penalty)?;
+        }
 
         // --- inbox processing ------------------------------------------------
         let outs: Vec<KernelOut> = states
@@ -1364,12 +1553,12 @@ impl<'g> DistributedBfs<'g> {
             }
         }
         let discovered = outs.iter().map(|o| o.discovered).sum();
-        (
-            exchange.cost.total(),
+        Ok((
+            exchange.cost.total() + exchange_penalty,
             mean_scatter + mean_inbox,
             stall_scatter + stall_inbox,
             discovered,
-        )
+        ))
     }
 
     /// The top-down level kernel for one rank: walk the *replicated*

@@ -13,7 +13,7 @@ use crate::cost::CommCost;
 use crate::direction::Direction;
 
 /// Which collective operation a cost sample came from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CollectiveKind {
     /// The frontier-word allgather of the bottom-up exchange (Fig. 1).
     AllgatherWords,
@@ -47,6 +47,98 @@ impl CollectiveKind {
             CollectiveKind::Expand2d => "expand-2d",
         }
     }
+}
+
+/// What an injected fault did to a transfer.
+///
+/// The taxonomy of the deterministic fault-injection layer (see
+/// `nbfs-comm::fault`): the first four perturb a single message or
+/// collective edge, the last two act on a whole rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The transfer is lost and must be retried (bounded budget).
+    Drop,
+    /// The transfer arrives late; a fixed penalty is charged.
+    Delay,
+    /// The transfer arrives twice; the receiver discards the copy.
+    Duplicate,
+    /// The transfer is held back one slot and overtaken by the next one.
+    Reorder,
+    /// A rank stalls for a fixed penalty before progressing.
+    Stall,
+    /// A rank dies; the world degrades to a structured error, never a hang.
+    Crash,
+}
+
+impl FaultKind {
+    /// Every kind, for matrix-style harnesses.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Stall,
+        FaultKind::Crash,
+    ];
+
+    /// Short label for tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Stall => "stall",
+            FaultKind::Crash => "crash",
+        }
+    }
+}
+
+/// Which operation a fault hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultOp {
+    /// A point-to-point `RankCtx::send` in the threaded runtime.
+    P2p,
+    /// An edge of a simulated collective.
+    Collective(CollectiveKind),
+    /// A whole-rank fate (stall / crash), not tied to a transfer.
+    Rank,
+}
+
+impl FaultOp {
+    /// Short label for tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultOp::P2p => "p2p",
+            FaultOp::Collective(kind) => kind.label(),
+            FaultOp::Rank => "rank",
+        }
+    }
+}
+
+/// One injected fault and how it resolved. `Copy`, so it doubles as the
+/// in-ring payload of [`TraceEvent::Fault`] and the serialized record of
+/// `TraceReport::faults`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// BFS level the fault fired in (0 for the level-less p2p runtime).
+    pub level: usize,
+    /// What the fault did.
+    pub kind: FaultKind,
+    /// The operation it hit.
+    pub op: FaultOp,
+    /// Source rank of the affected edge (the rank itself for rank fates).
+    pub src: usize,
+    /// Destination rank of the affected edge.
+    pub dst: usize,
+    /// Message tag (p2p) or round index (collectives).
+    pub tag: u64,
+    /// Delivery attempts consumed, including the final successful one.
+    pub attempts: u32,
+    /// Whether the transfer ultimately completed.
+    pub recovered: bool,
+    /// Simulated time charged for retries / backoff / stalls.
+    pub penalty: SimTime,
 }
 
 /// Integer byproducts of a collective cost evaluation: how the algorithm
@@ -161,6 +253,9 @@ pub enum TraceEvent {
         /// (zero under `NoClock`).
         wall_comp_secs: f64,
     },
+    /// An injected fault fired (schema v2). Carries the full record so the
+    /// report merge is a copy.
+    Fault(FaultRecord),
 }
 
 impl TraceEvent {
@@ -171,6 +266,7 @@ impl TraceEvent {
             | TraceEvent::Collective { level, .. }
             | TraceEvent::RankLevel { level, .. }
             | TraceEvent::Level { level, .. } => level,
+            TraceEvent::Fault(record) => record.level,
         }
     }
 }
@@ -214,6 +310,31 @@ mod tests {
             stats: CollectiveStats::ZERO,
         };
         assert_eq!(ev.level(), 7);
+    }
+
+    #[test]
+    fn fault_events_expose_their_level_and_labels() {
+        let rec = FaultRecord {
+            level: 3,
+            kind: FaultKind::Drop,
+            op: FaultOp::Collective(CollectiveKind::AllgatherWords),
+            src: 1,
+            dst: 2,
+            tag: 0,
+            attempts: 2,
+            recovered: true,
+            penalty: SimTime::ZERO,
+        };
+        assert_eq!(TraceEvent::Fault(rec).level(), 3);
+        assert_eq!(rec.op.label(), "allgather-words");
+        assert_eq!(FaultOp::P2p.label(), "p2p");
+        assert_eq!(FaultOp::Rank.label(), "rank");
+        // Labels are distinct across the whole kind matrix.
+        for (i, a) in FaultKind::ALL.iter().enumerate() {
+            for b in &FaultKind::ALL[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
     }
 
     #[test]

@@ -36,12 +36,12 @@ pub mod tracer;
 pub use config::TraceConfig;
 pub use cost::CommCost;
 pub use direction::Direction;
-pub use event::{CollectiveKind, CollectiveStats, TraceEvent};
+pub use event::{CollectiveKind, CollectiveStats, FaultKind, FaultOp, FaultRecord, TraceEvent};
 pub use phase::Phase;
 pub use profile::{LevelProfile, RunProfile};
 pub use report::{
     CollectiveRecord, DecisionRecord, LevelReport, RankLevelRecord, RunMeta, TraceReport,
-    SCHEMA_VERSION,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use ring::EventRing;
 pub use tracer::Tracer;

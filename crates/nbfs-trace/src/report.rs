@@ -15,11 +15,17 @@ use nbfs_util::{NbfsError, SimTime};
 
 use crate::cost::CommCost;
 use crate::direction::Direction;
-use crate::event::{CollectiveKind, CollectiveStats};
+use crate::event::{CollectiveKind, CollectiveStats, FaultRecord};
 use crate::profile::{LevelProfile, RunProfile};
 
 /// Version stamp of the JSON layout. Bump when renaming or removing fields.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `faults` array (deterministic fault-injection records);
+/// v1 reports deserialize with it empty ([`MIN_SCHEMA_VERSION`]).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version [`TraceReport::from_json`] still imports.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Identity of a traced run, supplied by the engine at merge time.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -154,6 +160,11 @@ pub struct TraceReport {
     pub post_collectives: Vec<CollectiveRecord>,
     /// Events lost to ring overwrites (0 unless a ring was undersized).
     pub dropped_events: u64,
+    /// Injected faults and how they resolved, in deterministic order
+    /// (control ring first, then rank rings in rank order). Empty for
+    /// fault-free runs and for imported v1 reports.
+    #[serde(default)]
+    pub faults: Vec<FaultRecord>,
 }
 
 impl TraceReport {
@@ -167,7 +178,19 @@ impl TraceReport {
             decisions: Vec::new(),
             post_collectives: Vec::new(),
             dropped_events: 0,
+            faults: Vec::new(),
         }
+    }
+
+    /// Number of faults that were recovered (retried to completion).
+    pub fn recovered_faults(&self) -> usize {
+        self.faults.iter().filter(|f| f.recovered).count()
+    }
+
+    /// Total simulated penalty charged by the fault layer (retries,
+    /// backoff, delays, stalls).
+    pub fn fault_penalty(&self) -> SimTime {
+        self.faults.iter().map(|f| f.penalty).sum()
     }
 
     /// Projects the legacy [`RunProfile`] out of the per-level spans.
@@ -217,15 +240,18 @@ impl TraceReport {
         serde_json::to_string_pretty(self).map_err(|e| NbfsError::Serde(e.to_string()))
     }
 
-    /// Parses a report exported by [`TraceReport::to_json`], rejecting
-    /// other schema versions.
+    /// Parses a report exported by [`TraceReport::to_json`].
+    ///
+    /// Accepts versions [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]: a v1
+    /// report (pre-fault-layer) imports with an empty `faults` array;
+    /// future versions are refused, not misread.
     pub fn from_json(text: &str) -> nbfs_util::Result<TraceReport> {
         let report: TraceReport =
             serde_json::from_str(text).map_err(|e| NbfsError::Serde(e.to_string()))?;
-        if report.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&report.schema_version) {
             return Err(NbfsError::invalid_data(format!(
-                "trace schema version {} (this build reads {})",
-                report.schema_version, SCHEMA_VERSION
+                "trace schema version {} (this build reads {}..={})",
+                report.schema_version, MIN_SCHEMA_VERSION, SCHEMA_VERSION
             )));
         }
         Ok(report)
@@ -297,6 +323,48 @@ mod tests {
         let text = r.to_json().unwrap();
         let err = TraceReport::from_json(&text).unwrap_err();
         assert!(matches!(err, NbfsError::InvalidData(_)));
+    }
+
+    #[test]
+    fn v1_reports_import_with_empty_faults() {
+        let mut r = sample();
+        r.schema_version = 1;
+        let text = r.to_json().unwrap();
+        // A v1 exporter never wrote a `faults` key at all.
+        let v1 = text.replace(",\n  \"faults\": []", "");
+        assert!(!v1.contains("faults"), "{v1}");
+        let back = TraceReport::from_json(&v1).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert!(back.faults.is_empty());
+        assert_eq!(back.levels, r.levels);
+    }
+
+    #[test]
+    fn fault_summaries_fold_records() {
+        use crate::event::{FaultKind, FaultOp};
+        let mut r = sample();
+        for (kind, recovered, us) in [
+            (FaultKind::Drop, true, 10.0),
+            (FaultKind::Crash, false, 0.0),
+            (FaultKind::Delay, true, 50.0),
+        ] {
+            r.faults.push(FaultRecord {
+                level: 1,
+                kind,
+                op: FaultOp::P2p,
+                src: 0,
+                dst: 1,
+                tag: 9,
+                attempts: 1,
+                recovered,
+                penalty: SimTime::from_micros(us),
+            });
+        }
+        assert_eq!(r.recovered_faults(), 2);
+        assert!((r.fault_penalty().as_micros() - 60.0).abs() < 1e-9);
+        // And the records survive a round trip.
+        let back = TraceReport::from_json(&r.to_json().unwrap()).unwrap();
+        assert_eq!(back.faults, r.faults);
     }
 
     #[test]

@@ -150,36 +150,41 @@ impl Tracer {
                     n_f,
                     n,
                 }),
+                TraceEvent::Fault(record) => report.faults.push(record),
                 _ => {}
             }
         }
 
         // Pass 3: attach per-rank counters (rings are already in rank
-        // order, and each ring is in level order).
+        // order, and each ring is in level order). Faults recorded on rank
+        // rings land after the control-plane ones, still deterministically.
         for ring in &inner.ranks {
             for ev in ring.iter_in_order() {
-                if let TraceEvent::RankLevel {
-                    level,
-                    rank,
-                    discovered,
-                    edges_scanned,
-                    summary_probes,
-                    inqueue_probes,
-                    write_bytes,
-                    comp,
-                } = *ev
-                {
-                    if let Some(lv) = report.levels.iter_mut().find(|l| l.level == level) {
-                        lv.ranks.push(crate::report::RankLevelRecord {
-                            rank,
-                            discovered,
-                            edges_scanned,
-                            summary_probes,
-                            inqueue_probes,
-                            write_bytes,
-                            comp,
-                        });
+                match *ev {
+                    TraceEvent::RankLevel {
+                        level,
+                        rank,
+                        discovered,
+                        edges_scanned,
+                        summary_probes,
+                        inqueue_probes,
+                        write_bytes,
+                        comp,
+                    } => {
+                        if let Some(lv) = report.levels.iter_mut().find(|l| l.level == level) {
+                            lv.ranks.push(crate::report::RankLevelRecord {
+                                rank,
+                                discovered,
+                                edges_scanned,
+                                summary_probes,
+                                inqueue_probes,
+                                write_bytes,
+                                comp,
+                            });
+                        }
                     }
+                    TraceEvent::Fault(record) => report.faults.push(record),
+                    _ => {}
                 }
             }
         }
@@ -287,6 +292,30 @@ mod tests {
         assert_eq!(r.post_collectives.len(), 1);
         assert_eq!(r.post_collectives[0].level, 1);
         assert_eq!(r.dropped_events, 0);
+    }
+
+    #[test]
+    fn fault_events_merge_control_first_then_ranks() {
+        use crate::event::{FaultKind, FaultOp, FaultRecord};
+        let rec = |src: usize| FaultRecord {
+            level: 0,
+            kind: FaultKind::Drop,
+            op: FaultOp::P2p,
+            src,
+            dst: 0,
+            tag: 1,
+            attempts: 2,
+            recovered: true,
+            penalty: SimTime::ZERO,
+        };
+        let mut t = Tracer::new(TraceConfig::Ring(8), 2);
+        t.record_rank(1, TraceEvent::Fault(rec(11)));
+        t.record(TraceEvent::Fault(rec(99)));
+        t.record_rank(0, TraceEvent::Fault(rec(10)));
+        t.record(level_event(0));
+        let r = t.finish(meta());
+        let srcs: Vec<usize> = r.faults.iter().map(|f| f.src).collect();
+        assert_eq!(srcs, vec![99, 10, 11]);
     }
 
     #[test]

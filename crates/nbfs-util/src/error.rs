@@ -24,6 +24,32 @@ pub enum NbfsError {
     Comm(String),
     /// A serialization or deserialization failure (JSON import/export).
     Serde(String),
+    /// A rank of the SPMD runtime died (panicked, or an injected crash
+    /// fault fired) and the BSP world cannot make progress without it.
+    RankFailed {
+        /// The rank that failed.
+        rank: usize,
+    },
+    /// An injected communication fault exhausted its recovery budget.
+    ///
+    /// Carries the failing edge so chaos harnesses can pinpoint exactly
+    /// which transfer of which collective (or point-to-point tag) gave up.
+    Fault {
+        /// Operation label (`"p2p"`, a collective label, or `"rank"`).
+        op: String,
+        /// Fault kind label (`"drop"`, `"crash"`, ...).
+        kind: String,
+        /// Source rank of the failing edge.
+        src: usize,
+        /// Destination rank of the failing edge.
+        dst: usize,
+        /// Message tag (point-to-point) or round index (collectives).
+        tag: u64,
+        /// BFS level the failure occurred in, when level-scoped.
+        level: Option<usize>,
+        /// Delivery attempts consumed before giving up.
+        attempts: u32,
+    },
 }
 
 impl NbfsError {
@@ -51,6 +77,25 @@ impl fmt::Display for NbfsError {
             NbfsError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             NbfsError::Comm(msg) => write!(f, "communication error: {msg}"),
             NbfsError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            NbfsError::RankFailed { rank } => write!(f, "rank failure: rank {rank} died"),
+            NbfsError::Fault {
+                op,
+                kind,
+                src,
+                dst,
+                tag,
+                level,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "communication fault: {kind} on {op} edge {src}->{dst} tag {tag}"
+                )?;
+                if let Some(l) = level {
+                    write!(f, " level {l}")?;
+                }
+                write!(f, " after {attempts} attempt(s)")
+            }
         }
     }
 }
@@ -106,6 +151,40 @@ mod tests {
         assert!(matches!(err, NbfsError::Io(_)));
         assert!(err.source().is_some());
         assert!(NbfsError::invalid_data("x").source().is_none());
+    }
+
+    #[test]
+    fn fault_errors_name_the_failing_edge_and_level() {
+        let e = NbfsError::Fault {
+            op: "allgather-words".to_string(),
+            kind: "drop".to_string(),
+            src: 3,
+            dst: 4,
+            tag: 2,
+            level: Some(5),
+            attempts: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "communication fault: drop on allgather-words edge 3->4 tag 2 level 5 after 4 attempt(s)"
+        );
+        let p2p = NbfsError::Fault {
+            op: "p2p".to_string(),
+            kind: "crash".to_string(),
+            src: 1,
+            dst: 0,
+            tag: 42,
+            level: None,
+            attempts: 1,
+        };
+        assert_eq!(
+            p2p.to_string(),
+            "communication fault: crash on p2p edge 1->0 tag 42 after 1 attempt(s)"
+        );
+        assert_eq!(
+            NbfsError::RankFailed { rank: 7 }.to_string(),
+            "rank failure: rank 7 died"
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn main() {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect();
-        ctx.barrier();
+        ctx.barrier().unwrap();
         // ...and ring-allgathers the rest over channels.
         let chunks = ctx.allgather_bytes(mine, 1).unwrap();
         chunks

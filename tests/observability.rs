@@ -145,17 +145,18 @@ fn trace_report_json_round_trips_under_pinned_schema() {
     let (_, report) = DistributedBfs::new(&g, &scenario).run_traced(0);
 
     // Schema pin: bumping SCHEMA_VERSION without migrating consumers must
-    // trip this test.
-    assert_eq!(SCHEMA_VERSION, 1, "schema changed: update exporters");
+    // trip this test. v2 added the fault-record list (v1 imports read it
+    // as empty — covered in nbfs-trace's report tests).
+    assert_eq!(SCHEMA_VERSION, 2, "schema changed: update exporters");
     assert_eq!(report.schema_version, SCHEMA_VERSION);
 
     let json = report.to_json().unwrap();
-    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    assert!(json.contains("\"schema_version\": 2"), "{json}");
     let back = TraceReport::from_json(&json).unwrap();
     assert_eq!(back, report);
 
     // A report stamped with a future schema is refused, not misread.
-    let future = json.replacen("\"schema_version\": 1", "\"schema_version\": 999", 1);
+    let future = json.replacen("\"schema_version\": 2", "\"schema_version\": 999", 1);
     assert!(TraceReport::from_json(&future).is_err());
 }
 

@@ -282,6 +282,14 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .ok_or_else(|| DeError::expected("sequence", content))?;
         items.iter().map(T::from_content).collect()
     }
+
+    /// Absent list fields deserialize as empty. The workspace marks every
+    /// optional list `#[serde(default)]` (e.g. `TraceReport::faults` for
+    /// schema-v1 import); the derive stub skips attributes, so the default
+    /// lives here instead.
+    fn from_missing_field(_field: &str) -> Result<Self, DeError> {
+        Ok(Vec::new())
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
