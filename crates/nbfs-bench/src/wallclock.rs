@@ -1,11 +1,13 @@
-//! Wall-clock benchmark snapshot: reference vs word-level bottom-up kernel.
+//! Wall-clock benchmark snapshot: reference vs optimized kernel pipeline.
 //!
 //! Simulated time answers "what would the 2012 cluster do"; this module
 //! answers "how fast does the *host* actually run the real kernels". It
 //! pins one fixed scenario — the scale-19 R-MAT on one 8-socket Xeon X7550
 //! node at `Original.ppn=8` (8 ranks, ring allgather, private bitmaps) —
-//! runs the engine once per kernel implementation, and writes the
-//! before/after comparison to `BENCH_BFS.json` at the repository root.
+//! runs the engine once per kernel configuration (baseline: per-bit
+//! bottom-up + binary-search top-down; optimized: word-level bottom-up +
+//! chunked merge-join top-down), and writes the before/after comparison
+//! with a per-phase breakdown to `BENCH_BFS.json` at the repository root.
 //!
 //! Regenerate with either of:
 //!
@@ -23,9 +25,11 @@ use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-use nbfs_core::engine::{BottomUpKernel, DistributedBfs, HostClock, Scenario, WallClock};
+use nbfs_core::engine::{
+    BottomUpKernel, DistributedBfs, HostClock, Scenario, TopDownKernel, WallClock,
+};
 use nbfs_core::opt::OptLevel;
 use nbfs_graph::Csr;
 use nbfs_topology::presets;
@@ -75,8 +79,13 @@ impl Default for SnapshotConfig {
     }
 }
 
+/// Current schema version of `BENCH_BFS.json`. Version 2 added the
+/// top-down phase to the comparison (per-phase seconds and level counts,
+/// `top_down_speedup`) and made the reader version-strict.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// The scenario block of the snapshot — everything needed to reproduce it.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScenarioInfo {
     /// Graph generator ("rmat").
     pub generator: String,
@@ -100,25 +109,30 @@ pub struct ScenarioInfo {
     pub repeats: usize,
 }
 
-/// Wall-clock timings of one kernel implementation.
-#[derive(Clone, Debug, Serialize)]
+/// Wall-clock timings of one kernel configuration, per phase.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct KernelTiming {
-    /// Which bottom-up kernel ran.
+    /// Which kernel pair ran.
     pub kernel: String,
     /// Seconds in bottom-up kernel dispatch (min over repeats).
     pub bottom_up_secs: f64,
     /// Seconds in top-down kernel dispatch (min over repeats).
     pub top_down_secs: f64,
+    /// Seconds outside the two kernels — collectives, direction control,
+    /// frontier conversions (derived: total minus the kernel phases).
+    pub other_secs: f64,
     /// Whole-run seconds (min over repeats).
     pub total_secs: f64,
     /// Bottom-up levels per run.
     pub bottom_up_levels: u32,
+    /// Top-down levels per run.
+    pub top_down_levels: u32,
     /// Real adjacency entries the bottom-up kernels examined per run.
     pub bottom_up_edges: u64,
 }
 
 /// Derived throughput numbers.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Throughput {
     /// Real bottom-up adjacency entries per host second (word-level kernel).
     pub real_bottom_up_edges_per_sec: f64,
@@ -127,7 +141,7 @@ pub struct Throughput {
 }
 
 /// The whole `BENCH_BFS.json` document.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Snapshot {
     /// Schema version of this document.
     pub schema_version: u32,
@@ -135,12 +149,14 @@ pub struct Snapshot {
     pub benchmark: String,
     /// The pinned scenario.
     pub scenario: ScenarioInfo,
-    /// Per-bit reference kernel timings (before).
+    /// Reference kernel pair timings (before).
     pub baseline: KernelTiming,
-    /// Word-level kernel timings (after).
+    /// Optimized kernel pair timings (after).
     pub optimized: KernelTiming,
     /// `baseline.bottom_up_secs / optimized.bottom_up_secs`.
     pub bottom_up_speedup: f64,
+    /// `baseline.top_down_secs / optimized.top_down_secs`.
+    pub top_down_speedup: f64,
     /// `baseline.total_secs / optimized.total_secs`.
     pub total_speedup: f64,
     /// Derived rates.
@@ -175,8 +191,10 @@ fn timing(kernel: &str, wall: &WallClock) -> KernelTiming {
         kernel: kernel.to_string(),
         bottom_up_secs: wall.bottom_up_secs,
         top_down_secs: wall.top_down_secs,
+        other_secs: (wall.total_secs - wall.bottom_up_secs - wall.top_down_secs).max(0.0),
         total_secs: wall.total_secs,
         bottom_up_levels: wall.bottom_up_levels,
+        top_down_levels: wall.top_down_levels,
         bottom_up_edges: wall.bottom_up_edges,
     }
 }
@@ -191,10 +209,13 @@ pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
     let engine = DistributedBfs::new(graph, &scenario);
     let ranks = engine.process_map().world_size();
 
-    let baseline = engine.with_bottom_up_kernel(BottomUpKernel::Reference);
+    let baseline = engine
+        .with_bottom_up_kernel(BottomUpKernel::Reference)
+        .with_top_down_kernel(TopDownKernel::Reference);
     let (ref_run, ref_wall) = measure(&baseline, root, cfg.repeats);
-    let optimized =
-        DistributedBfs::new(graph, &scenario).with_bottom_up_kernel(BottomUpKernel::WordLevel);
+    let optimized = DistributedBfs::new(graph, &scenario)
+        .with_bottom_up_kernel(BottomUpKernel::WordLevel)
+        .with_top_down_kernel(TopDownKernel::Chunked);
     let (opt_run, opt_wall) = measure(&optimized, root, cfg.repeats);
 
     let identical = ref_run.parent == opt_run.parent
@@ -202,8 +223,8 @@ pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
         && ref_run.profile.total() == opt_run.profile.total();
     assert!(
         identical,
-        "kernel implementations diverged: the word-level kernel must be \
-         bit-identical to the reference"
+        "kernel implementations diverged: the optimized kernels must be \
+         bit-identical to the reference pair"
     );
     assert_eq!(
         ref_wall.bottom_up_edges, opt_wall.bottom_up_edges,
@@ -212,8 +233,10 @@ pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
 
     let sim_teps = graph.component_edges(root) as f64 / ref_run.profile.total().as_secs();
     Snapshot {
-        schema_version: 1,
-        benchmark: "bottom-up kernel wall clock, reference vs word-level".into(),
+        schema_version: SCHEMA_VERSION,
+        benchmark: "hybrid BFS kernel wall clock, reference vs optimized \
+                    (word-level bottom-up + chunked merge-join top-down)"
+            .into(),
         scenario: ScenarioInfo {
             generator: "rmat".into(),
             scale: cfg.scale,
@@ -226,9 +249,16 @@ pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
             root,
             repeats: cfg.repeats,
         },
-        baseline: timing("reference (per-bit serial)", &ref_wall),
-        optimized: timing("word-level (chunked, probe-cached)", &opt_wall),
+        baseline: timing(
+            "reference (per-bit bottom-up, binary-search top-down)",
+            &ref_wall,
+        ),
+        optimized: timing(
+            "optimized (word-level bottom-up, chunked merge-join top-down)",
+            &opt_wall,
+        ),
         bottom_up_speedup: ref_wall.bottom_up_secs / opt_wall.bottom_up_secs,
+        top_down_speedup: ref_wall.top_down_secs / opt_wall.top_down_secs,
         total_speedup: ref_wall.total_secs / opt_wall.total_secs,
         throughput: Throughput {
             real_bottom_up_edges_per_sec: opt_wall.bottom_up_edges as f64 / opt_wall.bottom_up_secs,
@@ -252,16 +282,43 @@ pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
     writeln!(file, "{json}")
 }
 
+/// Reads a snapshot back, refusing any schema version other than
+/// [`SCHEMA_VERSION`]. A version-1 document (or a future version-3 one)
+/// carries differently-shaped phase fields; letting serde default or drop
+/// them would let stale numbers masquerade as current ones.
+pub fn read_snapshot(path: &Path) -> std::io::Result<Snapshot> {
+    let text = std::fs::read_to_string(path)?;
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    // Version gate first, on the raw document: a foreign version must be
+    // refused *as* a foreign version, not as a field-shape mismatch.
+    let value: serde_json::Value = serde_json::from_str(&text).map_err(|e| bad(e.to_string()))?;
+    let version = value
+        .get("schema_version")
+        .and_then(serde_json::Value::as_u64);
+    if version != Some(u64::from(SCHEMA_VERSION)) {
+        return Err(bad(format!(
+            "snapshot schema_version {version:?} is not the supported {SCHEMA_VERSION}; \
+             regenerate with `nbfs bench --json`"
+        )));
+    }
+    serde_json::from_value(value).map_err(|e| bad(e.to_string()))
+}
+
 /// One-line human summary for CLI output.
 pub fn summary(s: &Snapshot) -> String {
     format!(
         "scale {} | {} ranks | bottom-up {:.1} ms -> {:.1} ms ({:.2}x) | \
+         top-down {:.1} ms -> {:.1} ms ({:.2}x) | total {:.2}x | \
          {:.1} M real BU edges/s | identical results: {}",
         s.scenario.scale,
         s.scenario.ranks,
         s.baseline.bottom_up_secs * 1e3,
         s.optimized.bottom_up_secs * 1e3,
         s.bottom_up_speedup,
+        s.baseline.top_down_secs * 1e3,
+        s.optimized.top_down_secs * 1e3,
+        s.top_down_speedup,
+        s.total_speedup,
         s.throughput.real_bottom_up_edges_per_sec / 1e6,
         s.identical_results
     )
@@ -287,6 +344,9 @@ mod tests {
         for key in [
             "schema_version",
             "bottom_up_speedup",
+            "top_down_speedup",
+            "top_down_secs",
+            "other_secs",
             "real_bottom_up_edges_per_sec",
             "simulated_teps",
         ] {
@@ -305,8 +365,34 @@ mod tests {
         write_snapshot(&path, &snap).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(value["schema_version"], 1);
+        assert_eq!(value["schema_version"], 2);
         assert_eq!(value["scenario"]["scale"], 11);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reader_roundtrips_and_refuses_foreign_versions() {
+        let cfg = SnapshotConfig {
+            scale: 11,
+            repeats: 1,
+        };
+        let snap = run_snapshot(&cfg);
+        let path = std::env::temp_dir().join("nbfs-bench-snapshot-reader-test.json");
+        write_snapshot(&path, &snap).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.scenario.scale, snap.scenario.scale);
+        assert_eq!(back.optimized.total_secs, snap.optimized.total_secs);
+
+        // Same document under version 1 must be refused, mentioning the
+        // offending version.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let needle = format!("\"schema_version\": {SCHEMA_VERSION}");
+        assert!(text.contains(&needle), "version field not found: {text}");
+        std::fs::write(&path, text.replace(&needle, "\"schema_version\": 1")).unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("schema_version"), "{err}");
         std::fs::remove_file(path).unwrap();
     }
 }

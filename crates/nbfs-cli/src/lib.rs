@@ -66,7 +66,7 @@ pub enum Command {
         /// Edge-list file to inspect.
         path: PathBuf,
     },
-    /// `run [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--td-alltoallv]`
+    /// `run [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--td-alltoallv]`
     Run {
         /// Scale to generate (ignored with `--graph`).
         scale: u32,
@@ -78,10 +78,13 @@ pub enum Command {
         opt: OptLevel,
         /// Root (default: max-degree vertex).
         root: Option<usize>,
+        /// Summary-bitmap granularity override (Fig. 16 sweep); default is
+        /// the opt rung's own granularity.
+        summary_g: Option<usize>,
         /// Use the mpi_simple-style alltoallv top-down.
         td_alltoallv: bool,
     },
-    /// `trace [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--json PATH]`
+    /// `trace [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--json PATH]`
     Trace {
         /// Scale to generate (ignored with `--graph`).
         scale: u32,
@@ -93,6 +96,9 @@ pub enum Command {
         opt: OptLevel,
         /// Root (default: max-degree vertex).
         root: Option<usize>,
+        /// Summary-bitmap granularity override (Fig. 16 sweep); default is
+        /// the opt rung's own granularity.
+        summary_g: Option<usize>,
         /// Also export the full `TraceReport` as versioned JSON.
         json: Option<PathBuf>,
     },
@@ -168,6 +174,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
             .unwrap_or(Ok(default))
     };
+    let summary_g = || -> Result<Option<usize>, String> {
+        flag("--summary-g")
+            .map(|v| {
+                let g: usize = v.parse().map_err(|e| format!("bad --summary-g: {e}"))?;
+                if g == 0 || g % 64 != 0 || !g.is_power_of_two() {
+                    return Err(format!(
+                        "--summary-g must be a power of two and a multiple of 64, got {g}"
+                    ));
+                }
+                Ok(g)
+            })
+            .transpose()
+    };
 
     Ok(match sub {
         "generate" => Command::Generate {
@@ -193,6 +212,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             root: flag("--root")
                 .map(|v| v.parse().map_err(|e| format!("bad --root: {e}")))
                 .transpose()?,
+            summary_g: summary_g()?,
             td_alltoallv: has("--td-alltoallv"),
         },
         "trace" => Command::Trace {
@@ -203,6 +223,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             root: flag("--root")
                 .map(|v| v.parse().map_err(|e| format!("bad --root: {e}")))
                 .transpose()?,
+            summary_g: summary_g()?,
             json: flag("--json").map(PathBuf::from),
         },
         "bench" => Command::Bench {
@@ -238,8 +259,10 @@ pub fn usage() -> &'static str {
 USAGE:
   nbfs generate --scale N [--edge-factor E] [--seed S] --out FILE
   nbfs info FILE
-  nbfs run   [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--td-alltoallv]
-  nbfs trace [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--json PATH]
+  nbfs run   [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--summary-g G]
+             [--td-alltoallv]
+  nbfs trace [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--summary-g G]
+             [--json PATH]
              (per-level run-event table; --json PATH exports the versioned TraceReport)
   nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K] [--json PATH]
              (--json PATH runs the wall-clock kernel snapshot and writes BENCH_BFS.json there)
@@ -248,7 +271,9 @@ USAGE:
              (seeded fault matrix: every fault kind against every communication target;
               recoverable cells must reproduce the fault-free BFS parents bit for bit)
 
-OPT: ppn1 | ppn8 | share-in-queue | share-all | par-allgather | best | granularity=G"
+OPT: ppn1 | ppn8 | share-in-queue | share-all | par-allgather | best | granularity=G
+--summary-g G overrides the in_queue_summary granularity of any OPT rung
+             (Fig. 16 sweep; power of two, multiple of 64; tuned best: 256)"
 }
 
 /// Executes a parsed command, writing human output to `out`.
@@ -292,6 +317,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             nodes,
             opt,
             root,
+            summary_g,
             td_alltoallv,
         } => {
             let g = match graph {
@@ -303,6 +329,9 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             let mut builder = Scenario::builder(machine, opt);
             if td_alltoallv {
                 builder = builder.td_strategy(TdStrategy::Alltoallv);
+            }
+            if let Some(g) = summary_g {
+                builder = builder.summary_granularity(g);
             }
             let scenario = builder.build().map_err(|e| e.to_string())?;
             let root = root.unwrap_or_else(|| {
@@ -345,6 +374,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             nodes,
             opt,
             root,
+            summary_g,
             json,
         } => {
             let g = match graph {
@@ -353,10 +383,11 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             };
             let actual_scale = (g.num_vertices() as f64).log2().ceil() as u32;
             let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(actual_scale, 28);
-            let scenario = Scenario::builder(machine, opt)
-                .trace(TraceConfig::Standard)
-                .build()
-                .map_err(|e| e.to_string())?;
+            let mut builder = Scenario::builder(machine, opt).trace(TraceConfig::Standard);
+            if let Some(g) = summary_g {
+                builder = builder.summary_granularity(g);
+            }
+            let scenario = builder.build().map_err(|e| e.to_string())?;
             let root = root.unwrap_or_else(|| {
                 (0..g.num_vertices())
                     .max_by_key(|&v| g.degree(v))
@@ -955,9 +986,36 @@ mod tests {
                 nodes: 4,
                 opt: OptLevel::OriginalPpn8,
                 root: None,
+                summary_g: None,
                 json: Some(PathBuf::from("/tmp/t.json")),
             }
         );
+    }
+
+    #[test]
+    fn parse_summary_g() {
+        match parse(&argv("run --scale 14 --summary-g 256")).unwrap() {
+            Command::Run { summary_g, .. } => assert_eq!(summary_g, Some(256)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("trace --scale 14 --summary-g 1024")).unwrap() {
+            Command::Trace { summary_g, .. } => assert_eq!(summary_g, Some(1024)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Validation mirrors SummaryBitmap::new's contract.
+        assert!(parse(&argv("run --summary-g 0")).is_err());
+        assert!(parse(&argv("run --summary-g 32")).is_err(), "sub-word");
+        assert!(parse(&argv("run --summary-g 192")).is_err(), "non-pow2");
+        assert!(parse(&argv("trace --summary-g x")).is_err());
+    }
+
+    #[test]
+    fn run_with_summary_g_end_to_end() {
+        let cmd = parse(&argv("run --scale 10 --nodes 2 --opt ppn8 --summary-g 256")).unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("visited"), "{text}");
     }
 
     #[test]

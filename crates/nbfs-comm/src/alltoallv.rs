@@ -27,42 +27,77 @@ pub struct AlltoallvOutcome<T> {
     pub stats: CollectiveStats,
 }
 
-/// Exchanges `sends[i][j]` (the records rank `i` addresses to rank `j`),
-/// returning per-receiver inboxes and the simulated cost.
+/// Reusable staging for [`alltoallv_into`]: the receive inboxes, the
+/// node-pair wire matrix, the shared-memory tallies and the flow list.
+///
+/// The top-down phase runs one exchange per level; with a workspace the
+/// per-level cost is clearing and refilling these buffers rather than
+/// reallocating them (the same treatment the allgather staging got, via
+/// `allgather_words_into`). [`AlltoallvWorkspace::default`] is empty;
+/// buffers grow to the high-water mark of the run and stay there.
+#[derive(Debug)]
+pub struct AlltoallvWorkspace<T> {
+    /// `received[j]` after an exchange = everything rank `j` received, in
+    /// sender-rank order (deterministic).
+    pub received: Vec<Vec<T>>,
+    wire: Vec<u64>,
+    shm_bytes: Vec<u64>,
+    shm_copiers: Vec<usize>,
+    flows: Vec<Flow>,
+}
+
+// Manual impl: the derive would demand `T: Default`, which the contained
+// `Vec`s do not actually need.
+impl<T> Default for AlltoallvWorkspace<T> {
+    fn default() -> Self {
+        Self {
+            received: Vec::new(),
+            wire: Vec::new(),
+            shm_bytes: Vec::new(),
+            shm_copiers: Vec::new(),
+            flows: Vec::new(),
+        }
+    }
+}
+
+/// Exchanges `rows[i][j]` (the records rank `i` addresses to rank `j`)
+/// into `ws.received`, returning the simulated cost and volume stats.
 ///
 /// Cost model: all pairwise transfers proceed concurrently; inter-node
 /// traffic is aggregated per node pair and priced by the flow solver,
 /// intra-node traffic is a shared-memory copy round. The phase ends when
 /// the slower medium finishes.
-pub fn alltoallv<T: Clone>(
-    sends: &[Vec<Vec<T>>],
+pub fn alltoallv_into<T: Clone>(
+    ws: &mut AlltoallvWorkspace<T>,
+    rows: &[&[Vec<T>]],
     item_bytes: usize,
     pmap: &ProcessMap,
     net: &NetworkModel,
-) -> AlltoallvOutcome<T> {
+) -> (CommCost, CollectiveStats) {
     let np = pmap.world_size();
-    assert_eq!(sends.len(), np, "need a send matrix row per rank");
-    for (i, row) in sends.iter().enumerate() {
+    assert_eq!(rows.len(), np, "need a send matrix row per rank");
+    for (i, row) in rows.iter().enumerate() {
         assert_eq!(row.len(), np, "rank {i}'s send row must cover all ranks");
     }
 
     // Functional exchange, deterministic receive order (by sender rank).
-    let received: Vec<Vec<T>> = (0..np)
-        .map(|j| {
-            let mut inbox = Vec::new();
-            for row in sends.iter() {
-                inbox.extend(row[j].iter().cloned());
-            }
-            inbox
-        })
-        .collect();
+    ws.received.resize_with(np, Vec::new);
+    for (j, inbox) in ws.received.iter_mut().enumerate() {
+        inbox.clear();
+        for row in rows.iter() {
+            inbox.extend(row[j].iter().cloned());
+        }
+    }
 
     // Aggregate traffic per node pair / per node.
     let nodes = pmap.nodes();
-    let mut wire = vec![vec![0u64; nodes]; nodes];
-    let mut shm_bytes = vec![0u64; nodes];
-    let mut shm_copiers = vec![0usize; nodes];
-    for (i, row) in sends.iter().enumerate() {
+    ws.wire.clear();
+    ws.wire.resize(nodes * nodes, 0);
+    ws.shm_bytes.clear();
+    ws.shm_bytes.resize(nodes, 0);
+    ws.shm_copiers.clear();
+    ws.shm_copiers.resize(nodes, 0);
+    for (i, row) in rows.iter().enumerate() {
         let sn = pmap.node_of(i);
         let mut sent_intra = false;
         for (j, msg) in row.iter().enumerate() {
@@ -72,48 +107,65 @@ pub fn alltoallv<T: Clone>(
             let dn = pmap.node_of(j);
             let bytes = (msg.len() * item_bytes) as u64;
             if sn == dn {
-                shm_bytes[sn] += bytes;
+                ws.shm_bytes[sn] += bytes;
                 sent_intra = true;
             } else {
-                wire[sn][dn] += bytes;
+                ws.wire[sn * nodes + dn] += bytes;
             }
         }
         if sent_intra {
-            shm_copiers[sn] += 1;
+            ws.shm_copiers[sn] += 1;
         }
     }
 
-    let flows: Vec<Flow> = (0..nodes)
-        .flat_map(|s| (0..nodes).map(move |d| (s, d)))
-        .filter(|&(s, d)| s != d && wire[s][d] > 0)
-        .map(|(s, d)| Flow::new(s, d, wire[s][d]))
-        .collect();
-    let t_wire = net.round_time(&flows);
+    ws.flows.clear();
+    ws.flows.extend(
+        (0..nodes)
+            .flat_map(|s| (0..nodes).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d && ws.wire[s * nodes + d] > 0)
+            .map(|(s, d)| Flow::new(s, d, ws.wire[s * nodes + d])),
+    );
+    let t_wire = net.round_time(&ws.flows);
 
     let sockets = net.machine().sockets_per_node;
     let t_shm = (0..nodes)
-        .filter(|&n| shm_copiers[n] > 0)
+        .filter(|&n| ws.shm_copiers[n] > 0)
         .map(|n| {
-            let per_copier = shm_bytes[n] / shm_copiers[n] as u64;
+            let per_copier = ws.shm_bytes[n] / ws.shm_copiers[n] as u64;
             net.shm_copy_time(
                 2 * per_copier,
-                shm_copiers[n],
-                shm_copiers[n].clamp(1, sockets),
+                ws.shm_copiers[n],
+                ws.shm_copiers[n].clamp(1, sockets),
             )
         })
         .fold(SimTime::ZERO, SimTime::max);
 
-    let round = FlowRoundSummary::of(&flows);
+    let round = FlowRoundSummary::of(&ws.flows);
     let stats = CollectiveStats {
         rounds: 1,
         flows: round.flows,
         wire_bytes: round.bytes,
-        shm_bytes: shm_bytes.iter().sum(),
+        shm_bytes: ws.shm_bytes.iter().sum(),
     };
 
+    (CommCost::inter_only(t_wire.max(t_shm)), stats)
+}
+
+/// One-shot form of [`alltoallv_into`]: allocates a fresh workspace and
+/// returns the inboxes by value. Kept for callers outside the level loop
+/// (tests, examples); the engine reuses a workspace across levels.
+pub fn alltoallv<T: Clone>(
+    sends: &[Vec<Vec<T>>],
+    item_bytes: usize,
+    pmap: &ProcessMap,
+    net: &NetworkModel,
+) -> AlltoallvOutcome<T> {
+    let mut ws = AlltoallvWorkspace::default();
+    let rows: Vec<&[Vec<T>]> = sends.iter().map(Vec::as_slice).collect();
+    let (cost, stats) = alltoallv_into(&mut ws, &rows, item_bytes, pmap, net);
     AlltoallvOutcome {
-        received,
-        cost: CommCost::inter_only(t_wire.max(t_shm)),
+        received: ws.received,
+        cost,
         stats,
     }
 }
@@ -222,6 +274,44 @@ mod tests {
         let total = (np * np * 8) as u64;
         assert_eq!(out.stats.wire_bytes, total / 2);
         assert_eq!(out.stats.shm_bytes, total / 2);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_one_shot() {
+        // Two exchanges of different shapes through one workspace must
+        // produce exactly what fresh one-shot calls produce — stale
+        // buffer contents may not leak into inboxes, costs or stats.
+        let (pmap, net) = setup(2, 8);
+        let np = pmap.world_size();
+        let mut ws: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+        let big: Vec<Vec<Vec<(u32, u32)>>> = (0..np)
+            .map(|i| {
+                (0..np)
+                    .map(|j| (0..5).map(|k| (i as u32, (j * 10 + k) as u32)).collect())
+                    .collect()
+            })
+            .collect();
+        let small: Vec<Vec<Vec<(u32, u32)>>> = (0..np)
+            .map(|i| {
+                (0..np)
+                    .map(|j| {
+                        if j == 0 {
+                            vec![(i as u32, 0)]
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for sends in [&big, &small, &big] {
+            let rows: Vec<&[Vec<(u32, u32)>]> = sends.iter().map(Vec::as_slice).collect();
+            let (cost, stats) = alltoallv_into(&mut ws, &rows, 8, &pmap, &net);
+            let fresh = alltoallv(sends, 8, &pmap, &net);
+            assert_eq!(ws.received, fresh.received);
+            assert_eq!(cost, fresh.cost);
+            assert_eq!(stats, fresh.stats);
+        }
     }
 
     #[test]

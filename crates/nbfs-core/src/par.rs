@@ -4,15 +4,24 @@
 //! The distributed engine models intra-rank parallelism as a core count in
 //! the cost model (keeping simulated time deterministic); this module is
 //! the *actual* multithreaded kernel a rank would run: rayon workers share
-//! an [`AtomicBitmap`] frontier and race on parent adoption with
-//! `fetch_or`-style claims, exactly the intra-node scheme of Beamer et al.
-//! \[9\] that the paper adopts ("8 MPI processes, each of 8 OMP threads").
+//! [`AtomicBitmap`] frontier queues and claim parents with a fixed rule,
+//! exactly the intra-node scheme of Beamer et al. \[9\] that the paper
+//! adopts ("8 MPI processes, each of 8 OMP threads").
 //!
-//! Parents may differ from the sequential engines between runs (any
-//! frontier neighbour is a valid BFS parent — the claim is made atomic, so
-//! exactly one writer wins), but the visited set and the level structure
-//! are always identical, which the tests pin against the sequential
-//! oracle.
+//! The claim rule makes the whole run schedule-independent: top-down
+//! workers race with `fetch_min`, so the *minimum* frontier neighbour wins
+//! no matter the interleaving, and the bottom-up scan breaks at the first
+//! set in-queue bit of the sorted adjacency list — the same minimum. The
+//! resulting parent array is therefore bit-identical across thread pools
+//! (and across direction schedules), which the tests pin. Parents may
+//! still differ from the sequential engines, whose rule is
+//! first-frontier-vertex-in-queue-order; both are valid BFS parents.
+//!
+//! Frontiers flow through an alloc-free pipeline shared with the
+//! distributed engine's kernels: discoveries land as bits in an atomic
+//! out-queue, the visited words absorb them with one `fetch_or_word` per
+//! word, and the next queue is rebuilt ascending through a recycled
+//! [`FrontierArena`] — no per-chunk `Vec::new` in any hot path.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -20,7 +29,7 @@ use rayon::prelude::*;
 
 use nbfs_graph::{vid, Csr, NO_PARENT};
 use nbfs_trace::{CommCost, RunMeta, TraceConfig, TraceEvent, TraceReport, Tracer};
-use nbfs_util::{AtomicBitmap, Bitmap, SimTime};
+use nbfs_util::{AtomicBitmap, Bitmap, FrontierArena, FrontierSlot, SimTime};
 
 use crate::direction::{Direction, SwitchPolicy};
 use crate::engine::{HostClock, NoClock};
@@ -76,12 +85,23 @@ fn bfs_hybrid_parallel_instrumented(
     parent[root].store(vid::to_stored(root), Ordering::Relaxed);
 
     let mut frontier: Vec<u32> = vec![vid::to_stored(root)];
-    let in_queue = AtomicBitmap::new(n);
+    let mut in_queue = AtomicBitmap::new(n);
     in_queue.set(root);
+    // Discoveries of the running level; swapped into `in_queue` at the
+    // level tail, so neither bitmap is ever re-derived from scratch.
+    let mut out_queue = AtomicBitmap::new(n);
     // Visited words let bottom-up workers skip 64 explored vertices with a
-    // single load; updated only between levels, so scans see a stable view.
+    // single load; the kernels keep them incrementally updated (one
+    // `fetch_or_word` per word at each level tail), so scans see a stable
+    // view and no level rebuilds the bitmap from the queue.
     let visited = AtomicBitmap::new(n);
     visited.set(root);
+    // Alloc-free next-queue pipeline: per-task slots carved from one
+    // recycled arena, merged in task order (ascending vertex ids).
+    let mut next_arena: FrontierArena<u32> = FrontierArena::new();
+    let mut caps: Vec<usize> = Vec::new();
+    let num_words = visited.word_len();
+    let num_tasks = num_words.div_ceil(BU_TASK_WORDS);
 
     let total_degree: u64 = (0..n).map(|v| graph.degree(v) as u64).sum();
     let mut m_u = total_degree - graph.degree(root) as u64;
@@ -112,103 +132,152 @@ fn bfs_hybrid_parallel_instrumented(
 
         let edges = AtomicU64::new(0);
         let t0 = clock.now_secs();
-        let next: Vec<u32> = match direction {
+        match direction {
             Direction::TopDown => {
-                // Workers expand disjoint frontier chunks; parent adoption
-                // is an atomic compare-exchange so each vertex is claimed
-                // exactly once.
-                frontier
-                    .par_chunks(CHUNK)
-                    .flat_map_iter(|chunk| {
-                        let mut local = Vec::new();
-                        let mut local_edges = 0u64;
-                        for &u in chunk {
-                            for &v in graph.neighbours(u as usize) {
-                                local_edges += 1;
-                                if parent[v as usize]
-                                    .compare_exchange(
-                                        NO_PARENT,
-                                        u,
-                                        Ordering::Relaxed,
-                                        Ordering::Relaxed,
-                                    )
-                                    .is_ok()
-                                {
-                                    local.push(v);
-                                }
+                // Workers expand disjoint frontier chunks. The claim is
+                // `fetch_min` on the parent word: NO_PARENT is u32::MAX,
+                // so after the level every discovered vertex holds its
+                // *minimum* frontier neighbour — independent of worker
+                // count and interleaving. Discoveries are bits in the
+                // atomic out-queue (idempotent), not per-chunk Vecs.
+                let out = &out_queue;
+                let vis = &visited;
+                // nbfs-analysis: hot-path
+                // Per-edge work of the top-down direction: one visited
+                // probe, at most one fetch_min + bitmap OR. Allocation-free
+                // by construction (NBFS004).
+                frontier.par_chunks(CHUNK).for_each(|chunk| {
+                    let mut local_edges = 0u64;
+                    for &u in chunk {
+                        for &v in graph.neighbours(u as usize) {
+                            local_edges += 1;
+                            if !vis.get(v as usize) {
+                                parent[v as usize].fetch_min(u, Ordering::Relaxed);
+                                out.set(v as usize);
                             }
                         }
-                        edges.fetch_add(local_edges, Ordering::Relaxed);
-                        local.into_iter()
-                    })
-                    .collect()
+                    }
+                    edges.fetch_add(local_edges, Ordering::Relaxed);
+                });
+                // nbfs-analysis: end-hot-path
             }
             Direction::BottomUp => {
                 // Workers scan disjoint word-aligned unvisited ranges; each
                 // vertex is touched by exactly one worker, so a plain store
                 // suffices. The scan walks zero words of `visited` and
                 // serves in_queue probes from a cached word — consecutive
-                // sorted neighbours rarely leave it.
+                // sorted neighbours rarely leave it. Adjacency lists are
+                // sorted ascending, so the break lands on the *minimum*
+                // frontier neighbour: the same parent the top-down
+                // `fetch_min` rule would pick.
                 let in_q = &in_queue;
+                let out = &out_queue;
                 let vis = &visited;
-                let num_words = vis.word_len();
-                let num_tasks = num_words.div_ceil(BU_TASK_WORDS);
-                (0..num_tasks)
-                    .into_par_iter()
-                    .flat_map_iter(|task| {
-                        let w_start = task * BU_TASK_WORDS;
-                        let w_end = ((task + 1) * BU_TASK_WORDS).min(num_words);
-                        let mut local = Vec::new();
-                        let mut local_edges = 0u64;
-                        let mut cached_wi = usize::MAX;
-                        let mut cached_word = 0u64;
-                        let tail = n % 64;
-                        for wi in w_start..w_end {
-                            let mask = if tail != 0 && wi + 1 == num_words {
-                                (1u64 << tail) - 1
-                            } else {
-                                u64::MAX
-                            };
-                            let mut pending = !vis.load_word(wi) & mask;
-                            while pending != 0 {
-                                let v = wi * 64 + pending.trailing_zeros() as usize;
-                                pending &= pending - 1;
-                                for &u in graph.neighbours(v) {
-                                    local_edges += 1;
-                                    let uw = u as usize / 64;
-                                    if uw != cached_wi {
-                                        cached_wi = uw;
-                                        cached_word = in_q.load_word(uw);
-                                    }
-                                    if (cached_word >> (u as usize % 64)) & 1 == 1 {
-                                        parent[v].store(u, Ordering::Relaxed);
-                                        local.push(vid::to_stored(v));
-                                        break;
-                                    }
+                let tail = n % 64;
+                // nbfs-analysis: hot-path
+                // Word-level bottom-up scan; discoveries accumulate in one
+                // local word per visited-word and land with a single
+                // fetch_or_word (task ranges are disjoint, so the RMW never
+                // contends). No heap allocation on any path (NBFS004).
+                (0..num_tasks).into_par_iter().for_each(|task| {
+                    let w_start = task * BU_TASK_WORDS;
+                    let w_end = ((task + 1) * BU_TASK_WORDS).min(num_words);
+                    let mut local_edges = 0u64;
+                    let mut cached_wi = usize::MAX;
+                    let mut cached_word = 0u64;
+                    for wi in w_start..w_end {
+                        let mask = if tail != 0 && wi + 1 == num_words {
+                            (1u64 << tail) - 1
+                        } else {
+                            u64::MAX
+                        };
+                        let mut pending = !vis.load_word(wi) & mask;
+                        let mut found = 0u64;
+                        while pending != 0 {
+                            let bit = pending.trailing_zeros() as usize;
+                            pending &= pending - 1;
+                            let v = wi * 64 + bit;
+                            for &u in graph.neighbours(v) {
+                                local_edges += 1;
+                                let uw = u as usize / 64;
+                                if uw != cached_wi {
+                                    cached_wi = uw;
+                                    cached_word = in_q.load_word(uw);
+                                }
+                                if (cached_word >> (u as usize % 64)) & 1 == 1 {
+                                    parent[v].store(u, Ordering::Relaxed);
+                                    found |= 1u64 << bit;
+                                    break;
                                 }
                             }
                         }
-                        edges.fetch_add(local_edges, Ordering::Relaxed);
-                        local.into_iter()
-                    })
-                    .collect()
+                        if found != 0 {
+                            out.fetch_or_word(wi, found);
+                        }
+                    }
+                    edges.fetch_add(local_edges, Ordering::Relaxed);
+                });
+                // nbfs-analysis: end-hot-path
             }
-        };
+        }
 
         let kernel_secs = clock.now_secs() - t0;
 
-        m_u -= next
+        // --- level tail: alloc-free frontier pipeline --------------------
+        // Fold the level's discoveries into the visited words (one
+        // fetch_or_word per word — the bitmap is never re-derived) and
+        // rebuild the next queue ascending through the recycled arena.
+        // Task boundaries are a pure function of the vertex count, so the
+        // merged queue is bit-identical across thread pools.
+        caps.clear();
+        caps.extend((0..num_tasks).map(|task| {
+            let w_start = task * BU_TASK_WORDS;
+            let w_end = ((task + 1) * BU_TASK_WORDS).min(num_words);
+            (w_start..w_end)
+                .map(|wi| out_queue.load_word(wi).count_ones() as usize)
+                .sum::<usize>()
+        }));
+        let out = &out_queue;
+        let vis = &visited;
+        let filled: Vec<FrontierSlot<'_, u32>> = next_arena
+            .begin(&caps)
+            .into_par_iter()
+            .enumerate()
+            .map(|(task, mut slot)| {
+                let w_start = task * BU_TASK_WORDS;
+                let w_end = ((task + 1) * BU_TASK_WORDS).min(num_words);
+                for wi in w_start..w_end {
+                    let word = out.load_word(wi);
+                    if word == 0 {
+                        continue;
+                    }
+                    vis.fetch_or_word(wi, word);
+                    let mut w = word;
+                    while w != 0 {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        slot.push(vid::to_stored(wi * 64 + bit));
+                    }
+                }
+                slot
+            })
+            .collect();
+        frontier.clear();
+        frontier.reserve(filled.iter().map(FrontierSlot::len).sum());
+        for slot in &filled {
+            frontier.extend_from_slice(slot.as_slice());
+        }
+        drop(filled);
+        // The out bitmap becomes the next level's in-queue; the old
+        // in-queue is recycled as the new (cleared) out bitmap.
+        std::mem::swap(&mut in_queue, &mut out_queue);
+        out_queue.clear_all();
+
+        m_u -= frontier
             .par_iter()
             .map(|&v| graph.degree(v as usize) as u64)
             .sum::<u64>();
-        // Rebuild the frontier bitmap in place and fold the level's
-        // discoveries into the visited words.
-        in_queue.clear_all();
-        next.par_iter().for_each(|&v| {
-            in_queue.set(v as usize);
-            visited.set(v as usize);
-        });
-        let discovered = next.len() as u64;
+        let discovered = frontier.len() as u64;
         let edges_examined = edges.load(Ordering::Relaxed);
         if tracer.enabled() {
             tracer.record_rank(
@@ -242,7 +311,6 @@ fn bfs_hybrid_parallel_instrumented(
             edges_examined,
         });
         level_idx += 1;
-        frontier = next;
     }
 
     SeqBfs {
@@ -309,6 +377,25 @@ mod tests {
         let single = pool.install(|| bfs_hybrid_parallel(&g, root, SwitchPolicy::default()));
         assert_eq!(visited_bitmap(&multi), visited_bitmap(&single));
         assert_eq!(multi.levels.len(), single.levels.len());
+    }
+
+    #[test]
+    fn parents_are_bit_identical_across_thread_pools() {
+        // The fetch_min claim rule (and the sorted-adjacency break of the
+        // bottom-up scan) pins every parent to the minimum frontier
+        // neighbour, so the whole parent array — not just the visited set —
+        // is schedule-independent.
+        let g = graph();
+        let root = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
+        let multi = bfs_hybrid_parallel(&g, root, SwitchPolicy::default());
+        for threads in [1usize, 3, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let run = pool.install(|| bfs_hybrid_parallel(&g, root, SwitchPolicy::default()));
+            assert_eq!(multi.parent, run.parent, "threads={threads}");
+        }
     }
 
     #[test]

@@ -136,6 +136,11 @@ pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
     let mut visited = Bitmap::new(n);
     visited.set(root);
     let mut frontier: Vec<u32> = vec![vid::to_stored(root)];
+    // The next-queue is recycled across levels (clear + swap keeps the
+    // allocation), the same alloc-free frontier discipline as the parallel
+    // kernels. Push order per level is untouched, so parents are identical
+    // to the historical per-level-Vec implementation.
+    let mut next: Vec<u32> = Vec::new();
     let mut in_queue = Bitmap::new(n);
     in_queue.set(root);
     let mut m_u: u64 = (0..n).map(|v| graph.degree(v) as u64).sum();
@@ -154,7 +159,7 @@ pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
         }
         direction = policy.choose(direction, m_f, m_u, n_f, n as u64);
 
-        let mut next = Vec::new();
+        next.clear();
         let mut edges = 0u64;
         match direction {
             Direction::TopDown => {
@@ -204,7 +209,7 @@ pub fn bfs_hybrid(graph: &Csr, root: usize, policy: SwitchPolicy) -> SeqBfs {
             discovered: next.len() as u64,
             edges_examined: edges,
         });
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
     }
     SeqBfs { parent, levels }
 }

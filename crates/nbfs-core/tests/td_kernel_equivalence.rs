@@ -1,0 +1,203 @@
+//! Differential tests: the chunked merge-join top-down kernel against the
+//! binary-search reference it replaced.
+//!
+//! The chunking contract is that match spans are a pure function of the
+//! transposed index and the frontier vertex — sub-chunk boundaries affect
+//! wall-clock speed only, never output. These tests pin bit-identical
+//! parents, frontiers and `ComputeEvents`-derived simulated times across
+//! scales 14–18, the whole optimization ladder, 1/3/7-thread rayon pools,
+//! degenerate graphs (isolated roots, a single-vertex graph), a forced
+//! always-top-down schedule, and proptest-randomized R-MAT seeds.
+
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+use proptest::prelude::*;
+
+use nbfs_core::direction::SwitchPolicy;
+use nbfs_core::engine::{DistributedBfs, Scenario, TopDownKernel};
+use nbfs_core::opt::OptLevel;
+use nbfs_graph::edge::EdgeList;
+use nbfs_graph::{Csr, GraphBuilder, NO_PARENT};
+use nbfs_topology::presets;
+
+fn rmat(scale: u32) -> Csr {
+    GraphBuilder::rmat(scale, 16)
+        .seed(0xD1FF ^ u64::from(scale))
+        .build()
+}
+
+fn best_root(g: &Csr) -> usize {
+    (0..g.num_vertices())
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty")
+}
+
+/// Runs both top-down kernels on the same scenario and asserts every
+/// observable is identical: parents, visited count, per-level
+/// direction/discovered (the frontier trace), and per-level simulated times
+/// (comp is a pure function of the kernel's `ComputeEvents`, so equal times
+/// mean equal counters).
+fn assert_td_kernels_identical(g: &Csr, scenario: &Scenario, root: usize, label: &str) {
+    let reference = DistributedBfs::new(g, scenario)
+        .with_top_down_kernel(TopDownKernel::Reference)
+        .run(root);
+    let chunked = DistributedBfs::new(g, scenario)
+        .with_top_down_kernel(TopDownKernel::Chunked)
+        .run(root);
+
+    assert_eq!(
+        reference.parent, chunked.parent,
+        "{label}: parent arrays differ"
+    );
+    assert_eq!(
+        reference.visited, chunked.visited,
+        "{label}: visited counts differ"
+    );
+    assert_eq!(
+        reference.profile.levels.len(),
+        chunked.profile.levels.len(),
+        "{label}: level counts differ"
+    );
+    for (i, (r, c)) in reference
+        .profile
+        .levels
+        .iter()
+        .zip(&chunked.profile.levels)
+        .enumerate()
+    {
+        assert_eq!(r.direction, c.direction, "{label}: level {i} direction");
+        assert_eq!(r.discovered, c.discovered, "{label}: level {i} discovered");
+        assert_eq!(r.comp, c.comp, "{label}: level {i} comp time");
+        assert_eq!(r.comm, c.comm, "{label}: level {i} comm time");
+        assert_eq!(r.stall, c.stall, "{label}: level {i} stall time");
+    }
+    assert_eq!(
+        reference.profile.total(),
+        chunked.profile.total(),
+        "{label}: total simulated time"
+    );
+}
+
+#[test]
+fn td_kernels_agree_across_scales() {
+    for scale in 14..=18u32 {
+        let g = rmat(scale);
+        let machine = presets::xeon_x7550_node().scaled_to_graph(scale, 28);
+        let scenario = Scenario::new(machine, OptLevel::OriginalPpn8);
+        assert_td_kernels_identical(&g, &scenario, best_root(&g), &format!("scale {scale}"));
+    }
+}
+
+#[test]
+fn td_kernels_agree_across_opt_ladder() {
+    let g = rmat(14);
+    for opt in OptLevel::LADDER {
+        let machine = presets::xeon_x7550_cluster(2).scaled_to_graph(14, 28);
+        let scenario = Scenario::new(machine, opt);
+        assert_td_kernels_identical(&g, &scenario, best_root(&g), &opt.label());
+    }
+}
+
+#[test]
+fn td_kernels_agree_when_forced_all_top_down() {
+    // With the direction switch disabled every level exercises the
+    // top-down kernel, including the deep sparse tail the hybrid would
+    // normally hand to bottom-up.
+    let g = rmat(14);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(14, 28);
+    let scenario = Scenario::builder(machine, OptLevel::OriginalPpn8)
+        .switch_policy(SwitchPolicy::always_top_down())
+        .build()
+        .unwrap();
+    assert_td_kernels_identical(&g, &scenario, best_root(&g), "always-top-down");
+}
+
+#[test]
+fn td_kernels_agree_on_isolated_root() {
+    let g = rmat(14);
+    let isolated = (0..g.num_vertices())
+        .find(|&v| g.degree(v) == 0)
+        .expect("R-MAT has isolated vertices");
+    let machine = presets::xeon_x7550_node().scaled_to_graph(14, 28);
+    let scenario = Scenario::new(machine, OptLevel::OriginalPpn8);
+    assert_td_kernels_identical(&g, &scenario, isolated, "isolated root");
+    let run = DistributedBfs::new(&g, &scenario).run(isolated);
+    assert_eq!(run.visited, 1, "isolated root visits only itself");
+}
+
+#[test]
+fn td_kernels_agree_on_single_vertex_graph() {
+    let g = Csr::from_edge_list(&EdgeList::new(1, Vec::new()));
+    let machine = presets::xeon_x7550_node().scaled_to_graph(1, 28);
+    let scenario = Scenario::new(machine, OptLevel::OriginalPpn8);
+    assert_td_kernels_identical(&g, &scenario, 0, "single vertex");
+    let run = DistributedBfs::new(&g, &scenario).run(0);
+    assert_eq!(run.visited, 1);
+    assert_eq!(run.parent[0] as usize, 0, "root is its own parent");
+}
+
+#[test]
+fn chunked_kernel_is_thread_count_independent() {
+    // Chunk boundaries and claim order are pure functions of the partition
+    // and the sorted frontier, so the tree must not depend on how many
+    // rayon workers the pool offers.
+    let g = rmat(15);
+    let machine = presets::xeon_x7550_node().scaled_to_graph(15, 28);
+    let scenario = Scenario::new(machine, OptLevel::OriginalPpn8);
+    let root = best_root(&g);
+    let baseline = DistributedBfs::new(&g, &scenario)
+        .with_top_down_kernel(TopDownKernel::Reference)
+        .run(root);
+    for threads in [1usize, 3, 7] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let run = pool.install(|| {
+            DistributedBfs::new(&g, &scenario)
+                .with_top_down_kernel(TopDownKernel::Chunked)
+                .run(root)
+        });
+        assert_eq!(baseline.parent, run.parent, "threads={threads}");
+        assert_eq!(
+            baseline.profile.total(),
+            run.profile.total(),
+            "threads={threads}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Bit-identity holds for arbitrary R-MAT seeds, not just the pinned
+    /// ones: random hub structure, random isolated regions, random roots.
+    #[test]
+    fn td_kernels_agree_on_random_rmat_seeds(seed in any::<u64>()) {
+        let g = GraphBuilder::rmat(11, 16).seed(seed).build();
+        let machine = presets::xeon_x7550_node().scaled_to_graph(11, 28);
+        let scenario = Scenario::new(machine, OptLevel::OriginalPpn8);
+        let root = best_root(&g);
+        let reference = DistributedBfs::new(&g, &scenario)
+            .with_top_down_kernel(TopDownKernel::Reference)
+            .run(root);
+        for threads in [1usize, 3] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let run = pool.install(|| {
+                DistributedBfs::new(&g, &scenario)
+                    .with_top_down_kernel(TopDownKernel::Chunked)
+                    .run(root)
+            });
+            prop_assert_eq!(&reference.parent, &run.parent, "seed={} threads={}", seed, threads);
+            prop_assert_eq!(
+                reference.parent.iter().filter(|&&p| p != NO_PARENT).count(),
+                run.visited,
+                "seed={}", seed
+            );
+        }
+    }
+}

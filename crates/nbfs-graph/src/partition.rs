@@ -81,6 +81,15 @@ impl LocalGraph {
         &self.incoming[start..end]
     }
 
+    /// The whole transposed index: `(source, owned target)` arcs sorted by
+    /// source then target. The chunked top-down kernel merge-joins the
+    /// sorted frontier against this array directly (and splits it into
+    /// fixed arc-count chunks), instead of running one binary search per
+    /// frontier vertex through [`Self::incoming_from`].
+    pub fn incoming_arcs(&self) -> &[(u32, u32)] {
+        &self.incoming
+    }
+
     /// Size of the transposed index in bytes (per-probe working set of the
     /// top-down lookup).
     pub fn incoming_size_bytes(&self) -> usize {

@@ -8,6 +8,9 @@
 //! * [`AtomicBitmap`] — a thread-safe variant for shared `out_queue` segments,
 //! * [`SummaryBitmap`] — the `in_queue_summary` structure whose granularity
 //!   Section III.C of the paper tunes,
+//! * [`FrontierArena`] — reusable per-chunk next-queue slots with an
+//!   order-preserving merge, the alloc-free frontier pipeline shared by the
+//!   parallel kernels,
 //! * [`ownership`] — the contiguous 1-D block partition arithmetic used to
 //!   split vertices (and therefore bitmap words) across ranks,
 //! * [`rng`] — deterministic, counter-based random number generation so that
@@ -29,6 +32,7 @@
 pub mod atomic_bitmap;
 pub mod bitmap;
 pub mod error;
+pub mod frontier;
 pub mod ownership;
 pub mod rng;
 pub mod simtime;
@@ -39,6 +43,7 @@ pub mod units;
 pub use atomic_bitmap::AtomicBitmap;
 pub use bitmap::{Bitmap, CachedWordProbe};
 pub use error::{NbfsError, Result};
+pub use frontier::{FrontierArena, FrontierSlot};
 pub use ownership::BlockPartition;
 pub use simtime::SimTime;
 pub use summary::{SummaryBitmap, SummaryProbe};

@@ -35,6 +35,11 @@ impl SummaryBitmap {
     /// Granularity used by the Graph500 reference code.
     pub const REFERENCE_GRANULARITY: usize = 64;
 
+    /// Granularity the paper's Fig. 16 sweep finds optimal (g = 256, +10.2%
+    /// over the reference 64 at scale 32) — the tuned default of the
+    /// `Granularity(g)` opt rung and the CLI's `--summary-g` flag.
+    pub const TUNED_GRANULARITY: usize = 256;
+
     /// Creates an all-zero summary covering `covered_bits` underlying bits at
     /// the given granularity.
     ///
