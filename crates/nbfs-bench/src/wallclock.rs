@@ -27,12 +27,14 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use nbfs_comm::codec::Codec;
 use nbfs_core::engine::{
     BottomUpKernel, DistributedBfs, HostClock, Scenario, TopDownKernel, WallClock,
 };
 use nbfs_core::opt::OptLevel;
 use nbfs_graph::Csr;
 use nbfs_topology::presets;
+use nbfs_trace::TraceConfig;
 
 use crate::scenarios;
 
@@ -81,8 +83,10 @@ impl Default for SnapshotConfig {
 
 /// Current schema version of `BENCH_BFS.json`. Version 2 added the
 /// top-down phase to the comparison (per-phase seconds and level counts,
-/// `top_down_speedup`) and made the reader version-strict.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `top_down_speedup`) and made the reader version-strict. Version 3 added
+/// the `collective_volume` section: per-codec Fig. 11 collective byte
+/// totals on the multi-node cluster (Compression & Sieve).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The scenario block of the snapshot — everything needed to reproduce it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -131,6 +135,39 @@ pub struct KernelTiming {
     pub bottom_up_edges: u64,
 }
 
+/// Fig. 11 collective byte totals of one codec's traced run, summed over
+/// every collective sample (per-level plus the terminal allreduce).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CodecVolume {
+    /// Codec label (`raw`, `delta-varint`, `word-rle`, `sieve`).
+    pub codec: String,
+    /// Bytes the same exchanges would have moved uncompressed.
+    pub raw_bytes: u64,
+    /// Bytes actually charged to the wire (encoded, post-sieve).
+    pub wire_bytes: u64,
+    /// Shared-memory bytes actually charged (encoded, post-sieve).
+    pub shm_bytes: u64,
+    /// `raw run's wire_bytes / this run's wire_bytes` — the headline
+    /// cross-run reduction (1.0 for the raw row).
+    pub wire_reduction_vs_raw: f64,
+    /// BFS parents bit-identical to the raw-codec run.
+    pub identical_results: bool,
+}
+
+/// The per-codec collective-volume section of the snapshot, measured on
+/// the multi-node cluster (the single-node kernel scenario has no wire).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CollectiveVolume {
+    /// Simulated machine of this section.
+    pub machine: String,
+    /// Cluster node count.
+    pub nodes: usize,
+    /// Optimization rung of the traced runs.
+    pub opt_level: String,
+    /// One row per codec, in `Codec::ALL` order (raw first).
+    pub per_codec: Vec<CodecVolume>,
+}
+
 /// Derived throughput numbers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Throughput {
@@ -163,6 +200,8 @@ pub struct Snapshot {
     pub throughput: Throughput,
     /// Both kernels produced identical trees and simulated profiles.
     pub identical_results: bool,
+    /// Per-codec collective byte totals on the multi-node cluster.
+    pub collective_volume: CollectiveVolume,
 }
 
 /// Runs the engine `repeats` times and keeps the per-field minimum wall
@@ -196,6 +235,66 @@ fn timing(kernel: &str, wall: &WallClock) -> KernelTiming {
         bottom_up_levels: wall.bottom_up_levels,
         top_down_levels: wall.top_down_levels,
         bottom_up_edges: wall.bottom_up_edges,
+    }
+}
+
+/// Measures the per-codec Fig. 11 collective byte totals: one traced run
+/// per codec on the 16-node cluster, with every non-raw run required to
+/// reproduce the raw run's BFS parents bit for bit (the engine asserts
+/// payload round trips internally; this checks the end result too).
+fn measure_collective_volume(graph: &Csr, cfg: &SnapshotConfig) -> CollectiveVolume {
+    let nodes = 16usize;
+    let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(cfg.scale, 28);
+    let opt = OptLevel::Granularity(256);
+    let root = scenarios::best_root(graph);
+    let mut raw_parent: Option<Vec<u32>> = None;
+    let mut raw_wire = 0u64;
+    let mut per_codec = Vec::with_capacity(Codec::ALL.len());
+    for codec in Codec::ALL {
+        let scenario = Scenario::new(machine.clone(), opt)
+            .with_trace(TraceConfig::Standard)
+            .with_codec(codec);
+        let (run, report) = DistributedBfs::new(graph, &scenario).run_traced(root);
+        let identical = match &raw_parent {
+            None => {
+                raw_parent = Some(run.parent.clone());
+                true
+            }
+            Some(parent) => *parent == run.parent,
+        };
+        assert!(
+            identical,
+            "codec {} diverged from the raw BFS parents",
+            codec.label()
+        );
+        let (mut raw_bytes, mut wire_bytes, mut shm_bytes) = (0u64, 0u64, 0u64);
+        let samples = report
+            .levels
+            .iter()
+            .flat_map(|l| l.collectives.iter())
+            .chain(report.post_collectives.iter());
+        for rec in samples {
+            raw_bytes += rec.stats.raw_bytes;
+            wire_bytes += rec.stats.wire_bytes;
+            shm_bytes += rec.stats.shm_bytes;
+        }
+        if codec.is_raw() {
+            raw_wire = wire_bytes;
+        }
+        per_codec.push(CodecVolume {
+            codec: codec.label().to_string(),
+            raw_bytes,
+            wire_bytes,
+            shm_bytes,
+            wire_reduction_vs_raw: raw_wire as f64 / wire_bytes.max(1) as f64,
+            identical_results: identical,
+        });
+    }
+    CollectiveVolume {
+        machine: format!("xeon_x7550_cluster ({nodes} nodes)"),
+        nodes,
+        opt_level: opt.label(),
+        per_codec,
     }
 }
 
@@ -265,6 +364,7 @@ pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
             simulated_teps: sim_teps,
         },
         identical_results: identical,
+        collective_volume: measure_collective_volume(graph, cfg),
     }
 }
 
@@ -349,8 +449,26 @@ mod tests {
             "other_secs",
             "real_bottom_up_edges_per_sec",
             "simulated_teps",
+            "collective_volume",
+            "wire_reduction_vs_raw",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The codec section: raw row first with ratio 1.0, every codec
+        // bit-identical to raw, and raw-byte accounting independent of
+        // which codec ran (the hybrid ladder here never sieves records
+        // away, so all four runs describe the same uncompressed volume).
+        let vol = &snap.collective_volume;
+        assert_eq!(vol.per_codec.len(), 4);
+        assert_eq!(vol.per_codec[0].codec, "raw");
+        assert!((vol.per_codec[0].wire_reduction_vs_raw - 1.0).abs() < 1e-12);
+        for row in &vol.per_codec {
+            assert!(row.identical_results, "{} diverged", row.codec);
+            assert_eq!(
+                row.raw_bytes, vol.per_codec[0].raw_bytes,
+                "{}: raw accounting must not depend on the codec's own wire",
+                row.codec
+            );
         }
     }
 
@@ -365,7 +483,7 @@ mod tests {
         write_snapshot(&path, &snap).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(value["schema_version"], 2);
+        assert_eq!(value["schema_version"], 3);
         assert_eq!(value["scenario"]["scale"], 11);
         std::fs::remove_file(path).unwrap();
     }

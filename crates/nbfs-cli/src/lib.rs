@@ -30,6 +30,7 @@
 
 use std::path::PathBuf;
 
+use nbfs_comm::codec::Codec;
 use nbfs_comm::runtime::run_spmd_faulted;
 use nbfs_comm::{FaultPlan, FaultScope, FaultSpec};
 use nbfs_core::engine::{DistributedBfs, Scenario, TdStrategy};
@@ -66,7 +67,7 @@ pub enum Command {
         /// Edge-list file to inspect.
         path: PathBuf,
     },
-    /// `run [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--td-alltoallv]`
+    /// `run [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--td-alltoallv] [--codec C]`
     Run {
         /// Scale to generate (ignored with `--graph`).
         scale: u32,
@@ -83,8 +84,10 @@ pub enum Command {
         summary_g: Option<usize>,
         /// Use the mpi_simple-style alltoallv top-down.
         td_alltoallv: bool,
+        /// Wire codec for the per-level collectives.
+        codec: Codec,
     },
-    /// `trace [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--json PATH]`
+    /// `trace [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--codec C] [--json PATH]`
     Trace {
         /// Scale to generate (ignored with `--graph`).
         scale: u32,
@@ -99,6 +102,8 @@ pub enum Command {
         /// Summary-bitmap granularity override (Fig. 16 sweep); default is
         /// the opt rung's own granularity.
         summary_g: Option<usize>,
+        /// Wire codec for the per-level collectives.
+        codec: Codec,
         /// Also export the full `TraceReport` as versioned JSON.
         json: Option<PathBuf>,
     },
@@ -187,6 +192,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             })
             .transpose()
     };
+    let codec = || -> Result<Codec, String> {
+        flag("--codec")
+            .map(|v| {
+                Codec::parse(v).ok_or_else(|| {
+                    format!("unknown --codec {v} (raw | delta-varint | word-rle | sieve)")
+                })
+            })
+            .transpose()
+            .map(|c| c.unwrap_or(Codec::Raw))
+    };
 
     Ok(match sub {
         "generate" => Command::Generate {
@@ -214,6 +229,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .transpose()?,
             summary_g: summary_g()?,
             td_alltoallv: has("--td-alltoallv"),
+            codec: codec()?,
         },
         "trace" => Command::Trace {
             scale: num("--scale", 16)? as u32,
@@ -224,6 +240,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .map(|v| v.parse().map_err(|e| format!("bad --root: {e}")))
                 .transpose()?,
             summary_g: summary_g()?,
+            codec: codec()?,
             json: flag("--json").map(PathBuf::from),
         },
         "bench" => Command::Bench {
@@ -260,9 +277,9 @@ USAGE:
   nbfs generate --scale N [--edge-factor E] [--seed S] --out FILE
   nbfs info FILE
   nbfs run   [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--summary-g G]
-             [--td-alltoallv]
+             [--td-alltoallv] [--codec CODEC]
   nbfs trace [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--summary-g G]
-             [--json PATH]
+             [--codec CODEC] [--json PATH]
              (per-level run-event table; --json PATH exports the versioned TraceReport)
   nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K] [--json PATH]
              (--json PATH runs the wall-clock kernel snapshot and writes BENCH_BFS.json there)
@@ -272,8 +289,12 @@ USAGE:
               recoverable cells must reproduce the fault-free BFS parents bit for bit)
 
 OPT: ppn1 | ppn8 | share-in-queue | share-all | par-allgather | best | granularity=G
+CODEC: raw | delta-varint | word-rle | sieve
 --summary-g G overrides the in_queue_summary granularity of any OPT rung
-             (Fig. 16 sweep; power of two, multiple of 64; tuned best: 256)"
+             (Fig. 16 sweep; power of two, multiple of 64; tuned best: 256)
+--codec C    compresses the per-level collective payloads on the wire
+             (Compression & Sieve; every codec reproduces raw's BFS parents
+              bit for bit, only the charged bytes change; default: raw)"
 }
 
 /// Executes a parsed command, writing human output to `out`.
@@ -319,6 +340,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             root,
             summary_g,
             td_alltoallv,
+            codec,
         } => {
             let g = match graph {
                 Some(path) => Csr::from_edge_list(&io::load(&path).map_err(|e| e.to_string())?),
@@ -326,7 +348,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             };
             let actual_scale = (g.num_vertices() as f64).log2().ceil() as u32;
             let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(actual_scale, 28);
-            let mut builder = Scenario::builder(machine, opt);
+            let mut builder = Scenario::builder(machine, opt).codec(codec);
             if td_alltoallv {
                 builder = builder.td_strategy(TdStrategy::Alltoallv);
             }
@@ -375,6 +397,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             opt,
             root,
             summary_g,
+            codec,
             json,
         } => {
             let g = match graph {
@@ -383,7 +406,9 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             };
             let actual_scale = (g.num_vertices() as f64).log2().ceil() as u32;
             let machine = presets::xeon_x7550_cluster(nodes).scaled_to_graph(actual_scale, 28);
-            let mut builder = Scenario::builder(machine, opt).trace(TraceConfig::Standard);
+            let mut builder = Scenario::builder(machine, opt)
+                .trace(TraceConfig::Standard)
+                .codec(codec);
             if let Some(g) = summary_g {
                 builder = builder.summary_granularity(g);
             }
@@ -468,24 +493,52 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                     None => ledger.push((rec.kind, 1, rec.stats, rec.cost.total())),
                 }
             }
-            writeln!(out, "\ncollective volume ledger:").map_err(err)?;
             writeln!(
                 out,
-                "{:<18} {:>6} {:>7} {:>7} {:>11} {:>11} {:>11}",
-                "collective", "calls", "rounds", "flows", "wire", "shm", "sim time"
+                "\ncollective volume ledger (codec: {}):",
+                codec.label()
+            )
+            .map_err(err)?;
+            writeln!(
+                out,
+                "{:<18} {:>6} {:>7} {:>7} {:>11} {:>11} {:>11} {:>7} {:>11}",
+                "collective", "calls", "rounds", "flows", "raw", "wire", "shm", "ratio", "sim time"
             )
             .map_err(err)?;
             for (kind, calls, stats, cost) in &ledger {
+                let ratio = if stats.wire_bytes > 0 {
+                    format!("{:.2}x", stats.raw_bytes as f64 / stats.wire_bytes as f64)
+                } else {
+                    "-".to_string()
+                };
                 writeln!(
                     out,
-                    "{:<18} {:>6} {:>7} {:>7} {:>11} {:>11} {:>11}",
+                    "{:<18} {:>6} {:>7} {:>7} {:>11} {:>11} {:>11} {:>7} {:>11}",
                     kind.label(),
                     calls,
                     stats.rounds,
                     stats.flows,
+                    format_bytes(stats.raw_bytes as usize),
                     format_bytes(stats.wire_bytes as usize),
                     format_bytes(stats.shm_bytes as usize),
+                    ratio,
                     format!("{cost}")
+                )
+                .map_err(err)?;
+            }
+            let (raw_total, wire_total) = ledger.iter().fold((0u64, 0u64), |(r, w), e| {
+                (r + e.2.raw_bytes, w + e.2.wire_bytes)
+            });
+            if wire_total > 0 {
+                writeln!(
+                    out,
+                    "{:<18} {:>22} {:>11} {:>11} {:>11} {:>7}",
+                    "total",
+                    "",
+                    format_bytes(raw_total as usize),
+                    format_bytes(wire_total as usize),
+                    "",
+                    format!("{:.2}x", raw_total as f64 / wire_total as f64)
                 )
                 .map_err(err)?;
             }
@@ -884,6 +937,76 @@ pub fn run_chaos(scale: u32, nodes: usize, seed: u64) -> Result<ChaosReport, Str
         }
     }
 
+    // --- codec cells: retry and compression must compose -----------------
+    // Faulted collectives re-send *encoded* payloads, so a drop or a
+    // duplicate under DeltaVarint exercises the retry path through the
+    // decoder. Recoverable cells must match the fault-free run of the
+    // same codec — which the equivalence suite separately pins to raw.
+    let codec_targets: [(&str, OptLevel, TdStrategy); 2] = [
+        (
+            "ring-allgather+dv",
+            OptLevel::OriginalPpn8,
+            TdStrategy::SparseAllgather,
+        ),
+        ("alltoallv+dv", OptLevel::ShareAll, TdStrategy::Alltoallv),
+    ];
+    for (label, opt, td) in codec_targets {
+        let scenario = |faults: Option<FaultPlan>| -> Result<Scenario, String> {
+            let mut b = Scenario::builder(machine.clone(), opt)
+                .td_strategy(td)
+                .codec(Codec::DeltaVarint)
+                .trace(TraceConfig::Standard);
+            if let Some(plan) = faults {
+                b = b.faults(plan);
+            }
+            b.build().map_err(|e| e.to_string())
+        };
+        let baseline = DistributedBfs::new(&g, &scenario(None)?).run(root);
+        for kind in [FaultKind::Drop, FaultKind::Duplicate] {
+            let plan = chaos_plan(seed, kind);
+            let faulted = DistributedBfs::new(&g, &scenario(Some(plan.clone()))?);
+            let cell = match faulted.try_run_traced(root) {
+                Ok((run, report)) => {
+                    let identical = run.parent == baseline.parent;
+                    let json = report.to_json().map_err(|e| e.to_string())?;
+                    let rerun = faulted.try_run_traced(root);
+                    let deterministic = match rerun {
+                        Ok((_, second)) => second.to_json().map_err(|e| e.to_string())? == json,
+                        Err(_) => false,
+                    };
+                    let fired = !report.faults.is_empty();
+                    ChaosCell {
+                        target: label.into(),
+                        kind: kind.label().into(),
+                        expectation: "recover".into(),
+                        outcome: if identical && fired {
+                            "recovered".into()
+                        } else if !fired {
+                            "FAIL: plan never fired".into()
+                        } else {
+                            "FAIL: recovered parents differ from fault-free".into()
+                        },
+                        faults: report.faults.len() as u64,
+                        identical,
+                        deterministic,
+                        passed: identical && deterministic && fired,
+                    }
+                }
+                Err(e) => ChaosCell {
+                    target: label.into(),
+                    kind: kind.label().into(),
+                    expectation: "recover".into(),
+                    outcome: format!("FAIL: unexpected error: {e}"),
+                    faults: 0,
+                    identical: false,
+                    deterministic: false,
+                    passed: false,
+                },
+            };
+            cells.push(cell);
+        }
+    }
+
     let passed = cells.iter().all(|c| c.passed);
     Ok(ChaosReport {
         seed,
@@ -987,9 +1110,33 @@ mod tests {
                 opt: OptLevel::OriginalPpn8,
                 root: None,
                 summary_g: None,
+                codec: Codec::Raw,
                 json: Some(PathBuf::from("/tmp/t.json")),
             }
         );
+    }
+
+    #[test]
+    fn parse_codec() {
+        match parse(&argv("run --scale 14 --codec delta-varint")).unwrap() {
+            Command::Run { codec, .. } => assert_eq!(codec, Codec::DeltaVarint),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("trace --scale 14 --codec sieve")).unwrap() {
+            Command::Trace { codec, .. } => assert_eq!(codec, Codec::Sieve),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("run --scale 14 --codec word-rle")).unwrap() {
+            Command::Run { codec, .. } => assert_eq!(codec, Codec::WordRle),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Default is raw; unknown names are rejected with the option list.
+        match parse(&argv("run --scale 14")).unwrap() {
+            Command::Run { codec, .. } => assert_eq!(codec, Codec::Raw),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let e = parse(&argv("run --codec zstd")).unwrap_err();
+        assert!(e.contains("delta-varint"), "{e}");
     }
 
     #[test]
@@ -1025,7 +1172,11 @@ mod tests {
         execute(cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("per-level spans"), "{text}");
-        assert!(text.contains("collective volume ledger"), "{text}");
+        assert!(
+            text.contains("collective volume ledger (codec: raw)"),
+            "{text}"
+        );
+        assert!(text.contains("ratio"), "{text}");
         assert!(text.contains("allreduce"), "{text}");
         // The acceptance bar: trace projection reproduces the engine
         // profile bitwise, so the CLI must report an exact match.
@@ -1034,6 +1185,28 @@ mod tests {
             "{text}"
         );
         assert!(!text.contains("dropped"), "{text}");
+    }
+
+    #[test]
+    fn trace_with_codec_end_to_end() {
+        let run = |codec_args: &str| {
+            let cmd = parse(&argv(&format!(
+                "trace --scale 10 --nodes 2 --opt ppn8 {codec_args}"
+            )))
+            .unwrap();
+            let mut buf = Vec::new();
+            execute(cmd, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let raw = run("");
+        let dv = run("--codec delta-varint");
+        assert!(
+            dv.contains("collective volume ledger (codec: delta-varint)"),
+            "{dv}"
+        );
+        // Same BFS: the visited line is identical; only charged bytes move.
+        let visited = |s: &str| s.lines().next().unwrap().to_string();
+        assert_eq!(visited(&raw), visited(&dv));
     }
 
     #[test]
@@ -1159,7 +1332,13 @@ mod tests {
         assert_eq!(doc["seed"], 5);
         assert!(doc["passed"].as_bool().unwrap());
         let cells = doc["cells"].as_array().unwrap();
-        assert_eq!(cells.len(), 30, "6 kinds x 5 targets");
+        assert_eq!(cells.len(), 34, "6 kinds x 5 targets + 4 codec cells");
+        assert!(
+            cells
+                .iter()
+                .any(|c| c["target"].as_str().unwrap().ends_with("+dv")),
+            "codec cells present"
+        );
         for cell in cells {
             assert!(cell["passed"].as_bool().unwrap(), "{cell:?}");
             assert!(cell["deterministic"].as_bool().unwrap(), "{cell:?}");

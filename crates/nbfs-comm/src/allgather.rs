@@ -216,7 +216,7 @@ pub fn allgather_stats_bytes(
     algo: AllgatherAlgorithm,
 ) -> CollectiveStats {
     assert_eq!(bytes.len(), pmap.world_size(), "one size per rank");
-    match algo {
+    let mut stats = match algo {
         AllgatherAlgorithm::Ring => ring_stats(bytes, pmap),
         AllgatherAlgorithm::RecursiveDoubling => {
             if pmap.world_size().is_power_of_two() {
@@ -230,7 +230,12 @@ pub fn allgather_stats_bytes(
         AllgatherAlgorithm::SharedBoth => hierarchical_stats(bytes, pmap, false, false),
         AllgatherAlgorithm::ParallelSubgroup => parallel_stats(bytes, pmap, pmap.ppn()),
         AllgatherAlgorithm::ParallelK(k) => parallel_stats(bytes, pmap, k),
-    }
+    };
+    // `bytes` is whatever the caller is really exchanging; without a codec
+    // the raw volume *is* the wire volume. The codec layer overrides
+    // `raw_bytes` with the uncompressed walk (`codec::allgather_codec_stats`).
+    stats.raw_bytes = stats.wire_bytes;
+    stats
 }
 
 /// Fault-layer twin of the cost/stats walks: resolves `plan` against this
@@ -388,6 +393,7 @@ fn parallel_stats(bytes: &[u64], pmap: &ProcessMap, k: usize) -> CollectiveStats
         flows: (nodes - 1) as u64 * nonzero_slices,
         wire_bytes: (nodes - 1) as u64 * total,
         shm_bytes: 0,
+        ..CollectiveStats::ZERO
     }
 }
 

@@ -12,6 +12,7 @@ use nbfs_topology::ProcessMap;
 use nbfs_trace::CollectiveStats;
 use nbfs_util::SimTime;
 
+use crate::codec::Codec;
 use crate::profile::CommCost;
 
 /// Result of an all-to-all exchange.
@@ -44,6 +45,9 @@ pub struct AlltoallvWorkspace<T> {
     shm_bytes: Vec<u64>,
     shm_copiers: Vec<usize>,
     flows: Vec<Flow>,
+    /// Per-message encode buffer of the codec-aware exchange
+    /// ([`alltoallv_pairs_codec_into`]); unused on the raw path.
+    scratch: Vec<u8>,
 }
 
 // Manual impl: the derive would demand `T: Default`, which the contained
@@ -56,6 +60,7 @@ impl<T> Default for AlltoallvWorkspace<T> {
             shm_bytes: Vec::new(),
             shm_copiers: Vec::new(),
             flows: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 }
@@ -146,6 +151,7 @@ pub fn alltoallv_into<T: Clone>(
         flows: round.flows,
         wire_bytes: round.bytes,
         shm_bytes: ws.shm_bytes.iter().sum(),
+        raw_bytes: round.bytes,
     };
 
     (CommCost::inter_only(t_wire.max(t_shm)), stats)
@@ -168,6 +174,111 @@ pub fn alltoallv<T: Clone>(
         cost,
         stats,
     }
+}
+
+/// Codec-aware form of [`alltoallv_into`] for the engine's
+/// `(destination, parent)` record exchange.
+///
+/// Under [`Codec::Raw`] this delegates to [`alltoallv_into`] unchanged
+/// (bit-for-bit, cost included). Otherwise every non-empty message is
+/// really encoded into the workspace scratch buffer and really decoded
+/// into the receiver's inbox — a codec defect corrupts the BFS parents
+/// rather than silently discounting bytes — and the *encoded* message
+/// sizes feed the node-pair wire matrix, the shared-memory tallies and
+/// the flow solver. `stats.raw_bytes` carries the wire volume the same
+/// exchange would have moved uncompressed.
+pub fn alltoallv_pairs_codec_into(
+    ws: &mut AlltoallvWorkspace<(u32, u32)>,
+    rows: &[&[Vec<(u32, u32)>]],
+    pmap: &ProcessMap,
+    net: &NetworkModel,
+    codec: Codec,
+) -> (CommCost, CollectiveStats) {
+    if codec.is_raw() {
+        return alltoallv_into(ws, rows, 8, pmap, net);
+    }
+    let np = pmap.world_size();
+    assert_eq!(rows.len(), np, "need a send matrix row per rank");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), np, "rank {i}'s send row must cover all ranks");
+    }
+    let imp = codec.implementation();
+
+    ws.received.resize_with(np, Vec::new);
+    for inbox in ws.received.iter_mut() {
+        inbox.clear();
+    }
+    let nodes = pmap.nodes();
+    ws.wire.clear();
+    ws.wire.resize(nodes * nodes, 0);
+    ws.shm_bytes.clear();
+    ws.shm_bytes.resize(nodes, 0);
+    ws.shm_copiers.clear();
+    ws.shm_copiers.resize(nodes, 0);
+
+    // Sender-major walk keeps the inbox order identical to the raw path
+    // (per receiver: sender-rank order). Each message round-trips through
+    // the codec; the encoded size is what the network moves.
+    let mut raw_wire = 0u64;
+    for (i, row) in rows.iter().enumerate() {
+        let sn = pmap.node_of(i);
+        let mut sent_intra = false;
+        for (j, msg) in row.iter().enumerate() {
+            if msg.is_empty() {
+                continue;
+            }
+            imp.encode_pairs(msg, &mut ws.scratch);
+            let inbox = &mut ws.received[j];
+            let before = inbox.len();
+            imp.decode_pairs(&ws.scratch, inbox);
+            assert_eq!(&inbox[before..], msg.as_slice(), "codec round trip");
+            let dn = pmap.node_of(j);
+            let bytes = ws.scratch.len() as u64;
+            if sn == dn {
+                ws.shm_bytes[sn] += bytes;
+                sent_intra = true;
+            } else {
+                ws.wire[sn * nodes + dn] += bytes;
+                raw_wire += (msg.len() * 8) as u64;
+            }
+        }
+        if sent_intra {
+            ws.shm_copiers[sn] += 1;
+        }
+    }
+
+    ws.flows.clear();
+    ws.flows.extend(
+        (0..nodes)
+            .flat_map(|s| (0..nodes).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d && ws.wire[s * nodes + d] > 0)
+            .map(|(s, d)| Flow::new(s, d, ws.wire[s * nodes + d])),
+    );
+    let t_wire = net.round_time(&ws.flows);
+
+    let sockets = net.machine().sockets_per_node;
+    let t_shm = (0..nodes)
+        .filter(|&n| ws.shm_copiers[n] > 0)
+        .map(|n| {
+            let per_copier = ws.shm_bytes[n] / ws.shm_copiers[n] as u64;
+            net.shm_copy_time(
+                2 * per_copier,
+                ws.shm_copiers[n],
+                ws.shm_copiers[n].clamp(1, sockets),
+            )
+        })
+        .fold(SimTime::ZERO, SimTime::max);
+
+    let round = FlowRoundSummary::of(&ws.flows);
+    let stats = CollectiveStats {
+        rounds: 1,
+        flows: round.flows,
+        wire_bytes: round.bytes,
+        shm_bytes: ws.shm_bytes.iter().sum(),
+        raw_bytes: raw_wire,
+    };
+
+    (CommCost::inter_only(t_wire.max(t_shm)), stats)
 }
 
 /// Fault-layer twin of the exchange: resolves `plan` against the node-pair
@@ -320,5 +431,83 @@ mod tests {
         let (pmap, net) = setup(2, 1);
         let sends: Vec<Vec<Vec<u8>>> = vec![vec![Vec::new(); 2]];
         alltoallv(&sends, 1, &pmap, &net);
+    }
+
+    /// Dense consecutive-destination records for the codec exchange
+    /// tests: rank `i` sends `k` records to each rank.
+    fn record_matrix(np: usize, k: usize) -> Vec<Vec<Vec<(u32, u32)>>> {
+        (0..np)
+            .map(|i| {
+                (0..np)
+                    .map(|j| (0..k).map(|r| ((j * k + r) as u32, i as u32)).collect())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codec_exchange_matches_raw_inboxes() {
+        let (pmap, net) = setup(2, 8);
+        let np = pmap.world_size();
+        let sends = record_matrix(np, 7);
+        let rows: Vec<&[Vec<(u32, u32)>]> = sends.iter().map(Vec::as_slice).collect();
+        let mut raw_ws: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+        let (_, raw_stats) = alltoallv_into(&mut raw_ws, &rows, 8, &pmap, &net);
+        for codec in Codec::ALL {
+            let mut ws: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+            let (cost, stats) = alltoallv_pairs_codec_into(&mut ws, &rows, &pmap, &net, codec);
+            assert_eq!(ws.received, raw_ws.received, "{codec:?} inboxes");
+            assert_eq!(stats.raw_bytes, raw_stats.wire_bytes, "{codec:?} raw tally");
+            assert!(
+                stats.wire_bytes <= raw_stats.wire_bytes + (np * np) as u64,
+                "{codec:?} wire volume beyond the tag-byte cap"
+            );
+            assert!(
+                cost.total() > SimTime::ZERO,
+                "{codec:?} moved bytes for free"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_varint_exchange_compresses_dense_records() {
+        let (pmap, net) = setup(2, 8);
+        let np = pmap.world_size();
+        let sends = record_matrix(np, 200);
+        let rows: Vec<&[Vec<(u32, u32)>]> = sends.iter().map(Vec::as_slice).collect();
+        let mut ws: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+        let (_, stats) =
+            alltoallv_pairs_codec_into(&mut ws, &rows, &pmap, &net, Codec::DeltaVarint);
+        assert!(
+            stats.wire_bytes * 2 < stats.raw_bytes,
+            "consecutive destinations must compress at least 2x: wire {} raw {}",
+            stats.wire_bytes,
+            stats.raw_bytes
+        );
+        // Shm hops carry the compressed payload too (sender encodes once).
+        let raw_shm = alltoallv(&sends, 8, &pmap, &net).stats.shm_bytes;
+        assert!(
+            stats.shm_bytes < raw_shm,
+            "shm must also carry encoded bytes"
+        );
+    }
+
+    #[test]
+    fn codec_workspace_reuse_matches_fresh() {
+        let (pmap, net) = setup(2, 8);
+        let np = pmap.world_size();
+        let mut ws: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+        for k in [9, 2, 9] {
+            let sends = record_matrix(np, k);
+            let rows: Vec<&[Vec<(u32, u32)>]> = sends.iter().map(Vec::as_slice).collect();
+            let (cost, stats) =
+                alltoallv_pairs_codec_into(&mut ws, &rows, &pmap, &net, Codec::DeltaVarint);
+            let mut fresh: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+            let (fcost, fstats) =
+                alltoallv_pairs_codec_into(&mut fresh, &rows, &pmap, &net, Codec::DeltaVarint);
+            assert_eq!(ws.received, fresh.received);
+            assert_eq!(cost, fcost);
+            assert_eq!(stats, fstats);
+        }
     }
 }

@@ -60,6 +60,8 @@ pub fn allreduce_sum(
         flows: wire_rounds * pmap.nodes() as u64,
         wire_bytes: 8 * wire_rounds * pmap.nodes() as u64,
         shm_bytes: 8 * shm_rounds as u64 * pmap.world_size() as u64,
+        // The 8-byte control values are never codec-compressed.
+        raw_bytes: 8 * wire_rounds * pmap.nodes() as u64,
     };
     AllreduceOutcome {
         value,

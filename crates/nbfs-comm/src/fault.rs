@@ -652,6 +652,7 @@ mod tests {
                 flows: rounds,
                 wire_bytes: 1024,
                 shm_bytes: 0,
+                raw_bytes: 1024,
             },
         )
     }

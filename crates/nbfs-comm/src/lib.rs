@@ -23,6 +23,9 @@
 //!   | shared `in_queue` + `out_queue` (Section III.A.2)          | [`allgather::AllgatherAlgorithm::SharedBoth`] |
 //!   | parallelized allgather (Fig. 7, Section III.B)             | [`allgather::AllgatherAlgorithm::ParallelSubgroup`] |
 //!
+//! * [`codec`] — pluggable frontier/bitmap compression (delta-varint,
+//!   word-RLE, sieve) applied at the collective seams, with honest
+//!   raw-vs-wire byte accounting (Lv et al., arXiv:1208.5542).
 //! * [`profile`] — the per-step time split (intra-node gather, inter-node
 //!   exchange, intra-node broadcast) that Figs. 6 and 13 report.
 
@@ -37,6 +40,7 @@
 pub mod allgather;
 pub mod alltoallv;
 pub mod buffers;
+pub mod codec;
 pub mod collectives;
 pub mod fault;
 pub mod profile;
@@ -45,5 +49,6 @@ pub mod runtime;
 pub use allgather::{
     allgather_cost, allgather_cost_bytes, allgather_words, AllgatherAlgorithm, AllgatherOutcome,
 };
+pub use codec::{Codec, CodecWorkspace, FrontierCodec};
 pub use fault::{FaultAdjustment, FaultPlan, FaultScope, FaultSpec};
 pub use profile::CommCost;

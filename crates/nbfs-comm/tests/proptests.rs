@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use nbfs_comm::allgather::{
     allgather_cost_bytes, allgather_words, allgatherv_items, AllgatherAlgorithm,
 };
-use nbfs_comm::alltoallv::alltoallv;
+use nbfs_comm::alltoallv::{alltoallv, alltoallv_pairs_codec_into, AlltoallvWorkspace};
+use nbfs_comm::codec::{allgather_words_codec_into, allgatherv_u32_codec, Codec, CodecWorkspace};
 use nbfs_comm::runtime::run_spmd_faulted;
 use nbfs_comm::{FaultPlan, FaultScope, FaultSpec};
 use nbfs_simnet::NetworkModel;
@@ -167,6 +168,123 @@ proptest! {
                 "world {}",
                 world
             );
+        }
+    }
+
+    /// Every codec round-trips arbitrary bitmap words exactly, and no
+    /// encoding ever exceeds raw by more than the one-byte tag (the raw
+    /// fallback guarantee). The selector vector deliberately mixes zero
+    /// words, full words and random words so the empty, single-word and
+    /// all-ones edge cases all appear in the samples.
+    #[test]
+    fn codec_words_round_trip(
+        sel in prop::collection::vec(0u8..3, 0..80),
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || { state = state.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1); state };
+        let words: Vec<u64> = sel
+            .iter()
+            .map(|s| match s { 0 => 0u64, 1 => u64::MAX, _ => next() })
+            .collect();
+        let mut buf = Vec::new();
+        for c in Codec::ALL {
+            let imp = c.implementation();
+            imp.encode_words(&words, &mut buf);
+            prop_assert!(buf.len() <= words.len() * 8 + 1, "{:?} exceeded raw+tag", c);
+            let mut dst = vec![0xAAu64; words.len()];
+            imp.decode_words(&buf, &mut dst);
+            prop_assert_eq!(&dst, &words, "{:?}", c);
+        }
+    }
+
+    /// Every codec round-trips arbitrary sorted vid sets (the sparse
+    /// frontier payload) and arbitrary `(vid, parent)` record lists.
+    #[test]
+    fn codec_lists_and_pairs_round_trip(
+        raw_vids in prop::collection::vec(any::<u32>(), 0..120),
+        packed_pairs in prop::collection::vec(any::<u64>(), 0..120),
+    ) {
+        let pairs: Vec<(u32, u32)> = packed_pairs
+            .iter()
+            .map(|&p| ((p >> 32) as u32, p as u32))
+            .collect();
+        let mut vids = raw_vids;
+        vids.sort_unstable();
+        vids.dedup();
+        let mut buf = Vec::new();
+        let mut out_vids = Vec::new();
+        let mut out_pairs = Vec::new();
+        for c in Codec::ALL {
+            let imp = c.implementation();
+            imp.encode_sorted_u32(&vids, &mut buf);
+            out_vids.clear(); // decode appends by contract
+            imp.decode_sorted_u32(&buf, &mut out_vids);
+            prop_assert_eq!(&out_vids, &vids, "{:?} vids", c);
+            imp.encode_pairs(&pairs, &mut buf);
+            out_pairs.clear();
+            imp.decode_pairs(&buf, &mut out_pairs);
+            prop_assert_eq!(&out_pairs, &pairs, "{:?} pairs", c);
+        }
+    }
+
+    /// The codec-aware collectives reassemble exactly what the raw paths
+    /// do, for arbitrary ragged payloads: compression must never change
+    /// what any rank receives, only what the wire is charged.
+    #[test]
+    fn codec_collectives_match_raw_payloads(
+        lens in prop::collection::vec(0usize..16, 8),
+        density in prop::collection::vec(0usize..4, 64),
+        seed in any::<u64>(),
+    ) {
+        let (pmap, net) = setup(2, 4);
+        let np = pmap.world_size();
+        prop_assume!(lens.len() == np);
+        let mut state = seed | 1;
+        let mut next = move || { state = state.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1); state };
+        let word_parts: Vec<Vec<u64>> = (0..np)
+            .map(|i| (0..lens[i]).map(|_| next()).collect())
+            .collect();
+        let flat_words: Vec<u64> = word_parts.iter().flatten().copied().collect();
+        let lists: Vec<Vec<u32>> = (0..np)
+            .map(|i| {
+                let mut l: Vec<u32> = (0..lens[i] * 3).map(|_| next() as u32).collect();
+                l.sort_unstable();
+                l.dedup();
+                l
+            })
+            .collect();
+        let flat_lists: Vec<u32> = lists.iter().flatten().copied().collect();
+        let sends: Vec<Vec<Vec<(u32, u32)>>> = (0..np)
+            .map(|i| {
+                (0..np)
+                    .map(|j| {
+                        (0..density[(i * np + j) % density.len()])
+                            .map(|k| ((j * 64 + k) as u32, i as u32))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let raw_exchange = alltoallv(&sends, 8, &pmap, &net);
+        let mut ws = CodecWorkspace::default();
+        let mut a2a: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+        let parts_ref: Vec<&[u64]> = word_parts.iter().map(Vec::as_slice).collect();
+        let rows: Vec<&[Vec<(u32, u32)>]> = sends.iter().map(Vec::as_slice).collect();
+        for c in Codec::ALL {
+            let mut dst = vec![0u64; flat_words.len()];
+            allgather_words_codec_into(
+                &mut dst, &parts_ref, &pmap, &net, AllgatherAlgorithm::Ring, c, &mut ws,
+            );
+            prop_assert_eq!(&dst, &flat_words, "{:?} words", c);
+            let gathered = allgatherv_u32_codec(
+                &lists, &pmap, &net, AllgatherAlgorithm::Ring, c, &mut ws,
+            );
+            prop_assert_eq!(&gathered.items, &flat_lists, "{:?} lists", c);
+            alltoallv_pairs_codec_into(&mut a2a, &rows, &pmap, &net, c);
+            for (j, inbox) in raw_exchange.received.iter().enumerate() {
+                prop_assert_eq!(&a2a.received[j], inbox, "{:?} inbox {}", c, j);
+            }
         }
     }
 

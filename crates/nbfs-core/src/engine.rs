@@ -15,11 +15,12 @@
 
 use rayon::prelude::*;
 
-use nbfs_comm::allgather::{
-    allgather_cost_bytes, allgather_stats_bytes, allgather_words_into, allgatherv_items,
-    inject_allgather_faults,
+use nbfs_comm::allgather::{allgather_cost_bytes, allgather_stats_bytes, inject_allgather_faults};
+use nbfs_comm::alltoallv::{alltoallv_pairs_codec_into, AlltoallvWorkspace};
+use nbfs_comm::codec::{
+    allgather_codec_stats, allgather_words_codec_into, allgatherv_u32_codec, encoded_words_size,
+    Codec, CodecWorkspace,
 };
-use nbfs_comm::alltoallv::{alltoallv_into, AlltoallvWorkspace};
 use nbfs_comm::collectives::{allreduce_sum, inject_allreduce_faults};
 use nbfs_comm::fault::inject_rank_faults;
 use nbfs_comm::{FaultAdjustment, FaultPlan};
@@ -96,6 +97,11 @@ pub struct Scenario {
     /// rung's own granularity — 64 up to `Par allgather`, the tuned value
     /// for `Granularity(g)`.
     pub summary_granularity: Option<usize>,
+    /// Wire codec for the per-level collectives (the Compression & Sieve
+    /// layer of Lv et al.). [`Codec::Raw`] by default — bit-for-bit
+    /// today's uncompressed exchanges; every other codec must produce
+    /// identical BFS parents while shrinking wire bytes.
+    pub codec: Codec,
 }
 
 impl Scenario {
@@ -118,6 +124,7 @@ impl Scenario {
             trace: TraceConfig::Off,
             faults: None,
             summary_granularity: None,
+            codec: Codec::Raw,
         }
     }
 
@@ -179,6 +186,13 @@ impl Scenario {
     /// rung (the Fig. 16 sweep).
     pub fn with_summary_granularity(mut self, g: usize) -> Self {
         self.summary_granularity = Some(g);
+        self
+    }
+
+    /// Selects the wire codec for the per-level collectives
+    /// (`--codec` in the CLI; [`Codec::Raw`] by default).
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -249,6 +263,7 @@ pub struct ScenarioBuilder {
     trace: TraceConfig,
     faults: Option<FaultPlan>,
     summary_granularity: Option<usize>,
+    codec: Codec,
 }
 
 impl ScenarioBuilder {
@@ -264,6 +279,7 @@ impl ScenarioBuilder {
             trace: TraceConfig::Off,
             faults: None,
             summary_granularity: None,
+            codec: Codec::Raw,
         }
     }
 
@@ -310,6 +326,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the wire codec for the per-level collectives
+    /// ([`Codec::Raw`] by default, preserving today's exchanges
+    /// bit-for-bit).
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// Validates the machine and assembles the scenario.
     ///
     /// # Errors
@@ -327,6 +351,7 @@ impl ScenarioBuilder {
             trace: self.trace,
             faults: self.faults,
             summary_granularity: self.summary_granularity,
+            codec: self.codec,
         })
     }
 }
@@ -964,6 +989,13 @@ impl<'g> DistributedBfs<'g> {
         // Persistent staging for the alltoallv top-down exchange; buckets
         // and traffic vectors are recycled across levels.
         let mut a2a_ws: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+        // Per-level codec staging: encode buffers plus raw/encoded size
+        // vectors, recycled so compressed levels stay alloc-free after
+        // warm-up (NBFS004).
+        let codec = self.scenario.codec;
+        let mut codec_ws = CodecWorkspace::default();
+        let mut codec_scratch: Vec<u8> = Vec::new();
+        let mut summary_enc_bytes: Vec<u64> = vec![0; np];
         // Each rank contributes the summary of its own in_queue segment,
         // split evenly (remainder spread). The split depends only on the
         // summary size — constant for the whole run — so it is hoisted out
@@ -1087,22 +1119,45 @@ impl<'g> DistributedBfs<'g> {
                     let algo = self.scenario.opt.allgather_algorithm();
                     let parts_ref: Vec<&[u64]> =
                         states.iter().map(|s| s.out_words.as_slice()).collect();
-                    let words_cost = allgather_words_into(
+                    let words_cost = allgather_words_codec_into(
                         in_queue.words_mut(),
                         &parts_ref,
                         &self.pmap,
                         &self.net,
                         algo,
+                        codec,
+                        &mut codec_ws,
                     );
                     in_queue.repair_padding();
                     summary.rebuild_from(&in_queue);
-                    let summary_cost =
-                        allgather_cost_bytes(&summary_bytes, &self.pmap, &self.net, algo);
+                    // The summary allgather is cost-only (no payload is
+                    // materialized), so a codec charges the even split of
+                    // the encoded whole-summary size instead of the raw one.
+                    let summary_cost = if codec.is_raw() {
+                        allgather_cost_bytes(&summary_bytes, &self.pmap, &self.net, algo)
+                    } else {
+                        let enc_total = encoded_words_size(
+                            codec,
+                            summary.as_bitmap().words(),
+                            &mut codec_scratch,
+                        );
+                        for (r, b) in summary_enc_bytes.iter_mut().enumerate() {
+                            let r = r as u64;
+                            *b = enc_total * (r + 1) / np as u64 - enc_total * r / np as u64;
+                        }
+                        allgather_cost_bytes(&summary_enc_bytes, &self.pmap, &self.net, algo)
+                    };
                     if tracer.enabled() || self.scenario.faults.is_some() {
-                        let part_bytes: Vec<u64> =
-                            parts_ref.iter().map(|p| p.len() as u64 * 8).collect();
-                        let words_stats = allgather_stats_bytes(&part_bytes, &self.pmap, algo);
-                        let summary_stats = allgather_stats_bytes(&summary_bytes, &self.pmap, algo);
+                        let words_stats = allgather_codec_stats(&codec_ws, &self.pmap, algo);
+                        let summary_stats = if codec.is_raw() {
+                            allgather_stats_bytes(&summary_bytes, &self.pmap, algo)
+                        } else {
+                            let mut stats =
+                                allgather_stats_bytes(&summary_enc_bytes, &self.pmap, algo);
+                            stats.raw_bytes =
+                                allgather_stats_bytes(&summary_bytes, &self.pmap, algo).wire_bytes;
+                            stats
+                        };
                         tracer.record(TraceEvent::Collective {
                             level: level_idx,
                             kind: CollectiveKind::AllgatherWords,
@@ -1251,19 +1306,19 @@ impl<'g> DistributedBfs<'g> {
                             });
                             let parts_ref: Vec<&[u64]> =
                                 states.iter().map(|s| s.out_words.as_slice()).collect();
-                            let cost = allgather_words_into(
+                            let cost = allgather_words_codec_into(
                                 td_scratch.words_mut(),
                                 &parts_ref,
                                 &self.pmap,
                                 &self.net,
                                 algo,
+                                codec,
+                                &mut codec_ws,
                             );
                             td_scratch.repair_padding();
                             full_frontier = td_scratch.iter_ones().map(vid::to_stored).collect();
                             if tracer.enabled() || self.scenario.faults.is_some() {
-                                let part_bytes: Vec<u64> =
-                                    parts_ref.iter().map(|p| p.len() as u64 * 8).collect();
-                                let stats = allgather_stats_bytes(&part_bytes, &self.pmap, algo);
+                                let stats = allgather_codec_stats(&codec_ws, &self.pmap, algo);
                                 tracer.record(TraceEvent::Collective {
                                     level: level_idx,
                                     kind: CollectiveKind::AllgatherWords,
@@ -1288,11 +1343,16 @@ impl<'g> DistributedBfs<'g> {
                         } else {
                             let lists: Vec<Vec<u32>> =
                                 states.iter().map(|s| s.frontier.clone()).collect();
-                            let gathered = allgatherv_items(&lists, 4, &self.pmap, &self.net, algo);
+                            let gathered = allgatherv_u32_codec(
+                                &lists,
+                                &self.pmap,
+                                &self.net,
+                                algo,
+                                codec,
+                                &mut codec_ws,
+                            );
                             if tracer.enabled() || self.scenario.faults.is_some() {
-                                let list_sizes: Vec<u64> =
-                                    lists.iter().map(|l| l.len() as u64 * 4).collect();
-                                let stats = allgather_stats_bytes(&list_sizes, &self.pmap, algo);
+                                let stats = allgather_codec_stats(&codec_ws, &self.pmap, algo);
                                 tracer.record(TraceEvent::Collective {
                                     level: level_idx,
                                     kind: CollectiveKind::Allgatherv,
@@ -1691,12 +1751,29 @@ impl<'g> DistributedBfs<'g> {
                 }
             })
             .collect();
-        let scatter_times = self.rank_times(&scatter_outs);
+        let mut scatter_times = self.rank_times(&scatter_outs);
+        let codec = self.scenario.codec;
+        if codec.sieves() {
+            // --- sieve pre-pass (Lv et al. §IV) ----------------------------
+            // Before paying wire bytes, each sender filters its buckets
+            // against the owner's parent state: a vertex whose parent is
+            // already set can never be adopted by the inbox's first-arrival
+            // rule, so dropping its records changes nothing downstream
+            // (parents are never unset). Records for vertices still
+            // unvisited at level entry all survive, preserving arrival
+            // order — parents stay bit-identical to the unsieved run.
+            let sieve_outs = Self::sieve_prepass(states, partition);
+            let sieve_times = self.rank_times(&sieve_outs);
+            for (t, s) in scatter_times.iter_mut().zip(&sieve_times) {
+                *t += *s;
+            }
+        }
         let (mean_scatter, stall_scatter) = Self::mean_and_stall(&scatter_times);
 
         // --- exchange ------------------------------------------------------
         let rows: Vec<&[Vec<(u32, u32)>]> = states.iter().map(|s| s.sends.as_slice()).collect();
-        let (exchange_cost, exchange_stats) = alltoallv_into(ws, &rows, 8, &self.pmap, &self.net);
+        let (exchange_cost, exchange_stats) =
+            alltoallv_pairs_codec_into(ws, &rows, &self.pmap, &self.net, codec);
         drop(rows);
         tracer.record(TraceEvent::Collective {
             level: level_idx,
@@ -1785,6 +1862,46 @@ impl<'g> DistributedBfs<'g> {
             stall_scatter + stall_inbox,
             discovered,
         ))
+    }
+
+    /// The sieve itself: each sender re-scans its recycled buckets and
+    /// retains only records whose target vertex is still unvisited at the
+    /// destination (`parent == NO_PARENT`). Returns per-rank compute
+    /// events so the filter's scan cost lands in the scatter phase.
+    ///
+    /// The borrow is split with `mem::take` because sender `i` reads every
+    /// other rank's parent array while mutating its own buckets.
+    fn sieve_prepass(
+        states: &mut [RankState],
+        partition: &nbfs_util::BlockPartition,
+    ) -> Vec<KernelOut> {
+        let np = states.len();
+        let mut outs = Vec::with_capacity(np);
+        for i in 0..np {
+            let mut sends = std::mem::take(&mut states[i].sends);
+            let mut scanned = 0u64;
+            for (j, bucket) in sends.iter_mut().enumerate() {
+                let (first, _) = partition.item_range(j);
+                let owner = &states[j];
+                scanned += bucket.len() as u64;
+                // nbfs-analysis: hot-path
+                // In-place retain keeps the recycled bucket allocation.
+                bucket.retain(|&(v, _)| owner.parent[v as usize - first] == NO_PARENT);
+                // nbfs-analysis: end-hot-path
+            }
+            states[i].sends = sends;
+            outs.push(KernelOut {
+                events: ComputeEvents {
+                    vertex_scan_bytes: scanned * 8,
+                    edge_bytes: 0,
+                    write_bytes: 0,
+                    cpu_ops: 2 * scanned,
+                    probes: Vec::new(),
+                },
+                discovered: 0,
+            });
+        }
+        outs
     }
 
     /// The top-down level kernel for one rank: walk the *replicated*

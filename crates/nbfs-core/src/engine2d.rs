@@ -29,7 +29,7 @@
 
 use rayon::prelude::*;
 
-use nbfs_comm::alltoallv::alltoallv;
+use nbfs_comm::alltoallv::{alltoallv_pairs_codec_into, AlltoallvWorkspace};
 use nbfs_comm::collectives::allreduce_sum;
 use nbfs_graph::{vid, Csr, NO_PARENT};
 use nbfs_simnet::compute::ProbeClass;
@@ -204,6 +204,9 @@ impl<'g> TwoDimBfs<'g> {
                 }
             }
         }
+        // Uncompressed walk: raw == wire. The codec caller overrides
+        // `raw_bytes` with the raw-size walk when pieces are encoded.
+        stats.raw_bytes = stats.wire_bytes;
         stats
     }
 
@@ -258,6 +261,14 @@ impl<'g> TwoDimBfs<'g> {
             c
         };
 
+        // Codec staging, recycled across levels: the expand pieces are
+        // cost-only (the functional union below reads the frontiers
+        // directly), so one scratch buffer sizes each encoded piece; the
+        // fold exchange reuses a persistent workspace.
+        let codec = self.scenario.codec;
+        let mut codec_scratch: Vec<u8> = Vec::new();
+        let mut fold_ws: AlltoallvWorkspace<(u32, u32)> = AlltoallvWorkspace::default();
+
         let mut level_idx: usize = 0;
         loop {
             // Termination check (one latency-bound allreduce per level).
@@ -285,13 +296,27 @@ impl<'g> TwoDimBfs<'g> {
 
             // --- expand: column allgather of frontier pieces ------------
             let piece_bytes: Vec<u64> = ranks.iter().map(|r| r.frontier.len() as u64 * 4).collect();
-            let expand = self.expand_cost(&piece_bytes);
+            let expand_bytes: Vec<u64> = if codec.is_raw() {
+                piece_bytes.clone()
+            } else {
+                let imp = codec.implementation();
+                ranks
+                    .iter()
+                    .map(|r| {
+                        imp.encode_sorted_u32(&r.frontier, &mut codec_scratch);
+                        codec_scratch.len() as u64
+                    })
+                    .collect()
+            };
+            let expand = self.expand_cost(&expand_bytes);
             if tracer.enabled() {
+                let mut stats = self.expand_stats(&expand_bytes);
+                stats.raw_bytes = self.expand_stats(&piece_bytes).wire_bytes;
                 tracer.record(TraceEvent::Collective {
                     level: level_idx,
                     kind: CollectiveKind::Expand2d,
                     cost: CommCost::inter_only(expand),
-                    stats: self.expand_stats(&piece_bytes),
+                    stats,
                 });
             }
             level_comm += expand;
@@ -337,8 +362,22 @@ impl<'g> TwoDimBfs<'g> {
                     (events, sends)
                 })
                 .collect();
-            let (events, sends): (Vec<ComputeEvents>, Vec<SendBuckets>) =
+            let (events, mut sends): (Vec<ComputeEvents>, Vec<SendBuckets>) =
                 results.into_iter().unzip();
+            if codec.sieves() {
+                // Sieve pre-pass: candidates whose owner already has a
+                // parent can never be adopted (first-arrival, parents are
+                // never unset), so senders drop them before the fold pays
+                // for their bytes. Survivor order is preserved, keeping
+                // parents bit-identical to the unsieved run.
+                for row in sends.iter_mut() {
+                    for (dst, bucket) in row.iter_mut().enumerate() {
+                        let (vs, _) = self.partition.item_range(dst);
+                        let owner = &ranks[dst];
+                        bucket.retain(|&(value, _)| owner.parent[value as usize - vs] == NO_PARENT);
+                    }
+                }
+            }
             let times: Vec<SimTime> = events
                 .iter()
                 .map(|e| ctx.time(&self.scenario.machine, e))
@@ -354,25 +393,28 @@ impl<'g> TwoDimBfs<'g> {
                     .enumerate()
                     .all(|(dst, msgs)| msgs.is_empty() || self.pmap.same_node(src, dst))
             }));
-            let exchange = alltoallv(&sends, 8, &self.pmap, &self.net);
+            let rows: Vec<&[Vec<(u32, u32)>]> = sends.iter().map(Vec::as_slice).collect();
+            let (fold_cost, fold_stats) =
+                alltoallv_pairs_codec_into(&mut fold_ws, &rows, &self.pmap, &self.net, codec);
+            drop(rows);
             tracer.record(TraceEvent::Collective {
                 level: level_idx,
                 kind: CollectiveKind::Alltoallv,
-                cost: exchange.cost,
-                stats: exchange.stats,
+                cost: fold_cost,
+                stats: fold_stats,
             });
-            level_comm += exchange.cost.total();
+            level_comm += fold_cost.total();
 
             // --- adopt -----------------------------------------------------
             let found_per_rank: Vec<u64> = ranks
                 .par_iter_mut()
-                .zip(exchange.received.into_par_iter())
+                .zip(fold_ws.received.par_iter())
                 .map(|(rk, inbox)| {
                     let rank = self.rank_of(rk.row, rk.col);
                     let (vs, _) = self.partition.item_range(rank);
                     rk.frontier.clear();
                     let mut found = 0u64;
-                    for (v, u) in inbox {
+                    for &(v, u) in inbox {
                         let local = v as usize - vs;
                         if rk.parent[local] == NO_PARENT {
                             rk.parent[local] = u;

@@ -144,16 +144,52 @@ pub struct FaultRecord {
 /// Integer byproducts of a collective cost evaluation: how the algorithm
 /// moved the bytes, not just how long it took. Filled by the cost models in
 /// `nbfs-comm` while they walk their rounds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct CollectiveStats {
     /// Algorithm rounds executed (ring steps, doubling rounds, tree depth).
     pub rounds: u64,
     /// Wire flows solved by the network model across all rounds.
     pub flows: u64,
-    /// Bytes that crossed the inter-node wire.
+    /// Bytes that crossed the inter-node wire (post-codec: what the
+    /// network model actually priced).
     pub wire_bytes: u64,
     /// Bytes moved through shared memory inside nodes.
     pub shm_bytes: u64,
+    /// Wire bytes the same exchange would have moved uncompressed. Equal
+    /// to `wire_bytes` under the `Raw` codec; the `wire/raw` quotient is
+    /// the compression ratio the trace ledger reports. Schema v3; absent
+    /// in v2 reports, whose imports backfill `raw_bytes = wire_bytes`
+    /// (see the manual [`serde::Deserialize`] impl below).
+    pub raw_bytes: u64,
+}
+
+/// Manual impl instead of the derive for one reason: schema-v2 reports
+/// predate `raw_bytes`, and an uncompressed exchange's raw volume *is*
+/// its wire volume, so the missing field backfills from `wire_bytes`
+/// rather than erroring or defaulting to zero.
+impl serde::Deserialize for CollectiveStats {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let entries = content
+            .as_map_slice()
+            .ok_or_else(|| serde::DeError::expected("map", content))?;
+        let field = |name: &str| -> Result<u64, serde::DeError> {
+            match serde::map_find(entries, name) {
+                Some(value) => serde::Deserialize::from_content(value),
+                None => Err(serde::DeError::missing_field(name)),
+            }
+        };
+        let wire_bytes = field("wire_bytes")?;
+        Ok(CollectiveStats {
+            rounds: field("rounds")?,
+            flows: field("flows")?,
+            wire_bytes,
+            shm_bytes: field("shm_bytes")?,
+            raw_bytes: match serde::map_find(entries, "raw_bytes") {
+                Some(value) => serde::Deserialize::from_content(value)?,
+                None => wire_bytes,
+            },
+        })
+    }
 }
 
 impl CollectiveStats {
@@ -163,6 +199,7 @@ impl CollectiveStats {
         flows: 0,
         wire_bytes: 0,
         shm_bytes: 0,
+        raw_bytes: 0,
     };
 
     /// Componentwise sum.
@@ -171,6 +208,7 @@ impl CollectiveStats {
         self.flows += other.flows;
         self.wire_bytes += other.wire_bytes;
         self.shm_bytes += other.shm_bytes;
+        self.raw_bytes += other.raw_bytes;
     }
 }
 
@@ -283,12 +321,14 @@ mod tests {
             flows: 2,
             wire_bytes: 3,
             shm_bytes: 4,
+            raw_bytes: 5,
         };
         a.merge(CollectiveStats {
             rounds: 10,
             flows: 20,
             wire_bytes: 30,
             shm_bytes: 40,
+            raw_bytes: 50,
         });
         assert_eq!(
             a,
@@ -297,6 +337,7 @@ mod tests {
                 flows: 22,
                 wire_bytes: 33,
                 shm_bytes: 44,
+                raw_bytes: 55,
             }
         );
     }

@@ -20,9 +20,11 @@ use crate::profile::{LevelProfile, RunProfile};
 
 /// Version stamp of the JSON layout. Bump when renaming or removing fields.
 ///
+/// v3 added `CollectiveStats::raw_bytes` (codec-aware compression
+/// accounting); v2 reports deserialize with `raw_bytes = wire_bytes`.
 /// v2 added the `faults` array (deterministic fault-injection records);
 /// v1 reports deserialize with it empty ([`MIN_SCHEMA_VERSION`]).
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest schema version [`TraceReport::from_json`] still imports.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -243,7 +245,9 @@ impl TraceReport {
     /// Parses a report exported by [`TraceReport::to_json`].
     ///
     /// Accepts versions [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]: a v1
-    /// report (pre-fault-layer) imports with an empty `faults` array;
+    /// report (pre-fault-layer) imports with an empty `faults` array, a v2
+    /// report (pre-codec) with `raw_bytes = wire_bytes` on every
+    /// collective record (uncompressed exchanges move their raw volume);
     /// future versions are refused, not misread.
     pub fn from_json(text: &str) -> nbfs_util::Result<TraceReport> {
         let report: TraceReport =
@@ -336,6 +340,37 @@ mod tests {
         let back = TraceReport::from_json(&v1).unwrap();
         assert_eq!(back.schema_version, 1);
         assert!(back.faults.is_empty());
+        assert_eq!(back.levels, r.levels);
+    }
+
+    #[test]
+    fn v2_reports_import_with_raw_equal_wire() {
+        let mut r = sample();
+        r.schema_version = 2;
+        r.levels[0].collectives.push(CollectiveRecord {
+            level: 0,
+            kind: CollectiveKind::Allgatherv,
+            cost: CommCost::ZERO,
+            stats: CollectiveStats {
+                rounds: 3,
+                flows: 6,
+                wire_bytes: 4096,
+                shm_bytes: 512,
+                raw_bytes: 4096,
+            },
+        });
+        let text = r.to_json().unwrap();
+        // A v2 exporter never wrote a `raw_bytes` key at all: splice the
+        // field out from its preceding comma to the end of its line.
+        let key = text.find("\"raw_bytes\"").unwrap();
+        let comma = text[..key].rfind(',').unwrap();
+        let line_end = key + text[key..].find('\n').unwrap();
+        let v2 = format!("{}{}", &text[..comma], &text[line_end..]);
+        assert!(!v2.contains("raw_bytes"), "{v2}");
+        let back = TraceReport::from_json(&v2).unwrap();
+        assert_eq!(back.schema_version, 2);
+        let stats = back.levels[0].collectives[0].stats;
+        assert_eq!(stats.raw_bytes, stats.wire_bytes);
         assert_eq!(back.levels, r.levels);
     }
 

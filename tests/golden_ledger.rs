@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use numa_bfs::comm::codec::Codec;
 use numa_bfs::core::engine::{DistributedBfs, Scenario};
 use numa_bfs::core::opt::OptLevel;
 use numa_bfs::graph::GraphBuilder;
@@ -33,6 +34,7 @@ struct LedgerRow {
     calls: u64,
     rounds: u64,
     flows: u64,
+    raw_bytes: u64,
     wire_bytes: u64,
     shm_bytes: u64,
 }
@@ -51,6 +53,7 @@ fn ledger(report: &TraceReport) -> BTreeMap<&'static str, LedgerRow> {
         row.calls += 1;
         row.rounds += record.stats.rounds;
         row.flows += record.stats.flows;
+        row.raw_bytes += record.stats.raw_bytes;
         row.wire_bytes += record.stats.wire_bytes;
         row.shm_bytes += record.stats.shm_bytes;
     }
@@ -66,8 +69,8 @@ fn render(table: &BTreeMap<&'static str, LedgerRow>) -> String {
         writeln!(
             out,
             "  \"{label}\": {{ \"calls\": {}, \"rounds\": {}, \"flows\": {}, \
-             \"wire_bytes\": {}, \"shm_bytes\": {} }}{comma}",
-            row.calls, row.rounds, row.flows, row.wire_bytes, row.shm_bytes
+             \"raw_bytes\": {}, \"wire_bytes\": {}, \"shm_bytes\": {} }}{comma}",
+            row.calls, row.rounds, row.flows, row.raw_bytes, row.wire_bytes, row.shm_bytes
         )
         .unwrap();
     }
@@ -76,10 +79,15 @@ fn render(table: &BTreeMap<&'static str, LedgerRow>) -> String {
 }
 
 fn trace_scale16(opt: OptLevel) -> TraceReport {
+    trace_scale16_codec(opt, Codec::Raw)
+}
+
+fn trace_scale16_codec(opt: OptLevel, codec: Codec) -> TraceReport {
     let g = GraphBuilder::rmat(SCALE, 16).seed(1).build();
     let machine = presets::xeon_x7550_cluster(NODES).scaled_to_graph(SCALE, 28);
     let scenario = Scenario::builder(machine, opt)
         .trace(TraceConfig::Standard)
+        .codec(codec)
         .build()
         .unwrap();
     let root = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
@@ -134,6 +142,51 @@ fn fig11_ledger_share_all_is_pinned() {
         "Share all recorded no shared-region traffic"
     );
     check_golden("fig11_ledger_share_all.json", &render(&table));
+}
+
+/// The compression layer under `Share all`: same scenario as the plain
+/// share-all pin but with the delta-varint wire codec. Pins the
+/// raw-vs-wire split of the compressed run, so both the codec's output
+/// sizes and the honest raw accounting are frozen.
+#[test]
+fn fig11_ledger_share_all_delta_varint_is_pinned() {
+    let report = trace_scale16_codec(OptLevel::ShareAll, Codec::DeltaVarint);
+    let table = ledger(&report);
+    assert!(table.contains_key("allreduce"), "control plane missing");
+    // Compression must actually bite at this scale: summed over the run,
+    // the encoded wire volume undercuts the raw volume it stands in for.
+    let raw: u64 = table.values().map(|r| r.raw_bytes).sum();
+    let wire: u64 = table.values().map(|r| r.wire_bytes).sum();
+    assert!(
+        wire < raw,
+        "delta-varint wire volume {wire} must undercut raw {raw}"
+    );
+    check_golden("fig11_ledger_share_all_delta_varint.json", &render(&table));
+}
+
+/// A raw run charges every collective exactly its uncompressed size: the
+/// raw/wire split is the identity, and the raw ledger of the compressed
+/// run matches the wire ledger of the uncompressed one wherever no
+/// records were sieved away (delta-varint never drops records).
+#[test]
+fn raw_accounting_is_honest() {
+    let raw_run = ledger(&trace_scale16(OptLevel::ShareAll));
+    for (label, row) in &raw_run {
+        assert_eq!(
+            row.raw_bytes, row.wire_bytes,
+            "{label}: raw codec must charge raw == wire"
+        );
+    }
+    let dv_run = ledger(&trace_scale16_codec(OptLevel::ShareAll, Codec::DeltaVarint));
+    for (label, row) in &dv_run {
+        let base = raw_run
+            .get(label)
+            .unwrap_or_else(|| panic!("{label} missing from raw run"));
+        assert_eq!(
+            row.raw_bytes, base.wire_bytes,
+            "{label}: compressed run's raw accounting drifted from the raw run"
+        );
+    }
 }
 
 /// The two scenarios differ exactly the way Fig. 11 says: sharing strictly
