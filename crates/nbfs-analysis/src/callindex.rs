@@ -1,0 +1,427 @@
+//! Cross-file tag call index for NBFS007 (tag hygiene) and NBFS008
+//! (send/recv pairing), built on the [`crate::scan`] lexer.
+//!
+//! The index never parses Rust. It works on the comment/literal-stripped
+//! code text of every line, joined per file so call argument lists that
+//! wrap across lines stay parseable, and applies two lexical conventions
+//! the workspace enforces:
+//!
+//! * message tags at call sites are written as paths through `tags::`
+//!   (`tags::FRONTIER_WORDS`, `nbfs_comm::tags::CHAOS_RING`, …) — a raw
+//!   integer literal at a tag position is an NBFS007 finding;
+//! * every registry constant used on the send side must appear on a
+//!   receive/consumer side somewhere in the tree and vice versa — an
+//!   unmatched constant is an NBFS008 finding.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Code, Diagnostic};
+use crate::scan::ScanLine;
+
+/// Calls that take a message tag: `(token, arity, tag position)`. A match
+/// with a different argument count is some other type's method (e.g. a
+/// channel's one-argument `send`) and is skipped.
+const TAG_CALLS: [(&str, usize, usize); 6] = [
+    (".send(", 3, 1),
+    (".recv(", 2, 1),
+    (".recv_any(", 1, 0),
+    (".gather_bytes(", 3, 2),
+    (".broadcast_bytes(", 3, 2),
+    (".allgather_bytes(", 2, 1),
+];
+
+/// Which side of the protocol a `tags::` reference sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    /// Argument of a send-side call.
+    Send,
+    /// Argument of a receive-side call, or an equality consumer
+    /// (`msg.tag == tags::X` inbox matching).
+    Recv,
+    /// Argument of a symmetric collective (counts as both sides).
+    Symmetric,
+}
+
+/// One classified use of a registry tag.
+#[derive(Clone, Debug)]
+struct TagUse {
+    path: String,
+    line: usize,
+    snippet: String,
+    role: Role,
+}
+
+/// Accumulates `tags::` uses across files and reports pairing violations.
+#[derive(Default)]
+pub struct TagIndex {
+    uses: BTreeMap<String, Vec<TagUse>>,
+}
+
+impl TagIndex {
+    /// Indexes one scanned file.
+    pub fn add_file(&mut self, rel_path: &str, lines: &[ScanLine]) {
+        let joined = join_code(lines);
+        let mut search = 0;
+        while let Some(rel) = joined.text[search..].find("tags::") {
+            let at = search + rel;
+            search = at + "tags::".len();
+            // Must start a path segment: preceded by `::`, whitespace,
+            // punctuation — not by identifier chars (`ttags::` aliases
+            // would hide the reference and are not used).
+            if joined.text[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            let name = path_suffix(&joined.text[at + "tags::".len()..]);
+            let Some(name) = name else { continue };
+            // Lowercase leaf = helper fn (`tags::ring_round`), not a tag.
+            let leaf = name.rsplit("::").next().unwrap_or(&name);
+            if !leaf.chars().next().is_some_and(char::is_uppercase) {
+                continue;
+            }
+            let Some(role) = classify_role(&joined.text, at) else {
+                continue;
+            };
+            let (line, snippet) = joined.locate(at, lines);
+            self.uses.entry(name).or_default().push(TagUse {
+                path: rel_path.to_string(),
+                line,
+                snippet,
+                role,
+            });
+        }
+    }
+
+    /// NBFS008: every tag with a send side needs a receive/consumer side
+    /// somewhere in the indexed set, and vice versa.
+    pub fn pairing_diagnostics(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for (name, uses) in &self.uses {
+            let sends = uses.iter().filter(|u| u.role == Role::Send).count();
+            let recvs = uses.iter().filter(|u| u.role == Role::Recv).count();
+            let sym = uses.iter().filter(|u| u.role == Role::Symmetric).count();
+            let missing = if sends > 0 && recvs == 0 && sym == 0 {
+                Some("has send sites but no matching receive/consumer")
+            } else if recvs > 0 && sends == 0 && sym == 0 {
+                Some("has receive sites but no matching send")
+            } else {
+                None
+            };
+            if let Some(what) = missing {
+                let first = &uses[0];
+                diags.push(Diagnostic {
+                    code: Code::Nbfs008,
+                    path: first.path.clone(),
+                    line: first.line,
+                    message: format!(
+                        "tag `tags::{name}` {what} anywhere in the tree; \
+                         a one-sided protocol hangs or leaks messages"
+                    ),
+                    snippet: first.snippet.clone(),
+                });
+            }
+        }
+        diags
+    }
+}
+
+/// NBFS007: raw integer literals at tag positions of tag-taking calls.
+pub fn literal_tag_diagnostics(rel_path: &str, lines: &[ScanLine]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let joined = join_code(lines);
+    for (token, arity, tag_pos) in TAG_CALLS {
+        let mut search = 0;
+        while let Some(rel) = joined.text[search..].find(token) {
+            let at = search + rel;
+            search = at + token.len();
+            let args_start = at + token.len();
+            let Some(args) = split_args(&joined.text, args_start) else {
+                continue;
+            };
+            if args.len() != arity {
+                continue;
+            }
+            let tag_arg = args[tag_pos].trim();
+            if is_int_literal(tag_arg) {
+                let (line, snippet) = joined.locate(at, lines);
+                diags.push(Diagnostic {
+                    code: Code::Nbfs007,
+                    path: rel_path.to_string(),
+                    line,
+                    message: format!(
+                        "raw tag literal `{tag_arg}` in `{}...)`; register a named \
+                         constant in nbfs_comm::tags instead",
+                        token.trim_start_matches('.')
+                    ),
+                    snippet,
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Per-file joined code text with a char-offset → line mapping.
+struct JoinedCode {
+    text: String,
+    /// Byte offset in `text` at which each line starts.
+    line_starts: Vec<usize>,
+}
+
+impl JoinedCode {
+    /// Maps a byte offset to `(line number, trimmed raw snippet)`.
+    fn locate(&self, at: usize, lines: &[ScanLine]) -> (usize, String) {
+        let idx = match self.line_starts.binary_search(&at) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        lines
+            .get(idx)
+            .map(|l| (l.number, l.raw.trim().to_string()))
+            .unwrap_or((1, String::new()))
+    }
+}
+
+fn join_code(lines: &[ScanLine]) -> JoinedCode {
+    let mut text = String::new();
+    let mut line_starts = Vec::with_capacity(lines.len());
+    for line in lines {
+        line_starts.push(text.len());
+        text.push_str(&line.code);
+        text.push('\n');
+    }
+    JoinedCode { text, line_starts }
+}
+
+/// Reads a `::`-separated identifier path at the start of `rest`.
+fn path_suffix(rest: &str) -> Option<String> {
+    let mut out = String::new();
+    let mut chars = rest.chars().peekable();
+    loop {
+        let mut seg = String::new();
+        while let Some(&c) = chars.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                seg.push(c);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        if seg.is_empty() {
+            return (!out.is_empty()).then_some(out);
+        }
+        if !out.is_empty() {
+            out.push_str("::");
+        }
+        out.push_str(&seg);
+        // Peek a `::` continuation.
+        let rest_here: String = chars.clone().take(2).collect();
+        if rest_here == "::" {
+            chars.next();
+            chars.next();
+        } else {
+            return Some(out);
+        }
+    }
+}
+
+/// Classifies the protocol role of a `tags::` reference at byte offset
+/// `at`, looking at the enclosing statement (back to the previous `;`,
+/// capped) and the immediate neighbourhood.
+fn classify_role(text: &str, at: usize) -> Option<Role> {
+    // Equality consumers: `== tags::X` or `tags::X ==`.
+    let before = &text[..at];
+    if before.trim_end().ends_with("==") {
+        return Some(Role::Recv);
+    }
+    let rest = &text[at + "tags::".len()..];
+    let path_end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(rest.len());
+    if rest[path_end..].trim_start().starts_with("==") {
+        return Some(Role::Recv);
+    }
+    // Otherwise: nearest call token earlier in the same statement wins.
+    let stmt_start = before.rfind(';').map_or(0, |p| p + 1);
+    let window = &before[stmt_start.max(before.len().saturating_sub(240))..];
+    let mut best: Option<(usize, Role)> = None;
+    let candidates: [(&str, Role); 7] = [
+        (".send(", Role::Send),
+        (".recv(", Role::Recv),
+        (".recv_any(", Role::Recv),
+        ("recv_where(", Role::Recv),
+        (".gather_bytes(", Role::Symmetric),
+        (".broadcast_bytes(", Role::Symmetric),
+        (".allgather_bytes(", Role::Symmetric),
+    ];
+    for (tok, role) in candidates {
+        if let Some(pos) = window.rfind(tok) {
+            if best.is_none_or(|(p, _)| pos > p) {
+                best = Some((pos, role));
+            }
+        }
+    }
+    best.map(|(_, role)| role)
+}
+
+/// Splits a balanced argument list starting right after an opening paren
+/// at `start`, returning top-level comma-separated pieces. `None` when the
+/// list never closes within the file (malformed or too exotic to judge).
+fn split_args(text: &str, start: usize) -> Option<Vec<String>> {
+    let mut depth_round = 1i32;
+    let mut depth_square = 0i32;
+    let mut depth_curly = 0i32;
+    let mut args = Vec::new();
+    let mut current = String::new();
+    for c in text[start..].chars() {
+        match c {
+            '(' => depth_round += 1,
+            ')' => {
+                depth_round -= 1;
+                if depth_round == 0 {
+                    // A blank tail is `f()` or a trailing comma — not an arg.
+                    if !current.trim().is_empty() {
+                        args.push(current);
+                    }
+                    return Some(args);
+                }
+            }
+            '[' => depth_square += 1,
+            ']' => depth_square -= 1,
+            '{' => depth_curly += 1,
+            '}' => depth_curly -= 1,
+            ',' if depth_round == 1 && depth_square == 0 && depth_curly == 0 => {
+                args.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    None
+}
+
+/// Whether `s` is a bare integer literal (decimal/hex/octal/binary, with
+/// optional `_` separators and an integer type suffix).
+fn is_int_literal(s: &str) -> bool {
+    let s = s.trim();
+    let stripped = ["u64", "u32", "u16", "u8", "usize", "i64", "i32"]
+        .iter()
+        .find_map(|suf| s.strip_suffix(suf))
+        .unwrap_or(s);
+    let body = stripped
+        .strip_prefix("0x")
+        .or_else(|| stripped.strip_prefix("0b"))
+        .or_else(|| stripped.strip_prefix("0o"));
+    let (digits, hex) = match body {
+        Some(rest) => (rest, true),
+        None => (stripped, false),
+    };
+    let digits = digits.trim_end_matches('_');
+    !digits.is_empty()
+        && digits
+            .chars()
+            .all(|c| c == '_' || c.is_ascii_digit() || (hex && c.is_ascii_hexdigit()))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn lines_of(src: &str) -> Vec<ScanLine> {
+        scan(src).lines
+    }
+
+    #[test]
+    fn int_literals() {
+        for ok in ["7", "0x33", "1_000", "42u64", "0b1010", "17 "] {
+            assert!(is_int_literal(ok), "{ok}");
+        }
+        for bad in ["tags::X", "tag", "base + 1", "r", "", "x7"] {
+            assert!(!is_int_literal(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn literal_tags_fire_and_named_tags_do_not() {
+        let src = "fn f(ctx: &mut C) {\n    ctx.send(1, 7, vec![1, 2]).unwrap();\n    ctx.recv(0, tags::X).unwrap();\n}\n";
+        let d = literal_tag_diagnostics("crates/x/src/m.rs", &lines_of(src));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::Nbfs007);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains('7'));
+    }
+
+    #[test]
+    fn arity_mismatch_is_some_other_send() {
+        // A channel send has one argument; not a tagged message send.
+        let src = "fn f() { chan.send(msg).unwrap(); out.send(1).ok(); }\n";
+        assert!(literal_tag_diagnostics("x.rs", &lines_of(src)).is_empty());
+    }
+
+    #[test]
+    fn multiline_and_nested_args_parse() {
+        let src = "fn f(ctx: &mut C) {\n    ctx.gather_bytes(\n        make(vec![a, b], |x, y| x + y),\n        root,\n        9,\n    ).unwrap();\n}\n";
+        let d = literal_tag_diagnostics("x.rs", &lines_of(src));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2, "reported at the call head");
+    }
+
+    #[test]
+    fn pairing_unmatched_send_fires() {
+        let mut idx = TagIndex::default();
+        idx.add_file(
+            "a.rs",
+            &lines_of("fn f(c: &mut C) { c.send(1, tags::ONLY_SENT, vec![]).ok(); }\n"),
+        );
+        let d = idx.pairing_diagnostics();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::Nbfs008);
+        assert!(d[0].message.contains("ONLY_SENT"));
+    }
+
+    #[test]
+    fn pairing_across_files_and_consumers() {
+        let mut idx = TagIndex::default();
+        idx.add_file(
+            "a.rs",
+            &lines_of("fn f(c: &mut C) { c.send(1, tags::PAIRED, vec![]).ok(); }\n"),
+        );
+        idx.add_file(
+            "b.rs",
+            &lines_of("fn g(c: &mut C) { let m = c.recv(0, tags::PAIRED); }\n"),
+        );
+        // An equality consumer pairs a control-tag sender.
+        idx.add_file(
+            "c.rs",
+            &lines_of(
+                "fn h(c: &mut C, m: &Msg) {\n    if m.tag == tags::CTRL { mark(m.from); }\n    let _ = c.sender.send(Message {\n        from: 0,\n        tag: tags::CTRL,\n        seq: 0,\n    });\n}\n",
+            ),
+        );
+        // Symmetric collectives pair themselves.
+        idx.add_file(
+            "d.rs",
+            &lines_of("fn k(c: &mut C) { c.allgather_bytes(vec![], tags::RING).ok(); }\n"),
+        );
+        assert!(idx.pairing_diagnostics().is_empty());
+    }
+
+    #[test]
+    fn helper_fns_and_registry_tables_are_ignored() {
+        let mut idx = TagIndex::default();
+        idx.add_file(
+            "a.rs",
+            &lines_of(
+                "fn f(c: &mut C, t: u64, r: usize) { c.send(1, tags::ring_round(t, r), vec![]).ok(); }\nconst R: &[(&str, u64)] = &[(\"X\", 1)];\n",
+            ),
+        );
+        // ring_round is lowercase (helper), the table has no tags:: path —
+        // nothing indexed, nothing to pair.
+        assert!(idx.pairing_diagnostics().is_empty());
+    }
+}

@@ -23,6 +23,17 @@ pub enum Code {
     /// Truncating `as u32` / `as u16` cast on a vertex-id expression
     /// outside the sanctioned `nbfs-graph::vid` conversion module.
     Nbfs005,
+    /// Collective call site that is not unconditionally reachable by every
+    /// rank (rank-conditional or tainted by a rank-guarded early exit)
+    /// outside a sanctioned `// nbfs-analysis: rank-local` region.
+    Nbfs006,
+    /// Raw integer literal at a message-tag position; tags must be named
+    /// constants from the central `nbfs_comm::tags` registry.
+    Nbfs007,
+    /// Registry tag used by a `send` with no matching receive/consumer
+    /// anywhere in the tree (or a receive with no sender), resolved via
+    /// the cross-file call index.
+    Nbfs008,
     /// Allowlist entry in `analysis-allow.toml` that matched nothing
     /// (prevents the allowlist from rotting).
     Nbfs900,
@@ -30,12 +41,15 @@ pub enum Code {
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 6] = [
+    pub const ALL: [Code; 9] = [
         Code::Nbfs001,
         Code::Nbfs002,
         Code::Nbfs003,
         Code::Nbfs004,
         Code::Nbfs005,
+        Code::Nbfs006,
+        Code::Nbfs007,
+        Code::Nbfs008,
         Code::Nbfs900,
     ];
 
@@ -47,6 +61,9 @@ impl Code {
             Code::Nbfs003 => "NBFS003",
             Code::Nbfs004 => "NBFS004",
             Code::Nbfs005 => "NBFS005",
+            Code::Nbfs006 => "NBFS006",
+            Code::Nbfs007 => "NBFS007",
+            Code::Nbfs008 => "NBFS008",
             Code::Nbfs900 => "NBFS900",
         }
     }
@@ -70,6 +87,12 @@ impl Code {
             }
             Code::Nbfs004 => "heap allocation inside a hot-path region",
             Code::Nbfs005 => "truncating cast on a vertex-id expression outside nbfs-graph::vid",
+            Code::Nbfs006 => {
+                "collective call site not unconditionally reachable by every rank \
+                 (outside a rank-local region)"
+            }
+            Code::Nbfs007 => "raw integer literal at a message-tag position (use nbfs_comm::tags)",
+            Code::Nbfs008 => "send/recv tag pairing broken (unmatched registry tag)",
             Code::Nbfs900 => "allowlist entry matched nothing (stale allow)",
         }
     }
@@ -170,6 +193,48 @@ impl Report {
         out
     }
 
+    /// Renders a SARIF 2.1.0 document (one run, one result per finding),
+    /// suitable for CI artifact upload and code-scanning ingestion.
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+             \"driver\": {\n          \"name\": \"nbfs-analysis\",\n          \
+             \"informationUri\": \"DESIGN.md\",\n          \"rules\": [",
+        );
+        for (i, code) in Code::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                code,
+                json_escape(code.summary())
+            ));
+        }
+        out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+                 \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]}}",
+                d.code,
+                json_escape(&d.message),
+                json_escape(&d.path),
+                d.line
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
+
     /// Renders the human summary.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
@@ -225,5 +290,15 @@ mod tests {
         assert!(json.contains("\"code\": \"NBFS003\""));
         assert!(json.contains("\"allowed\": 2"));
         assert!(json.contains("\"clean\": false"));
+
+        let sarif = r.render_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"NBFS003\""));
+        assert!(sarif.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        // Every registered rule is described in the driver block.
+        for c in Code::ALL {
+            assert!(sarif.contains(&format!("\"id\": \"{c}\"")));
+        }
     }
 }

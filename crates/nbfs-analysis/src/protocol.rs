@@ -1,0 +1,1088 @@
+//! Exhaustive model checker for the threaded runtime's message protocol.
+//!
+//! [`crate::checker`] proves the *shared-memory* half of the runtime
+//! (bitmap linearizability); this module proves the *message-passing*
+//! half: the p2p send/recv path with per-edge sequence numbers, the
+//! one-slot reorder hold-back, sender-side fault fates, tombstones, and
+//! the departable world barrier of `nbfs_comm::runtime`.
+//!
+//! The model mirrors the runtime's semantics transition-for-transition:
+//!
+//! * per-edge FIFO queues stand in for crossbeam channels (FIFO per
+//!   sender, nondeterministic interleaving across senders — modeled by a
+//!   separate `Admit` transition per source edge);
+//! * a rank only drains its inbox while blocked in a receive, exactly
+//!   like `recv_where`'s loop;
+//! * fault fates are resolved sender-side (deliver / deliver-twice /
+//!   hold-one-slot), and a dying rank enqueues a tombstone as the *last*
+//!   thing on every edge before departing the barrier;
+//! * a rank whose operation fails departs the world loudly, like
+//!   `spawn_world` does for bodies that return an error.
+//!
+//! Checked properties, over **every** schedule of bounded worlds
+//! (2–3 ranks, short op sequences):
+//!
+//! * **deadlock freedom** — at every terminal state each rank is done,
+//!   failed-fast, or dead; nobody is still blocked;
+//! * **exactly-once, in-order admission** — per (src, dst) edge the
+//!   stash admits each sequence number at most once, in increasing
+//!   order (duplicates discarded, reorders resequenced);
+//! * **no lost delivery** — when every rank finishes cleanly, no live
+//!   data is left in queues, hold-back slots, or resequencing buffers;
+//! * **barrier departability** — a crash releases current and future
+//!   barrier waiters with a failure instead of stranding them.
+//!
+//! Schedule explosion is pruned with sleep sets over a static
+//! independence relation (disjoint rank/channel/barrier footprints) —
+//! a DPOR-style reduction that preserves all Mazurkiewicz traces, hence
+//! all safety violations. The state space is acyclic (every transition
+//! consumes an op or a queued packet), so sleep sets alone are sound.
+//! Like the race checker, a cap overflow *refuses* rather than samples,
+//! and seeded mutant engines prove the checker can still see the bugs
+//! it was built for; minimal failing schedules are pinned as
+//! regressions.
+
+use std::collections::{BTreeSet, VecDeque};
+
+/// Message tag in the model (small values, scenario-local).
+pub type PTag = u64;
+
+/// Sender-side fate of one modeled send, mirroring `resolve_p2p_fate`
+/// after drop retries are resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Normal delivery.
+    Deliver,
+    /// The duplicate fault: the message is enqueued twice.
+    Duplicate,
+    /// The reorder fault: the message waits in the one-slot hold-back
+    /// buffer until the next flush point, overtaken by the next send.
+    Reorder,
+}
+
+/// One operation of a rank's program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum POp {
+    /// Send a tagged message to `to` with the given fate.
+    Send { to: usize, tag: PTag, fate: Fate },
+    /// Receive the next message matching `(from, tag)`, stashing
+    /// non-matching arrivals; fails fast if `from` died first.
+    Recv { from: usize, tag: PTag },
+    /// Receive the next message with `tag` from any rank; fails fast
+    /// once any rank died (wildcard waits cannot complete).
+    RecvAny { tag: PTag },
+    /// Arrive at the departable world barrier.
+    Arrive,
+    /// The crash fault: depart the world (tombstones, then barrier).
+    Crash,
+}
+
+/// Which protocol implementation the model executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PEngine {
+    /// The real thing, mirroring `nbfs_comm::runtime`.
+    Reference,
+    /// Mutant: the receive side admits raw arrivals — no duplicate
+    /// discard, no resequencing (the per-edge seq-number check of
+    /// `RankCtx::admit` deleted). The checker must catch duplicated and
+    /// out-of-order admission under duplicate/reorder fates.
+    NoSeqCheck,
+    /// Mutant: a dying rank does not depart the barrier (no failure
+    /// flag, no alive-count decrement). The checker must catch the
+    /// stranded-waiter deadlock this reintroduces.
+    NonDepartableBarrier,
+}
+
+/// A named bounded-world test case.
+#[derive(Clone, Debug)]
+pub struct PScenario {
+    pub name: &'static str,
+    /// One op program per rank (2–3 ranks).
+    pub programs: Vec<Vec<POp>>,
+}
+
+/// One scheduling decision: either a rank executes its next op, or a
+/// blocked receiver admits the head packet of one incoming edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PTrans {
+    /// Rank `0` executes its current op (send / consume / arrive / …).
+    Step(usize),
+    /// Blocked receiver `dst` admits the head of edge `src -> dst`.
+    Admit { dst: usize, src: usize },
+}
+
+/// What went wrong on a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PViolationKind {
+    /// Terminal state with ranks still blocked (receive or barrier).
+    Deadlock { blocked: Vec<usize> },
+    /// The same (src, seq) was admitted to a stash twice.
+    DuplicateAdmission { dst: usize, src: usize, seq: u64 },
+    /// An edge admitted a lower sequence number after a higher one.
+    OutOfOrderAdmission { dst: usize, src: usize, seq: u64 },
+    /// Every rank finished cleanly but live data was left behind.
+    LostDelivery { dst: usize, src: usize },
+}
+
+/// A schedule that violated a protocol property.
+#[derive(Clone, Debug)]
+pub struct PViolation {
+    pub scenario: &'static str,
+    pub engine: PEngine,
+    pub schedule: Vec<PTrans>,
+    pub kind: PViolationKind,
+}
+
+impl std::fmt::Display for PViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario `{}` under {:?}: schedule {:?} -> {:?}",
+            self.scenario, self.engine, self.schedule, self.kind
+        )
+    }
+}
+
+/// Result of exhaustively checking one scenario under one engine.
+#[derive(Clone, Debug)]
+pub enum PCheckOutcome {
+    /// Every explored schedule satisfied every property.
+    Ok { states: usize, terminals: usize },
+    /// At least one schedule violated a property.
+    Violation(PViolation),
+    /// The (reduced) state space exceeds `cap` — shrink the scenario or
+    /// raise the cap; silently sampling would defeat "exhaustive".
+    CapExceeded { explored: usize, cap: usize },
+}
+
+/// One queued packet on an edge: data with a sequence number, or the
+/// tombstone a dying rank enqueues last.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Packet {
+    Data { tag: PTag, seq: u64 },
+    Tombstone,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RankStatus {
+    /// Still has ops to run (possibly blocked).
+    Running,
+    /// Program completed cleanly.
+    Done,
+    /// An op failed fast (dead peer, failed barrier, dead destination);
+    /// the rank departed the world like an erroring SPMD body.
+    Failed,
+    /// The crash fault fired.
+    Dead,
+}
+
+/// The full protocol state of one bounded world.
+#[derive(Clone, Debug)]
+struct PState {
+    pc: Vec<usize>,
+    status: Vec<RankStatus>,
+    /// Whether each rank already departed (tombstones sent).
+    departed: Vec<bool>,
+    /// Admitted-but-unconsumed messages, in admission order: (from, tag, seq).
+    stash: Vec<Vec<(usize, PTag, u64)>>,
+    /// Receiver-side next expected seq per [dst][src] (reference engine).
+    expect_seq: Vec<Vec<u64>>,
+    /// Receiver-side resequencing buffer per dst: (from, tag, seq).
+    out_of_seq: Vec<Vec<(usize, PTag, u64)>>,
+    /// Sender-side one-slot hold-back buffer per rank: (to, tag, seq).
+    held: Vec<Option<(usize, PTag, u64)>>,
+    /// Tombstones observed per [rank][peer].
+    dead_seen: Vec<Vec<bool>>,
+    /// Sender-side next seq per [src][dst].
+    send_seq: Vec<Vec<u64>>,
+    /// FIFO edge queues, [src][dst].
+    queues: Vec<Vec<VecDeque<Packet>>>,
+    /// Every seq ever admitted per [dst][src] (property bookkeeping).
+    admitted: Vec<Vec<BTreeSet<u64>>>,
+    /// Barrier: who is currently waiting, how many are alive, whether a
+    /// departure was observed.
+    bar_waiting: Vec<bool>,
+    bar_alive: usize,
+    bar_failed: bool,
+}
+
+impl PState {
+    fn new(world: usize) -> PState {
+        PState {
+            pc: vec![0; world],
+            status: vec![RankStatus::Running; world],
+            departed: vec![false; world],
+            stash: vec![Vec::new(); world],
+            expect_seq: vec![vec![0; world]; world],
+            out_of_seq: vec![Vec::new(); world],
+            held: vec![None; world],
+            dead_seen: vec![vec![false; world]; world],
+            send_seq: vec![vec![0; world]; world],
+            queues: vec![vec![VecDeque::new(); world]; world],
+            admitted: vec![vec![BTreeSet::new(); world]; world],
+            bar_waiting: vec![false; world],
+            bar_alive: world,
+            bar_failed: false,
+        }
+    }
+
+    /// First stash position satisfying a receive op, if any.
+    fn stash_match(&self, rank: usize, op: POp) -> Option<usize> {
+        let pred = |&(from, tag, _): &(usize, PTag, u64)| match op {
+            POp::Recv { from: f, tag: t } => from == f && tag == t,
+            POp::RecvAny { tag: t } => tag == t,
+            _ => false,
+        };
+        self.stash[rank].iter().position(pred)
+    }
+
+    /// Whether a blocked receive can fail fast because the awaited peer
+    /// (or, for wildcards, any peer) is known dead.
+    fn recv_fails_fast(&self, rank: usize, op: POp) -> bool {
+        match op {
+            POp::Recv { from, .. } => self.dead_seen[rank][from],
+            POp::RecvAny { .. } => self.dead_seen[rank].iter().any(|&d| d),
+            _ => false,
+        }
+    }
+
+    /// Enabled transitions under `scenario`. Empty means terminal.
+    fn enabled(&self, scenario: &PScenario) -> Vec<PTrans> {
+        let world = scenario.programs.len();
+        let mut out = Vec::new();
+        for r in 0..world {
+            if self.status[r] != RankStatus::Running || self.bar_waiting[r] {
+                continue;
+            }
+            let op = scenario.programs[r][self.pc[r]];
+            match op {
+                POp::Send { .. } | POp::Arrive | POp::Crash => out.push(PTrans::Step(r)),
+                POp::Recv { .. } | POp::RecvAny { .. } => {
+                    // recv_where: stash first, then the dead check, then
+                    // (and only then) block and admit arrivals.
+                    if self.stash_match(r, op).is_some() || self.recv_fails_fast(r, op) {
+                        out.push(PTrans::Step(r));
+                    } else {
+                        for src in 0..world {
+                            if !self.queues[src][r].is_empty() {
+                                out.push(PTrans::Admit { dst: r, src });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn enqueue(&mut self, src: usize, dst: usize, pkt: Packet) {
+        self.queues[src][dst].push_back(pkt);
+    }
+
+    /// Delivers the held (reordered) message, if any — the flush point
+    /// before sends, receives, barriers, and at body exit.
+    fn flush_held(&mut self, rank: usize) {
+        if let Some((to, tag, seq)) = self.held[rank].take() {
+            if !self.dead_seen[rank][to] {
+                self.enqueue(rank, to, Packet::Data { tag, seq });
+            }
+        }
+    }
+
+    /// Advances a rank's program counter, finishing cleanly at the end
+    /// (with the same exit flush `spawn_world` performs).
+    fn advance(&mut self, scenario: &PScenario, rank: usize) {
+        self.pc[rank] += 1;
+        if self.pc[rank] == scenario.programs[rank].len() {
+            self.flush_held(rank);
+            self.status[rank] = RankStatus::Done;
+        }
+    }
+
+    /// Departs `rank` from the world: drop the hold-back slot, enqueue a
+    /// tombstone as the last packet on every edge, then leave the
+    /// barrier (under the reference engine) — releasing current waiters
+    /// with a failure. Idempotent, like `depart_world`.
+    fn depart(&mut self, rank: usize, engine: PEngine) {
+        if self.departed[rank] {
+            return;
+        }
+        self.departed[rank] = true;
+        self.held[rank] = None;
+        let world = self.pc.len();
+        for to in 0..world {
+            if to != rank {
+                self.enqueue(rank, to, Packet::Tombstone);
+            }
+        }
+        if engine == PEngine::NonDepartableBarrier {
+            return;
+        }
+        self.bar_alive = self.bar_alive.saturating_sub(1);
+        self.bar_failed = true;
+        // Current waiters observe the failure instead of hanging; their
+        // own failure departs them in turn (cascade terminates because
+        // `departed` is sticky).
+        for waiter in 0..world {
+            if self.bar_waiting[waiter] {
+                self.bar_waiting[waiter] = false;
+                self.fail_rank(waiter, engine);
+            }
+        }
+    }
+
+    /// A rank's op failed: it finishes with an error and departs loudly,
+    /// like an SPMD body returning `Err`.
+    fn fail_rank(&mut self, rank: usize, engine: PEngine) {
+        self.status[rank] = RankStatus::Failed;
+        self.depart(rank, engine);
+    }
+
+    /// Admits the head packet of edge `src -> dst`, applying the
+    /// engine's receive-side discipline and checking the exactly-once,
+    /// in-order admission property.
+    fn admit(&mut self, dst: usize, src: usize, engine: PEngine) -> Result<(), PViolationKind> {
+        let Some(pkt) = self.queues[src][dst].pop_front() else {
+            return Ok(());
+        };
+        let (tag, seq) = match pkt {
+            Packet::Tombstone => {
+                self.dead_seen[dst][src] = true;
+                return Ok(());
+            }
+            Packet::Data { tag, seq } => (tag, seq),
+        };
+        match engine {
+            PEngine::NoSeqCheck => self.admit_to_stash(dst, src, tag, seq),
+            PEngine::Reference | PEngine::NonDepartableBarrier => {
+                if seq < self.expect_seq[dst][src] {
+                    return Ok(()); // duplicate — already admitted
+                }
+                if seq > self.expect_seq[dst][src] {
+                    self.out_of_seq[dst].push((src, tag, seq));
+                    return Ok(()); // gap — wait for the overtaken one
+                }
+                self.expect_seq[dst][src] += 1;
+                self.admit_to_stash(dst, src, tag, seq)?;
+                // Drain resequenced successors now in order.
+                loop {
+                    let next = self.expect_seq[dst][src];
+                    let Some(pos) = self.out_of_seq[dst]
+                        .iter()
+                        .position(|&(f, _, s)| f == src && s == next)
+                    else {
+                        return Ok(());
+                    };
+                    let (_, t, s) = self.out_of_seq[dst].swap_remove(pos);
+                    self.expect_seq[dst][src] += 1;
+                    self.admit_to_stash(dst, src, t, s)?;
+                }
+            }
+        }
+    }
+
+    /// The property probe: every stash admission must be a new seq, in
+    /// increasing order per edge.
+    fn admit_to_stash(
+        &mut self,
+        dst: usize,
+        src: usize,
+        tag: PTag,
+        seq: u64,
+    ) -> Result<(), PViolationKind> {
+        if self.admitted[dst][src]
+            .iter()
+            .next_back()
+            .is_some_and(|&m| m >= seq)
+        {
+            let kind = if self.admitted[dst][src].contains(&seq) {
+                PViolationKind::DuplicateAdmission { dst, src, seq }
+            } else {
+                PViolationKind::OutOfOrderAdmission { dst, src, seq }
+            };
+            return Err(kind);
+        }
+        self.admitted[dst][src].insert(seq);
+        self.stash[dst].push((src, tag, seq));
+        Ok(())
+    }
+
+    /// Applies one transition in place.
+    fn apply(
+        &mut self,
+        scenario: &PScenario,
+        engine: PEngine,
+        trans: PTrans,
+    ) -> Result<(), PViolationKind> {
+        match trans {
+            PTrans::Admit { dst, src } => self.admit(dst, src, engine),
+            PTrans::Step(r) => {
+                let op = scenario.programs[r][self.pc[r]];
+                match op {
+                    POp::Send { to, tag, fate } => {
+                        if self.dead_seen[r][to] {
+                            // send() to a known-dead peer errors; the body
+                            // propagates and the rank departs.
+                            self.fail_rank(r, engine);
+                            return Ok(());
+                        }
+                        let seq = self.send_seq[r][to];
+                        self.send_seq[r][to] += 1;
+                        match fate {
+                            Fate::Deliver => {
+                                self.enqueue(r, to, Packet::Data { tag, seq });
+                                self.flush_held(r);
+                            }
+                            Fate::Duplicate => {
+                                self.enqueue(r, to, Packet::Data { tag, seq });
+                                self.enqueue(r, to, Packet::Data { tag, seq });
+                                self.flush_held(r);
+                            }
+                            Fate::Reorder => {
+                                // One-slot buffer: the previously held
+                                // message goes out first, then this one
+                                // waits to be overtaken.
+                                self.flush_held(r);
+                                self.held[r] = Some((to, tag, seq));
+                            }
+                        }
+                        self.advance(scenario, r);
+                        Ok(())
+                    }
+                    POp::Recv { .. } | POp::RecvAny { .. } => {
+                        self.flush_held(r);
+                        if let Some(pos) = self.stash_match(r, op) {
+                            self.stash[r].remove(pos);
+                            self.advance(scenario, r);
+                        } else if self.recv_fails_fast(r, op) {
+                            self.fail_rank(r, engine);
+                        }
+                        Ok(())
+                    }
+                    POp::Arrive => {
+                        self.flush_held(r);
+                        if self.bar_failed {
+                            self.fail_rank(r, engine);
+                            return Ok(());
+                        }
+                        self.bar_waiting[r] = true;
+                        let arrived = self.bar_waiting.iter().filter(|&&w| w).count();
+                        if arrived >= self.bar_alive {
+                            // Last live arrival releases the generation.
+                            let world = self.pc.len();
+                            for w in 0..world {
+                                if self.bar_waiting[w] {
+                                    self.bar_waiting[w] = false;
+                                    self.advance(scenario, w);
+                                }
+                            }
+                        }
+                        Ok(())
+                    }
+                    POp::Crash => {
+                        self.status[r] = RankStatus::Dead;
+                        self.depart(r, engine);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Property checks at a terminal (no enabled transitions) state.
+    fn terminal_violation(&self) -> Option<PViolationKind> {
+        let world = self.pc.len();
+        let blocked: Vec<usize> = (0..world)
+            .filter(|&r| self.status[r] == RankStatus::Running || self.bar_waiting[r])
+            .collect();
+        if !blocked.is_empty() {
+            return Some(PViolationKind::Deadlock { blocked });
+        }
+        // Lost-delivery accounting only makes sense when nobody died:
+        // messages addressed to (or stranded by) departed ranks are
+        // legitimately discarded.
+        if (0..world).any(|r| self.status[r] != RankStatus::Done) {
+            return None;
+        }
+        for dst in 0..world {
+            if let Some(&(src, _, _)) = self.stash[dst].first() {
+                return Some(PViolationKind::LostDelivery { dst, src });
+            }
+            if let Some(&(src, _, _)) = self.out_of_seq[dst].first() {
+                return Some(PViolationKind::LostDelivery { dst, src });
+            }
+            for src in 0..world {
+                let fresh = self.queues[src][dst].iter().any(
+                    |p| matches!(p, Packet::Data { seq, .. } if *seq >= self.expect_seq[dst][src]),
+                );
+                if fresh {
+                    return Some(PViolationKind::LostDelivery { dst, src });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A coarse, static footprint of one transition, for the independence
+/// relation behind sleep-set pruning. Conservative: anything shared
+/// makes two transitions dependent.
+fn footprint(state: &PState, scenario: &PScenario, trans: PTrans) -> Vec<Resource> {
+    let mut fp = Vec::new();
+    match trans {
+        PTrans::Admit { dst, src } => {
+            fp.push(Resource::Rank(dst));
+            fp.push(Resource::Chan(src, dst));
+        }
+        PTrans::Step(r) => {
+            fp.push(Resource::Rank(r));
+            if let Some((to, _, _)) = state.held[r] {
+                fp.push(Resource::Chan(r, to));
+            }
+            match scenario.programs[r][state.pc[r]] {
+                POp::Send { to, .. } => fp.push(Resource::Chan(r, to)),
+                POp::Recv { .. } | POp::RecvAny { .. } => {}
+                POp::Arrive => fp.push(Resource::Barrier),
+                POp::Crash => {
+                    fp.push(Resource::Barrier);
+                    for to in 0..scenario.programs.len() {
+                        if to != r {
+                            fp.push(Resource::Chan(r, to));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    fp
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Resource {
+    Rank(usize),
+    Chan(usize, usize),
+    Barrier,
+}
+
+fn independent(a: &[Resource], b: &[Resource]) -> bool {
+    a.iter().all(|r| !b.contains(r))
+}
+
+/// Exhaustively explores `scenario` under `engine` with sleep-set
+/// pruning, checking every property on every reachable behavior.
+pub fn check_protocol(scenario: &PScenario, engine: PEngine, cap: usize) -> PCheckOutcome {
+    let mut explored = 0usize;
+    let mut terminals = 0usize;
+    let mut path: Vec<PTrans> = Vec::new();
+    let state = PState::new(scenario.programs.len());
+    match dfs(
+        scenario,
+        engine,
+        &state,
+        Vec::new(),
+        cap,
+        &mut explored,
+        &mut terminals,
+        &mut path,
+    ) {
+        Dfs::Capped => PCheckOutcome::CapExceeded { explored, cap },
+        Dfs::Violated(kind) => PCheckOutcome::Violation(PViolation {
+            scenario: scenario.name,
+            engine,
+            schedule: path,
+            kind,
+        }),
+        Dfs::Clean => PCheckOutcome::Ok {
+            states: explored,
+            terminals,
+        },
+    }
+}
+
+enum Dfs {
+    Clean,
+    Violated(PViolationKind),
+    Capped,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    scenario: &PScenario,
+    engine: PEngine,
+    state: &PState,
+    sleep: Vec<(PTrans, Vec<Resource>)>,
+    cap: usize,
+    explored: &mut usize,
+    terminals: &mut usize,
+    path: &mut Vec<PTrans>,
+) -> Dfs {
+    *explored += 1;
+    if *explored > cap {
+        return Dfs::Capped;
+    }
+    let enabled = state.enabled(scenario);
+    if enabled.is_empty() {
+        *terminals += 1;
+        return match state.terminal_violation() {
+            Some(kind) => Dfs::Violated(kind),
+            None => Dfs::Clean,
+        };
+    }
+    let mut slept = sleep;
+    for &t in &enabled {
+        if slept.iter().any(|&(s, _)| s == t) {
+            continue; // this behavior is covered from a sibling branch
+        }
+        let fp = footprint(state, scenario, t);
+        let mut child = state.clone();
+        path.push(t);
+        if let Err(kind) = child.apply(scenario, engine, t) {
+            return Dfs::Violated(kind);
+        }
+        let child_sleep: Vec<(PTrans, Vec<Resource>)> = slept
+            .iter()
+            .filter(|(_, sfp)| independent(sfp, &fp))
+            .cloned()
+            .collect();
+        match dfs(
+            scenario,
+            engine,
+            &child,
+            child_sleep,
+            cap,
+            explored,
+            terminals,
+            path,
+        ) {
+            Dfs::Clean => {}
+            other => return other,
+        }
+        path.pop();
+        slept.push((t, fp));
+    }
+    Dfs::Clean
+}
+
+/// Replays one pinned schedule, returning the violation it exposes (if
+/// any). Transitions that are not enabled end the replay without a
+/// verdict — a pinned schedule only "fires" under the engine whose bug
+/// it pins. When the schedule runs to completion and the state is
+/// terminal, terminal properties are checked too.
+pub fn replay(
+    scenario: &PScenario,
+    engine: PEngine,
+    schedule: &[PTrans],
+) -> Option<PViolationKind> {
+    let mut state = PState::new(scenario.programs.len());
+    for &t in schedule {
+        if !state.enabled(scenario).contains(&t) {
+            return None;
+        }
+        if let Err(kind) = state.apply(scenario, engine, t) {
+            return Some(kind);
+        }
+    }
+    if state.enabled(scenario).is_empty() {
+        return state.terminal_violation();
+    }
+    None
+}
+
+const TAG_A: PTag = 1;
+const TAG_B: PTag = 2;
+
+/// The fast-profile corpus: every protocol mechanism the runtime has,
+/// on worlds small enough to exhaust in milliseconds.
+pub fn protocol_corpus() -> Vec<PScenario> {
+    vec![
+        PScenario {
+            name: "ring_pass_3",
+            programs: (0..3)
+                .map(|r| {
+                    vec![
+                        POp::Send {
+                            to: (r + 1) % 3,
+                            tag: TAG_A,
+                            fate: Fate::Deliver,
+                        },
+                        POp::Recv {
+                            from: (r + 2) % 3,
+                            tag: TAG_A,
+                        },
+                        POp::Arrive,
+                    ]
+                })
+                .collect(),
+        },
+        PScenario {
+            name: "tag_stash_out_of_order",
+            programs: vec![
+                vec![
+                    POp::Send {
+                        to: 1,
+                        tag: TAG_A,
+                        fate: Fate::Deliver,
+                    },
+                    POp::Send {
+                        to: 1,
+                        tag: TAG_B,
+                        fate: Fate::Deliver,
+                    },
+                ],
+                vec![
+                    POp::Recv {
+                        from: 0,
+                        tag: TAG_B,
+                    },
+                    POp::Recv {
+                        from: 0,
+                        tag: TAG_A,
+                    },
+                ],
+            ],
+        },
+        PScenario {
+            name: "duplicate_fate_dedup",
+            programs: vec![
+                vec![
+                    POp::Send {
+                        to: 1,
+                        tag: TAG_A,
+                        fate: Fate::Duplicate,
+                    },
+                    POp::Send {
+                        to: 1,
+                        tag: TAG_A,
+                        fate: Fate::Deliver,
+                    },
+                ],
+                vec![
+                    POp::Recv {
+                        from: 0,
+                        tag: TAG_A,
+                    },
+                    POp::Recv {
+                        from: 0,
+                        tag: TAG_A,
+                    },
+                ],
+            ],
+        },
+        PScenario {
+            name: "reorder_fate_resequence",
+            programs: vec![
+                vec![
+                    POp::Send {
+                        to: 1,
+                        tag: TAG_A,
+                        fate: Fate::Reorder,
+                    },
+                    POp::Send {
+                        to: 1,
+                        tag: TAG_A,
+                        fate: Fate::Deliver,
+                    },
+                ],
+                vec![
+                    POp::Recv {
+                        from: 0,
+                        tag: TAG_A,
+                    },
+                    POp::Recv {
+                        from: 0,
+                        tag: TAG_A,
+                    },
+                ],
+            ],
+        },
+        PScenario {
+            name: "crash_barrier_departs",
+            programs: vec![vec![POp::Arrive], vec![POp::Arrive], vec![POp::Crash]],
+        },
+        PScenario {
+            name: "crash_recv_fails_fast",
+            programs: vec![
+                vec![POp::Crash],
+                vec![POp::Recv {
+                    from: 0,
+                    tag: TAG_A,
+                }],
+            ],
+        },
+        PScenario {
+            name: "gather_with_wildcard_recv",
+            programs: vec![
+                vec![
+                    POp::RecvAny { tag: TAG_A },
+                    POp::RecvAny { tag: TAG_A },
+                    POp::Arrive,
+                ],
+                vec![
+                    POp::Send {
+                        to: 0,
+                        tag: TAG_A,
+                        fate: Fate::Deliver,
+                    },
+                    POp::Arrive,
+                ],
+                vec![
+                    POp::Send {
+                        to: 0,
+                        tag: TAG_A,
+                        fate: Fate::Duplicate,
+                    },
+                    POp::Arrive,
+                ],
+            ],
+        },
+    ]
+}
+
+/// The larger scenarios only the `--full` profile explores.
+pub fn protocol_full_corpus() -> Vec<PScenario> {
+    vec![
+        PScenario {
+            // Two full ring rounds with mixed fates, then a barrier —
+            // the allgather traffic shape under duplicate+reorder load.
+            name: "full_faulted_double_ring",
+            programs: (0..3)
+                .map(|r| {
+                    let next = (r + 1) % 3;
+                    let prev = (r + 2) % 3;
+                    vec![
+                        POp::Send {
+                            to: next,
+                            tag: TAG_A,
+                            fate: if r == 0 { Fate::Reorder } else { Fate::Deliver },
+                        },
+                        POp::Send {
+                            to: next,
+                            tag: TAG_B,
+                            fate: if r == 1 {
+                                Fate::Duplicate
+                            } else {
+                                Fate::Deliver
+                            },
+                        },
+                        POp::Recv {
+                            from: prev,
+                            tag: TAG_A,
+                        },
+                        POp::Recv {
+                            from: prev,
+                            tag: TAG_B,
+                        },
+                        POp::Arrive,
+                    ]
+                })
+                .collect(),
+        },
+        PScenario {
+            // A crash racing live traffic and two barriers.
+            name: "full_crash_races_traffic",
+            programs: vec![
+                vec![
+                    POp::Send {
+                        to: 1,
+                        tag: TAG_A,
+                        fate: Fate::Deliver,
+                    },
+                    POp::Arrive,
+                    POp::Arrive,
+                ],
+                vec![
+                    POp::Recv {
+                        from: 0,
+                        tag: TAG_A,
+                    },
+                    POp::Arrive,
+                    POp::Arrive,
+                ],
+                vec![POp::Crash],
+            ],
+        },
+    ]
+}
+
+/// Pinned (scenario, engine, schedule) triples: the minimal schedules
+/// that expose each seeded mutant. If the corresponding receive-side
+/// check or barrier-departure logic ever regresses, these exact
+/// interleavings are the proof.
+pub fn protocol_regression_corpus() -> Vec<(PScenario, PEngine, Vec<PTrans>)> {
+    let corpus = protocol_corpus();
+    let dup = corpus[2].clone(); // duplicate_fate_dedup
+    let reorder = corpus[3].clone(); // reorder_fate_resequence
+    let crash_bar = corpus[4].clone(); // crash_barrier_departs
+    vec![
+        // Sender emits seq 0 twice (duplicate fate) then seq 1. The
+        // receiver consumes the first copy, and admitting the second
+        // copy during the next receive must be caught as a duplicate.
+        (
+            dup,
+            PEngine::NoSeqCheck,
+            vec![
+                PTrans::Step(0),
+                PTrans::Step(0),
+                PTrans::Admit { dst: 1, src: 0 },
+                PTrans::Step(1),
+                PTrans::Admit { dst: 1, src: 0 },
+            ],
+        ),
+        // The held seq 0 is overtaken by seq 1; the receiver admits and
+        // consumes seq 1, then admitting seq 0 must be caught as
+        // out-of-order.
+        (
+            reorder,
+            PEngine::NoSeqCheck,
+            vec![
+                PTrans::Step(0),
+                PTrans::Step(0),
+                PTrans::Admit { dst: 1, src: 0 },
+                PTrans::Step(1),
+                PTrans::Admit { dst: 1, src: 0 },
+            ],
+        ),
+        // Rank 2 crashes first; both survivors arrive at the barrier
+        // and, with departure broken, wait for an arrival that will
+        // never come — a deadlock at the terminal state.
+        (
+            crash_bar,
+            PEngine::NonDepartableBarrier,
+            vec![PTrans::Step(2), PTrans::Step(0), PTrans::Step(1)],
+        ),
+    ]
+}
+
+/// Cap for the fast profile (CI default).
+pub const PROTOCOL_FAST_CAP: usize = 100_000;
+/// Cap for the full `--full` profile.
+pub const PROTOCOL_FULL_CAP: usize = 5_000_000;
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_corpus_is_clean_under_reference_engine() {
+        for s in protocol_corpus() {
+            match check_protocol(&s, PEngine::Reference, PROTOCOL_FAST_CAP) {
+                PCheckOutcome::Ok { states, terminals } => {
+                    assert!(states > 0 && terminals > 0, "{}: nothing explored", s.name);
+                }
+                other => panic!("{}: expected clean, got {other:?}", s.name),
+            }
+        }
+    }
+
+    #[test]
+    fn no_seq_check_mutant_is_caught() {
+        for name in ["duplicate_fate_dedup", "reorder_fate_resequence"] {
+            let s = protocol_corpus()
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap();
+            match check_protocol(&s, PEngine::NoSeqCheck, PROTOCOL_FAST_CAP) {
+                PCheckOutcome::Violation(v) => {
+                    assert!(
+                        matches!(
+                            v.kind,
+                            PViolationKind::DuplicateAdmission { .. }
+                                | PViolationKind::OutOfOrderAdmission { .. }
+                                | PViolationKind::LostDelivery { .. }
+                        ),
+                        "{name}: unexpected violation kind {v}"
+                    );
+                }
+                other => panic!("{name}: mutant must be detected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_departable_barrier_mutant_deadlocks() {
+        let s = protocol_corpus()
+            .into_iter()
+            .find(|s| s.name == "crash_barrier_departs")
+            .unwrap();
+        match check_protocol(&s, PEngine::NonDepartableBarrier, PROTOCOL_FAST_CAP) {
+            PCheckOutcome::Violation(v) => {
+                assert!(
+                    matches!(v.kind, PViolationKind::Deadlock { .. }),
+                    "expected a deadlock, got {v}"
+                );
+            }
+            other => panic!("mutant must be detected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regression_schedules_pin_each_mutant() {
+        for (scenario, engine, schedule) in protocol_regression_corpus() {
+            let exposed = replay(&scenario, engine, &schedule);
+            assert!(
+                exposed.is_some(),
+                "{} under {engine:?}: schedule {schedule:?} must expose the mutant",
+                scenario.name
+            );
+            // The same scenario is clean under the reference engine.
+            assert!(
+                matches!(
+                    check_protocol(&scenario, PEngine::Reference, PROTOCOL_FAST_CAP),
+                    PCheckOutcome::Ok { .. }
+                ),
+                "{}: reference engine must be clean",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn cap_refuses_rather_than_samples() {
+        let s = &protocol_full_corpus()[0];
+        assert!(matches!(
+            check_protocol(s, PEngine::Reference, 10),
+            PCheckOutcome::CapExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn replay_of_inapplicable_schedule_is_not_a_verdict() {
+        // The duplicate-admission schedule cannot fire under the
+        // reference engine: the dedup discards the copy silently.
+        let (scenario, _, schedule) = protocol_regression_corpus().swap_remove(0);
+        assert_eq!(replay(&scenario, PEngine::Reference, &schedule), None);
+    }
+
+    #[test]
+    #[ignore = "full exhaustive profile; run with: cargo test -p nbfs-analysis -- --ignored"]
+    fn full_profile_is_clean_under_reference_engine() {
+        for s in protocol_full_corpus() {
+            match check_protocol(&s, PEngine::Reference, PROTOCOL_FULL_CAP) {
+                PCheckOutcome::Ok { states, terminals } => {
+                    assert!(
+                        states > 20 && terminals > 1,
+                        "{}: suspiciously small exploration ({states} states)",
+                        s.name
+                    );
+                }
+                other => panic!("{}: expected clean, got {other:?}", s.name),
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "full exhaustive profile; run with: cargo test -p nbfs-analysis -- --ignored"]
+    fn full_profile_catches_mutants() {
+        let ring = &protocol_full_corpus()[0];
+        assert!(matches!(
+            check_protocol(ring, PEngine::NoSeqCheck, PROTOCOL_FULL_CAP),
+            PCheckOutcome::Violation(_)
+        ));
+        let crash = &protocol_full_corpus()[1];
+        assert!(matches!(
+            check_protocol(crash, PEngine::NonDepartableBarrier, PROTOCOL_FULL_CAP),
+            PCheckOutcome::Violation(_)
+        ));
+    }
+}

@@ -1,12 +1,14 @@
-//! The invariant rules (NBFS001–NBFS005) applied to one scanned file.
+//! The invariant rules (NBFS001–NBFS008) applied to one scanned file.
 //!
 //! Each rule documents its scope (which paths it applies to) and its
 //! sanctioned exceptions. Rules match against [`ScanLine::code`] — the
 //! comment/literal-stripped text — so tokens inside strings or comments
-//! never fire.
+//! never fire. The cross-file half of NBFS008 lives in
+//! [`crate::callindex`]; this module hosts the per-file rules.
 
+use crate::callindex;
 use crate::diag::{Code, Diagnostic};
-use crate::scan::{scan, ScanLine};
+use crate::scan::{scan, ScanLine, ScannedFile};
 
 /// The one module allowed to read the host clock (NBFS002).
 const WALLCLOCK_SANCTUARY: &str = "crates/nbfs-bench/src/wallclock.rs";
@@ -42,6 +44,33 @@ const VERTEX_IDENTS: [&str; 16] = [
     "wo",
     "parent",
 ];
+
+/// Collective operations every rank must reach together (NBFS006). The
+/// `.method(` forms are the threaded runtime's surface; the free-function
+/// forms are the BSP collectives the engines call.
+const COLLECTIVE_TOKENS: [&str; 12] = [
+    ".barrier()",
+    ".gather_bytes(",
+    ".broadcast_bytes(",
+    ".allgather_bytes(",
+    "allreduce_sum(",
+    "allgather_words(",
+    "allgather_words_into(",
+    "allgather_words_codec_into(",
+    "allgatherv_u32_codec(",
+    "alltoallv(",
+    "alltoallv_into(",
+    "alltoallv_pairs_codec_into(",
+];
+
+/// Identifiers whose appearance in an `if`/`while` condition makes the
+/// guarded block rank-dependent (NBFS006).
+const RANK_WORDS: [&str; 4] = ["rank", "vrank", "my_rank", "rank_id"];
+
+/// Tokens that exit the enclosing scope early; under a rank-dependent
+/// guard they taint everything after the guard in the same scope
+/// (NBFS006: some ranks may never reach a later collective).
+const EARLY_EXIT_WORDS: [&str; 4] = ["return", "break", "continue", "panic"];
 
 /// Heap-allocation tokens banned inside hot-path regions (NBFS004).
 /// `reserve`/`push` on pre-sized buffers stay legal: the discipline is
@@ -176,7 +205,192 @@ pub fn lint_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
         }
     }
 
+    // --- NBFS006: collectives must be symmetric across ranks -------------
+    collective_symmetry(rel_path, &scanned, &mut diags);
+
+    // --- NBFS007: message tags come from the registry --------------------
+    diags.extend(callindex::literal_tag_diagnostics(rel_path, &scanned.lines));
+
     diags
+}
+
+/// NBFS006: walks the stripped code of one file tracking rank-dependent
+/// control flow. A collective token is flagged when it sits under a
+/// rank-guarded `if`/`while` (or after a rank-guarded early exit in the
+/// same scope — some ranks may never arrive) and the line is not inside a
+/// sanctioned `// nbfs-analysis: rank-local` region.
+///
+/// The tracker is deliberately lexical, mirroring the rest of the linter:
+/// brace depth plus a stack of rank-guard entry depths. `match` arms on
+/// rank values are not modelled (a match-arm `if` guard is recognised and
+/// ignored); write rank dispatch as `if` chains or annotate the region.
+fn collective_symmetry(rel_path: &str, scanned: &ScannedFile, diags: &mut Vec<Diagnostic>) {
+    let mut depth: i64 = 0;
+    // Entry depths of the currently-open rank-dependent blocks.
+    let mut guards: Vec<i64> = Vec::new();
+    // Scope depth an early exit under a rank guard taints; cleared when the
+    // enclosing scope closes (depth drops below the recorded entry depth).
+    let mut taint_until: Option<i64> = None;
+    // A conditional head whose `{` has not been consumed yet: accumulated
+    // condition text. Seeded with "rank" for plain `else` continuations so
+    // the alternate branch of a rank guard is also treated as guarded.
+    let mut open_cond: Option<String> = None;
+
+    for line in &scanned.lines {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            if let Some(cond) = open_cond.as_mut() {
+                // Consume up to the opening brace of the guarded block; a
+                // `=>` first means this was a match-arm guard — ignore it.
+                let brace = chars[i..].iter().position(|&c| c == '{').map(|b| i + b);
+                let arrow = find_at(&chars, i, "=>");
+                match (brace, arrow) {
+                    (Some(b), a) if a.is_none() || a.is_some_and(|a| b < a) => {
+                        cond.extend(&chars[i..b]);
+                        if mentions_rank_word(cond) {
+                            guards.push(depth);
+                        }
+                        open_cond = None;
+                        depth += 1;
+                        i = b + 1;
+                    }
+                    (_, Some(a)) => {
+                        open_cond = None;
+                        i = a + 2;
+                    }
+                    _ => {
+                        cond.extend(&chars[i..]);
+                        i = chars.len();
+                    }
+                }
+                continue;
+            }
+            let c = chars[i];
+            if c == '{' {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            if c == '}' {
+                depth -= 1;
+                let mut popped = false;
+                while guards.last().is_some_and(|&g| g >= depth) {
+                    guards.pop();
+                    popped = true;
+                }
+                if taint_until.is_some_and(|t| depth < t) {
+                    taint_until = None;
+                }
+                i += 1;
+                if popped {
+                    // `} else ...` — reaching the alternate branch is just
+                    // as rank-dependent as the guarded one.
+                    let mut j = i;
+                    while j < chars.len() && chars[j] == ' ' {
+                        j += 1;
+                    }
+                    if starts_with_at(&chars, j, "else")
+                        && !chars.get(j + 4).copied().is_some_and(is_ident_char)
+                    {
+                        open_cond = Some(String::from("rank"));
+                        i = j + 4;
+                    }
+                }
+                continue;
+            }
+            if let Some(tok) = COLLECTIVE_TOKENS
+                .iter()
+                .find(|t| starts_with_at(&chars, i, t))
+            {
+                let boundary_ok = tok.starts_with('.') || i == 0 || !is_ident_char(chars[i - 1]);
+                if boundary_ok && preceding_word(&chars, i) != "fn" {
+                    let why = if guards.is_empty() && taint_until.is_none() {
+                        None
+                    } else if guards.is_empty() {
+                        Some("after a rank-guarded early exit in this scope")
+                    } else {
+                        Some("under a rank-dependent guard")
+                    };
+                    if let Some(why) = why {
+                        if !line.in_rank_local {
+                            diags.push(Diagnostic {
+                                code: Code::Nbfs006,
+                                path: rel_path.to_string(),
+                                line: line.number,
+                                message: format!(
+                                    "collective `{}` is not unconditionally reachable by \
+                                     every rank ({why}); hoist it out of the guard or wrap \
+                                     the sanctioned site in a \
+                                     `// nbfs-analysis: rank-local` region",
+                                    tok.trim_end_matches('(')
+                                ),
+                                snippet: line.raw.trim().to_string(),
+                            });
+                        }
+                    }
+                    i += tok.chars().count();
+                    continue;
+                }
+            }
+            if is_ident_char(c) && (i == 0 || !is_ident_char(chars[i - 1])) {
+                let mut j = i;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                if word == "if" || word == "while" {
+                    open_cond = Some(String::new());
+                } else if EARLY_EXIT_WORDS.contains(&word.as_str())
+                    && (word != "panic" || chars.get(j).copied() == Some('!'))
+                {
+                    if let Some(&g) = guards.first() {
+                        taint_until = Some(taint_until.map_or(g, |cur| cur.min(g)));
+                    }
+                }
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `chars[at..]` starts with the ASCII `token`.
+fn starts_with_at(chars: &[char], at: usize, token: &str) -> bool {
+    token
+        .chars()
+        .enumerate()
+        .all(|(k, t)| chars.get(at + k).copied() == Some(t))
+}
+
+/// First occurrence of `token` at or after `at`, as a char index.
+fn find_at(chars: &[char], at: usize, token: &str) -> Option<usize> {
+    (at..chars.len()).find(|&p| starts_with_at(chars, p, token))
+}
+
+/// The identifier immediately before `at`, skipping spaces (`""` if the
+/// preceding token is not an identifier).
+fn preceding_word(chars: &[char], at: usize) -> String {
+    let mut j = at;
+    while j > 0 && chars[j - 1] == ' ' {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && is_ident_char(chars[j - 1]) {
+        j -= 1;
+    }
+    chars[j..end].iter().collect()
+}
+
+/// Whether a condition mentions a rank identifier as a whole word.
+fn mentions_rank_word(cond: &str) -> bool {
+    cond.split(|c: char| !is_ident_char(c))
+        .any(|w| RANK_WORDS.contains(&w))
 }
 
 fn snippet_at(lines: &[ScanLine], number: usize) -> String {
@@ -375,5 +589,100 @@ mod tests {
         .is_empty());
         // `as u64` widens; not flagged.
         assert!(codes("crates/x/src/m.rs", "fn f(v: u32) { let w = v as u64; }\n").is_empty());
+    }
+
+    #[test]
+    fn nbfs006_rank_guarded_collectives() {
+        // Symmetric call sites are clean.
+        assert!(codes("crates/x/src/m.rs", "fn f(c: &mut Ctx) { c.barrier(); }\n").is_empty());
+        // Direct rank guard.
+        assert_eq!(
+            codes(
+                "crates/x/src/m.rs",
+                "fn f(c: &mut Ctx) { if c.rank() == 0 { c.barrier(); } }\n"
+            ),
+            vec![Code::Nbfs006]
+        );
+        // Early exit under a rank guard taints the rest of the scope.
+        assert_eq!(
+            codes(
+                "crates/x/src/m.rs",
+                "fn f(c: &mut Ctx) {\n    if rank != 0 {\n        return;\n    }\n    c.barrier();\n}\n"
+            ),
+            vec![Code::Nbfs006]
+        );
+        // The else branch of a rank guard is just as rank-dependent.
+        assert_eq!(
+            codes(
+                "crates/x/src/m.rs",
+                "fn f(c: &mut Ctx) { if my_rank == 0 { note(); } else { c.barrier(); } }\n"
+            ),
+            vec![Code::Nbfs006]
+        );
+        // Free-function collectives are covered too.
+        assert_eq!(
+            codes(
+                "crates/x/src/m.rs",
+                "fn f(w: &W) { if vrank == 0 { allgather_words(w); } }\n"
+            ),
+            vec![Code::Nbfs006]
+        );
+        // Definitions are not call sites.
+        assert!(codes(
+            "crates/x/src/m.rs",
+            "pub fn alltoallv(w: &W) { body(w); }\n"
+        )
+        .is_empty());
+        // Non-rank conditions do not guard.
+        assert!(codes(
+            "crates/x/src/m.rs",
+            "fn f(c: &mut Ctx, done: bool) { if done { c.barrier(); } }\n"
+        )
+        .is_empty());
+        // Taint clears when the enclosing scope closes.
+        assert!(codes(
+            "crates/x/src/m.rs",
+            "fn g(c: &mut Ctx) {\n    { if rank == 0 { return; } }\n    c.barrier();\n}\n"
+        )
+        .is_empty());
+        // Match-arm `if` guards are recognised and ignored (no desync).
+        assert!(codes(
+            "crates/x/src/m.rs",
+            "fn f(c: &mut Ctx, x: u32) {\n    match x { 0 if rank == 0 => note(), _ => {} }\n    c.barrier();\n}\n"
+        )
+        .is_empty());
+        // A sanctioned rank-local region silences the finding.
+        assert!(codes(
+            "crates/x/src/m.rs",
+            "fn f(c: &mut Ctx) {\n// nbfs-analysis: rank-local\nif rank == 0 { c.barrier(); }\n// nbfs-analysis: end-rank-local\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn nbfs007_raw_tag_literals() {
+        assert_eq!(
+            codes(
+                "crates/x/src/m.rs",
+                "fn f(c: &mut Ctx) { c.send(1, 7, payload); }\n"
+            ),
+            vec![Code::Nbfs007]
+        );
+        assert_eq!(
+            codes(
+                "crates/x/src/m.rs",
+                "fn f(c: &mut Ctx) { let m = c.recv(0, 0x10); }\n"
+            ),
+            vec![Code::Nbfs007]
+        );
+        // Named registry tags are clean (pairing is checked workspace-wide,
+        // not by lint_source).
+        assert!(codes(
+            "crates/x/src/m.rs",
+            "fn f(c: &mut Ctx) { c.send(1, tags::FRONTIER_WORDS, payload); }\n"
+        )
+        .is_empty());
+        // Arity mismatch means some other `send`; not a tag position.
+        assert!(codes("crates/x/src/m.rs", "fn f(tx: &Tx) { tx.send(5); }\n").is_empty());
     }
 }

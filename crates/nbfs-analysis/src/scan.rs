@@ -7,7 +7,10 @@
 //! * `#[cfg(test)]` regions, tracked by brace depth, so production-only
 //!   rules skip test modules embedded in library files;
 //! * `// nbfs-analysis: hot-path` … `// nbfs-analysis: end-hot-path`
-//!   directive regions, which gate the allocation rule (NBFS004).
+//!   directive regions, which gate the allocation rule (NBFS004);
+//! * `// nbfs-analysis: rank-local` … `// nbfs-analysis: end-rank-local`
+//!   directive regions, which sanction rank-dependent collective call
+//!   sites for the collective-symmetry rule (NBFS006).
 
 /// One scanned source line.
 #[derive(Clone, Debug)]
@@ -27,6 +30,9 @@ pub struct ScanLine {
     pub in_test: bool,
     /// Line sits inside a hot-path directive region.
     pub in_hot_path: bool,
+    /// Line sits inside a rank-local directive region (sanctioned
+    /// rank-dependent collective calls, see NBFS006).
+    pub in_rank_local: bool,
 }
 
 /// A directive-region problem found while scanning (reported as NBFS004).
@@ -45,6 +51,8 @@ pub struct ScannedFile {
 
 const HOT_OPEN: &str = "nbfs-analysis: hot-path";
 const HOT_CLOSE: &str = "nbfs-analysis: end-hot-path";
+const RANK_OPEN: &str = "nbfs-analysis: rank-local";
+const RANK_CLOSE: &str = "nbfs-analysis: end-rank-local";
 const DIRECTIVE_PREFIX: &str = "nbfs-analysis:";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -113,16 +121,50 @@ fn strip(text: &str) -> Vec<(String, String, String)> {
                     i += 1;
                     continue;
                 }
-                if c == 'r' {
-                    // r"..." / r#"..."# raw strings (also br/ rb prefixes are
-                    // preceded by `b`, which lands here harmlessly as code).
-                    let mut j = i + 1;
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
+                if c == 'b' && !prev_is_ident(&code) {
+                    // Byte-literal prefixes: b"…", br#"…"#, b'…'. Handling
+                    // them here keeps the `r` branch free to insist on a
+                    // clean identifier boundary.
+                    match chars.get(i + 1).copied() {
+                        Some('"') => {
+                            raw.push('"');
+                            code.push(c);
+                            code.push('"');
+                            state = LexState::Str;
+                            i += 2;
+                            continue;
+                        }
+                        Some('\'') => {
+                            raw.push('\'');
+                            code.push(c);
+                            code.push('\'');
+                            state = LexState::CharLit;
+                            i += 2;
+                            continue;
+                        }
+                        Some('r') => {
+                            if let Some(hashes) = raw_str_open(&chars, i + 1) {
+                                let j = i + 1 + hashes as usize + 1;
+                                raw.extend(&chars[i + 1..=j]);
+                                code.push(c);
+                                code.push('"');
+                                state = LexState::RawStr(hashes);
+                                i = j + 1;
+                                continue;
+                            }
+                        }
+                        _ => {}
                     }
-                    if chars.get(j) == Some(&'"') {
+                    code.push(c);
+                    i += 1;
+                    continue;
+                }
+                if c == 'r' && !prev_is_ident(&code) {
+                    // r"..." / r#"..."# raw strings. The identifier-boundary
+                    // check keeps idents ending in `r` (and lifetimes like
+                    // `&'r` — see below) from opening a phantom raw string.
+                    if let Some(hashes) = raw_str_open(&chars, i) {
+                        let j = i + hashes as usize + 1;
                         raw.extend(&chars[i + 1..=j]);
                         code.push('"');
                         state = LexState::RawStr(hashes);
@@ -135,7 +177,10 @@ fn strip(text: &str) -> Vec<(String, String, String)> {
                 }
                 if c == '\'' {
                     // Lifetime vs char literal: `'ident` not followed by a
-                    // closing quote is a lifetime (or loop label).
+                    // closing quote is a lifetime (or loop label). Consume
+                    // the whole identifier so its trailing chars cannot be
+                    // re-lexed as literal prefixes (`&'r"x"` is a lifetime
+                    // `'r` then a plain string, not a raw string).
                     let n1 = chars.get(i + 1).copied();
                     let n2 = chars.get(i + 2).copied();
                     let is_lifetime =
@@ -143,6 +188,15 @@ fn strip(text: &str) -> Vec<(String, String, String)> {
                     if is_lifetime {
                         code.push(c);
                         i += 1;
+                        while let Some(&x) = chars.get(i) {
+                            if x.is_alphanumeric() || x == '_' {
+                                raw.push(x);
+                                code.push(x);
+                                i += 1;
+                            } else {
+                                break;
+                            }
+                        }
                         continue;
                     }
                     code.push('\'');
@@ -246,6 +300,30 @@ fn strip(text: &str) -> Vec<(String, String, String)> {
     out
 }
 
+/// True when the last stripped-code char continues an identifier, in which
+/// case a following `r`/`b` is part of that identifier rather than a
+/// literal prefix.
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `chars[at..]` begins a raw-string opener (`r`, zero or more `#`,
+/// then `"`), returns the hash count.
+fn raw_str_open(chars: &[char], at: usize) -> Option<u32> {
+    if chars.get(at) != Some(&'r') {
+        return None;
+    }
+    let mut j = at + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
 /// Pass 2: region classification over the stripped lines.
 fn classify(stripped: Vec<(String, String, String)>) -> ScannedFile {
     let mut lines = Vec::with_capacity(stripped.len());
@@ -257,8 +335,9 @@ fn classify(stripped: Vec<(String, String, String)>) -> ScannedFile {
     let mut test_stack: Vec<i64> = Vec::new();
     let mut pending_cfg_test = false;
 
-    // Hot-path directive tracking.
+    // Hot-path / rank-local directive tracking.
     let mut hot_open_line: Option<usize> = None;
+    let mut rank_open_line: Option<usize> = None;
 
     for (idx, (raw, code, comment)) in stripped.into_iter().enumerate() {
         let number = idx + 1;
@@ -306,6 +385,7 @@ fn classify(stripped: Vec<(String, String, String)>) -> ScannedFile {
         // lines themselves are *not* part of the region.
         let directive = comment.trim();
         let in_hot_path = hot_open_line.is_some();
+        let in_rank_local = rank_open_line.is_some();
         if directive.starts_with(HOT_CLOSE) {
             if hot_open_line.is_none() {
                 marker_errors.push(MarkerError {
@@ -322,11 +402,28 @@ fn classify(stripped: Vec<(String, String, String)>) -> ScannedFile {
                 });
             }
             hot_open_line = Some(number);
+        } else if directive.starts_with(RANK_CLOSE) {
+            if rank_open_line.is_none() {
+                marker_errors.push(MarkerError {
+                    line: number,
+                    message: "end-rank-local without a matching rank-local marker".into(),
+                });
+            }
+            rank_open_line = None;
+        } else if directive.starts_with(RANK_OPEN) {
+            if rank_open_line.is_some() {
+                marker_errors.push(MarkerError {
+                    line: number,
+                    message: "rank-local marker inside an open rank-local region".into(),
+                });
+            }
+            rank_open_line = Some(number);
         } else if directive.starts_with(DIRECTIVE_PREFIX) {
             marker_errors.push(MarkerError {
                 line: number,
                 message: format!(
-                    "unknown nbfs-analysis directive (expected \"{HOT_OPEN}\" or \"{HOT_CLOSE}\")"
+                    "unknown nbfs-analysis directive (expected \"{HOT_OPEN}\", \"{HOT_CLOSE}\", \
+                     \"{RANK_OPEN}\" or \"{RANK_CLOSE}\")"
                 ),
             });
         }
@@ -338,6 +435,7 @@ fn classify(stripped: Vec<(String, String, String)>) -> ScannedFile {
             comment,
             in_test,
             in_hot_path,
+            in_rank_local,
         });
     }
 
@@ -345,6 +443,12 @@ fn classify(stripped: Vec<(String, String, String)>) -> ScannedFile {
         marker_errors.push(MarkerError {
             line: open,
             message: "hot-path region never closed (missing end-hot-path)".into(),
+        });
+    }
+    if let Some(open) = rank_open_line {
+        marker_errors.push(MarkerError {
+            line: open,
+            message: "rank-local region never closed (missing end-rank-local)".into(),
         });
     }
 
@@ -416,5 +520,82 @@ mod tests {
 
         let stray = scan("// nbfs-analysis: end-hot-path\n");
         assert_eq!(stray.marker_errors.len(), 1);
+    }
+
+    #[test]
+    fn rank_local_region_and_marker_errors() {
+        let src = "// nbfs-analysis: rank-local\nlet a = 1;\n// nbfs-analysis: end-rank-local\nlet b = 2;\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_rank_local, "open marker line is outside");
+        assert!(f.lines[1].in_rank_local);
+        assert!(f.lines[2].in_rank_local, "close marker line still inside");
+        assert!(!f.lines[3].in_rank_local);
+        assert!(f.marker_errors.is_empty());
+
+        let unterminated = scan("// nbfs-analysis: rank-local\nlet a = 1;\n");
+        assert_eq!(unterminated.marker_errors.len(), 1);
+        let stray = scan("// nbfs-analysis: end-rank-local\n");
+        assert_eq!(stray.marker_errors.len(), 1);
+        // Rank-local and hot-path regions are independent.
+        let both = scan(
+            "// nbfs-analysis: hot-path\n// nbfs-analysis: rank-local\nx;\n// nbfs-analysis: end-rank-local\n// nbfs-analysis: end-hot-path\n",
+        );
+        assert!(both.marker_errors.is_empty());
+        assert!(both.lines[2].in_hot_path && both.lines[2].in_rank_local);
+    }
+
+    #[test]
+    fn lifetime_followed_by_string_is_not_a_raw_string() {
+        // Regression: only the `'` of a lifetime was consumed, so the
+        // trailing ident char could be re-lexed as a raw-string prefix
+        // (`&'r "…"` swallowed the rest of the file after `&'r"…"`).
+        let f = scan("fn f(x: &'r str) { g(\"lit\"); }\nlet y = unwrap_marker();\n");
+        assert!(f.lines[0].code.contains("&'r str"));
+        assert!(!f.lines[0].code.contains("lit"));
+        assert!(f.lines[1].code.contains("unwrap_marker"));
+
+        let tight = scan("let s: &'r = &'r\"not raw\"; after();\nnext_line();\n");
+        assert!(
+            tight.lines[0].code.contains("after()"),
+            "{:?}",
+            tight.lines[0].code
+        );
+        assert!(!tight.lines[0].code.contains("not raw"));
+        assert!(tight.lines[1].code.contains("next_line"));
+    }
+
+    #[test]
+    fn idents_ending_in_r_do_not_open_raw_strings() {
+        let f = scan("let var = attr_for(\"x\"); // ok\nlet z = 1;\n");
+        assert!(!f.lines[0].code.contains('x'));
+        assert!(f.lines[0].code.contains("attr_for(\"\")"));
+        assert!(f.lines[1].code.contains("let z = 1;"));
+    }
+
+    #[test]
+    fn byte_literals_and_raw_byte_strings() {
+        let f =
+            scan("let a = b\"panic!()\"; let b2 = br#\"unwrap()\"#; let c = b'x';\nlet d = 2;\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[0].code.contains("'x'"));
+        assert!(f.lines[1].code.contains("let d = 2;"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_containing_quotes_and_comments() {
+        let f = scan("let s = r##\"has \"# quote and // comment and /* block */\"##;\nreal();\n");
+        assert!(!f.lines[0].code.contains("quote"));
+        assert!(!f.lines[0].code.contains("comment"));
+        assert!(f.lines[0].comment.is_empty(), "nothing lexed as comment");
+        assert!(f.lines[1].code.contains("real()"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_strip_cleanly() {
+        let f = scan("let s = r#\"line one\nInstant::now()\nlast\"#; tail();\nnext();\n");
+        assert!(!f.lines[1].code.contains("Instant"));
+        assert!(f.lines[2].code.contains("tail()"));
+        assert!(f.lines[3].code.contains("next()"));
     }
 }

@@ -1,0 +1,23 @@
+//! Fixture: every token in this file that *looks* like a violation sits
+//! inside a raw string, byte string, char literal, or nested block
+//! comment. A lexer that mis-tracks any of those states will fire a bogus
+//! finding here.
+//! Linted as-if at `crates/nbfs-comm/src/fixture.rs`; must stay clean.
+
+pub fn red_herrings(ctx: &mut RankCtx) -> Result<(), NbfsError> {
+    // Raw strings swallow backslashes and quotes; the lint tokens inside
+    // are data, not code.
+    let doc = r#"call .unwrap() then Instant::now(); if rank == 0 { ctx.barrier(); }"#;
+    let nested = r##"outer r#"inner "quoted" here"# and ctx.send(1, 7, x)"##;
+    let bytes = br#"SystemTime::now() and panic!("boom")"#;
+    /* block comments nest in Rust:
+       /* inner comment with ctx.recv(0, 99).unwrap() */
+       still commented: if rank != 0 { return; } ctx.barrier();
+    */
+    let lifetime_then_string: &'static str = "not a raw string despite the r";
+    let tick = 'r';
+    keep(doc, nested, bytes, lifetime_then_string, tick);
+    ctx.send(1, tags::testing::HERRING, vec![0])?;
+    ctx.recv(0, tags::testing::HERRING)?;
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Fixture: a rank-conditional collective — only rank 0 reaches the
+//! barrier, so every other rank arrives and waits forever.
+//! Linted as-if at `crates/nbfs-cli/src/fixture.rs`; must fire NBFS006 once.
+
+pub fn lopsided(ctx: &mut RankCtx) {
+    if ctx.rank() == 0 {
+        let _ = ctx.barrier();
+    }
+}

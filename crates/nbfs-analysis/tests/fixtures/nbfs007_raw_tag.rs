@@ -1,0 +1,7 @@
+//! Fixture: a raw integer literal at a message-tag position instead of a
+//! named constant from the `nbfs_comm::tags` registry.
+//! Linted as-if at `crates/nbfs-cli/src/fixture.rs`; must fire NBFS007 once.
+
+pub fn probe(ctx: &mut RankCtx) -> Result<(), NbfsError> {
+    ctx.send(1, 7, vec![0])
+}

@@ -1,0 +1,7 @@
+//! Fixture: a registry tag that is sent but never received or consumed —
+//! the message leaks and any protocol waiting on the other side hangs.
+//! Linted as-if at `crates/nbfs-cli/src/fixture.rs`; must fire NBFS008 once.
+
+pub fn leak(ctx: &mut RankCtx) -> Result<(), NbfsError> {
+    ctx.send(1, tags::FRONTIER_WORDS, vec![0])
+}

@@ -1,0 +1,80 @@
+//! End-to-end tests for the `protocol` subcommand and the SARIF output
+//! path of `check` — the two surfaces CI gates on.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nbfs-analysis"))
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn protocol_fast_profile_passes() {
+    let out = bin().arg("protocol").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("all checks passed"), "{stdout}");
+    // Every corpus scenario, all three mutant detections, and all three
+    // pinned regressions must report individually.
+    for needle in [
+        "ring_pass_3",
+        "crash_barrier_departs",
+        "mutant-detection",
+        "regression duplicate_fate_dedup",
+        "regression reorder_fate_resequence",
+        "regression crash_barrier_departs",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}` in: {stdout}");
+    }
+    assert!(!stdout.contains("FAIL"), "{stdout}");
+}
+
+#[test]
+fn protocol_rejects_unknown_flags() {
+    let out = bin().arg("protocol").arg("--fast").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn sarif_output_is_written_and_well_formed() {
+    let dir = std::env::temp_dir().join("nbfs-analysis-sarif-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sarif_path = dir.join("findings.sarif");
+    let out = bin()
+        .arg("check")
+        .arg("--file")
+        .arg(fixture_path("nbfs006_rank_conditional_collective.rs"))
+        .arg("--as")
+        .arg("crates/nbfs-cli/src/fixture.rs")
+        .arg("--sarif")
+        .arg(&sarif_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "fixture must still gate");
+    let sarif = std::fs::read_to_string(&sarif_path).unwrap();
+    std::fs::remove_file(&sarif_path).ok();
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"NBFS006\""), "{sarif}");
+    assert!(sarif.contains("crates/nbfs-cli/src/fixture.rs"), "{sarif}");
+}
+
+#[test]
+fn sarif_to_stdout_conflicts_with_json_to_stdout() {
+    let out = bin()
+        .arg("check")
+        .arg("--sarif")
+        .arg("-")
+        .arg("--json")
+        .arg("-")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -779,8 +779,9 @@ pub fn run_chaos(scale: u32, nodes: usize, seed: u64) -> Result<ChaosReport, Str
     // --- point-to-point: the threaded SPMD runtime -----------------------
     let world = 8usize;
     let expect: Vec<Vec<u8>> = (0..world).map(|r| vec![r as u8; 4]).collect();
-    let ring =
-        |ctx: &mut nbfs_comm::runtime::RankCtx| ctx.allgather_bytes(vec![ctx.rank() as u8; 4], 17);
+    let ring = |ctx: &mut nbfs_comm::runtime::RankCtx| {
+        ctx.allgather_bytes(vec![ctx.rank() as u8; 4], nbfs_comm::tags::CHAOS_RING)
+    };
     for kind in FaultKind::ALL {
         let plan = chaos_plan(seed, kind);
         let out = run_spmd_faulted(world, &plan, ring);

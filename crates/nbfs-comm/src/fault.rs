@@ -30,6 +30,7 @@ use nbfs_util::{rng, NbfsError, SimTime};
 
 use crate::allgather::AllgatherAlgorithm;
 use crate::profile::CommCost;
+use crate::tags;
 
 /// Which transfers a [`FaultSpec`] applies to. `None` fields match
 /// anything, so `FaultScope::default()` scopes to every site.
@@ -572,7 +573,7 @@ pub fn inject_rank_faults(plan: &FaultPlan, level: usize, world: usize) -> Fault
             level: Some(level),
             src: rank,
             dst: rank,
-            tag: 0,
+            tag: tags::COLLECTIVE_SITE,
             salt: 0,
         };
         match plan.fires(&site, 0) {
@@ -583,7 +584,7 @@ pub fn inject_rank_faults(plan: &FaultPlan, level: usize, world: usize) -> Fault
                     op: FaultOp::Rank,
                     src: rank,
                     dst: rank,
-                    tag: 0,
+                    tag: tags::COLLECTIVE_SITE,
                     attempts: 1,
                     recovered: true,
                     penalty: plan.stall_penalty,
@@ -596,7 +597,7 @@ pub fn inject_rank_faults(plan: &FaultPlan, level: usize, world: usize) -> Fault
                     op: FaultOp::Rank,
                     src: rank,
                     dst: rank,
-                    tag: 0,
+                    tag: tags::COLLECTIVE_SITE,
                     attempts: 1,
                     recovered: false,
                     penalty: SimTime::ZERO,

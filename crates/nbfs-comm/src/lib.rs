@@ -45,6 +45,7 @@ pub mod collectives;
 pub mod fault;
 pub mod profile;
 pub mod runtime;
+pub mod tags;
 
 pub use allgather::{
     allgather_cost, allgather_cost_bytes, allgather_words, AllgatherAlgorithm, AllgatherOutcome,

@@ -40,9 +40,7 @@ use nbfs_util::{NbfsError, Result, SimTime};
 use parking_lot::Mutex;
 
 use crate::fault::{FaultPlan, FaultSite};
-
-/// Tag reserved for runtime control traffic (crash tombstones).
-const TOMBSTONE_TAG: u64 = u64::MAX;
+use crate::tags;
 
 /// A point-to-point message.
 #[derive(Clone, Debug)]
@@ -215,7 +213,7 @@ impl RankCtx {
         if self.crashed {
             return Err(NbfsError::RankFailed { rank: self.rank });
         }
-        if tag == TOMBSTONE_TAG {
+        if tag == tags::TOMBSTONE {
             return Err(NbfsError::comm(
                 "tag u64::MAX is reserved for runtime control",
             ));
@@ -368,7 +366,7 @@ impl RankCtx {
             if let Some(sender) = self.senders.get(to) {
                 let _ = sender.send(Message {
                     from: self.rank,
-                    tag: TOMBSTONE_TAG,
+                    tag: tags::TOMBSTONE,
                     payload: Vec::new(),
                     seq: u64::MAX,
                 });
@@ -438,7 +436,7 @@ impl RankCtx {
     /// injection, per-sender sequence numbers discard duplicates and
     /// resequence reordered messages before they reach the stash.
     fn admit(&mut self, msg: Message) {
-        if msg.tag == TOMBSTONE_TAG {
+        if msg.tag == tags::TOMBSTONE {
             if let Some(flag) = self.dead.get_mut(msg.from) {
                 *flag = true;
             }
@@ -561,9 +559,9 @@ impl RankCtx {
         let mut outgoing = mine.clone();
         have[self.rank] = mine;
         for r in 0..np.saturating_sub(1) {
-            self.send(next, tag.wrapping_add(r as u64), outgoing)?;
+            self.send(next, tags::ring_round(tag, r), outgoing)?;
             let recv_idx = (prev + np - r) % np;
-            let got = self.recv(prev, tag.wrapping_add(r as u64))?;
+            let got = self.recv(prev, tags::ring_round(tag, r))?;
             have[recv_idx] = got.clone();
             outgoing = got;
         }
@@ -719,8 +717,9 @@ mod tests {
         let out = run_spmd(4, |ctx| {
             let next = (ctx.rank() + 1) % ctx.world();
             let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
-            ctx.send(next, 7, vec![ctx.rank() as u8]).unwrap();
-            ctx.recv(prev, 7).unwrap()
+            ctx.send(next, tags::testing::RING_PASS, vec![ctx.rank() as u8])
+                .unwrap();
+            ctx.recv(prev, tags::testing::RING_PASS).unwrap()
         })
         .unwrap();
         assert_eq!(out, vec![vec![3], vec![0], vec![1], vec![2]]);
@@ -730,13 +729,13 @@ mod tests {
     fn out_of_order_tags_are_stashed() {
         let out = run_spmd(2, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 1, vec![1]).unwrap();
-                ctx.send(1, 2, vec![2]).unwrap();
+                ctx.send(1, tags::testing::STASH_LOW, vec![1]).unwrap();
+                ctx.send(1, tags::testing::STASH_HIGH, vec![2]).unwrap();
                 vec![]
             } else {
                 // Receive in the reverse order of sending.
-                let b = ctx.recv(0, 2).unwrap();
-                let a = ctx.recv(0, 1).unwrap();
+                let b = ctx.recv(0, tags::testing::STASH_HIGH).unwrap();
+                let a = ctx.recv(0, tags::testing::STASH_LOW).unwrap();
                 vec![a[0], b[0]]
             }
         })
@@ -760,7 +759,8 @@ mod tests {
     #[test]
     fn gather_collects_at_root_only() {
         let out = run_spmd(5, |ctx| {
-            ctx.gather_bytes(vec![ctx.rank() as u8], 2, 9).unwrap()
+            ctx.gather_bytes(vec![ctx.rank() as u8], 2, tags::testing::GATHER_DEMO)
+                .unwrap()
         })
         .unwrap();
         for (rank, view) in out.iter().enumerate() {
@@ -779,7 +779,8 @@ mod tests {
             for root in [0, world - 1, world / 2] {
                 let out = run_spmd(world, |ctx| {
                     let payload = (ctx.rank() == root).then(|| vec![0xAB, root as u8]);
-                    ctx.broadcast_bytes(payload, root, 33).unwrap()
+                    ctx.broadcast_bytes(payload, root, tags::testing::BCAST_DEMO)
+                        .unwrap()
                 })
                 .unwrap();
                 for (rank, got) in out.iter().enumerate() {
@@ -797,7 +798,8 @@ mod tests {
     fn allgather_bytes_collects_in_rank_order() {
         let out = run_spmd(6, |ctx| {
             let mine = vec![ctx.rank() as u8; ctx.rank() + 1]; // ragged sizes
-            ctx.allgather_bytes(mine, 100).unwrap()
+            ctx.allgather_bytes(mine, tags::testing::ALLGATHER_RAGGED)
+                .unwrap()
         })
         .unwrap();
         let expect: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; i as usize + 1]).collect();
@@ -808,7 +810,11 @@ mod tests {
 
     #[test]
     fn single_rank_world() {
-        let out = run_spmd(1, |ctx| ctx.allgather_bytes(vec![42], 0).unwrap()).unwrap();
+        let out = run_spmd(1, |ctx| {
+            ctx.allgather_bytes(vec![42], tags::testing::ALLGATHER_SOLO)
+                .unwrap()
+        })
+        .unwrap();
         assert_eq!(out[0], vec![vec![42]]);
     }
 
@@ -816,7 +822,7 @@ mod tests {
     fn send_outside_world_is_an_error_not_a_panic() {
         let out = run_spmd(2, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(5, 1, vec![0]).is_err()
+                ctx.send(5, tags::testing::OUT_OF_WORLD, vec![0]).is_err()
             } else {
                 true
             }
@@ -831,7 +837,8 @@ mod tests {
         let np = 4usize;
         let out = run_spmd(np, |ctx| {
             let mine = vec![0u8; 8];
-            ctx.allgather_bytes(mine, 3).unwrap();
+            ctx.allgather_bytes(mine, tags::testing::TRAFFIC_PROBE)
+                .unwrap();
             ctx.traffic()
         })
         .unwrap();
@@ -849,6 +856,9 @@ mod tests {
         // (survivors hung or the whole scope unwound). Now the panic is
         // caught, the rank departs loudly, and the caller sees a
         // structured error for exactly that rank.
+        // nbfs-analysis: rank-local
+        // (Rank asymmetry is the point of this test: rank 2 panics before
+        // the barrier, survivors must still depart it with RankFailed.)
         let out = run_spmd(4, |ctx| {
             if ctx.rank() == 2 {
                 panic!("injected panic");
@@ -858,6 +868,7 @@ mod tests {
             assert!(matches!(b, Err(NbfsError::RankFailed { rank: 2 })));
             ctx.rank()
         });
+        // nbfs-analysis: end-rank-local
         assert!(matches!(out, Err(NbfsError::RankFailed { rank: 2 })));
     }
 
@@ -867,7 +878,7 @@ mod tests {
         // every retry succeeds, results are identical to fault-free.
         let plan = FaultPlan::new(11).spec(FaultSpec::new(FaultKind::Drop, FaultScope::any()));
         let out = run_spmd_faulted(4, &plan, |ctx| {
-            ctx.allgather_bytes(vec![ctx.rank() as u8], 5)
+            ctx.allgather_bytes(vec![ctx.rank() as u8], tags::testing::FAULT_PROBE)
         });
         let expect: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8]).collect();
         for r in &out.results {
@@ -887,7 +898,7 @@ mod tests {
         for kind in [FaultKind::Duplicate, FaultKind::Reorder] {
             let plan = FaultPlan::new(3).spec(FaultSpec::new(kind, FaultScope::any()));
             let out = run_spmd_faulted(4, &plan, |ctx| {
-                ctx.allgather_bytes(vec![ctx.rank() as u8], 5)
+                ctx.allgather_bytes(vec![ctx.rank() as u8], tags::testing::FAULT_PROBE)
             });
             let expect: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8]).collect();
             for r in &out.results {
@@ -904,7 +915,7 @@ mod tests {
             .max_attempts(3);
         let out = run_spmd_faulted(2, &plan, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 7, vec![1])?;
+                ctx.send(1, tags::testing::RETRY_PROBE, vec![1])?;
             }
             Ok(())
         });
@@ -924,8 +935,8 @@ mod tests {
         let out = run_spmd_faulted(3, &plan, |ctx| {
             let next = (ctx.rank() + 1) % ctx.world();
             let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
-            ctx.send(next, 9, vec![ctx.rank() as u8])?;
-            ctx.recv(prev, 9)
+            ctx.send(next, tags::testing::CRASH_RING, vec![ctx.rank() as u8])?;
+            ctx.recv(prev, tags::testing::CRASH_RING)
         });
         // Rank 1 crashed on its send; rank 2 was waiting on rank 1.
         assert!(matches!(
@@ -948,7 +959,7 @@ mod tests {
             .spec(FaultSpec::new(FaultKind::Delay, FaultScope::any()).rate(0.2));
         let run = || {
             run_spmd_faulted(4, &plan, |ctx| {
-                ctx.allgather_bytes(vec![ctx.rank() as u8; 3], 21)
+                ctx.allgather_bytes(vec![ctx.rank() as u8; 3], tags::testing::DETERMINISM_RING)
             })
         };
         let a = run();
@@ -962,7 +973,7 @@ mod tests {
     fn reserved_tag_is_rejected() {
         let out = run_spmd(2, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, TOMBSTONE_TAG, vec![]).is_err()
+                ctx.send(1, tags::TOMBSTONE, vec![]).is_err()
             } else {
                 true
             }

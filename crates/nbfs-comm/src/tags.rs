@@ -1,0 +1,173 @@
+//! Central message-tag registry (NBFS007 *tag hygiene*).
+//!
+//! Every point-to-point or collective tag in the workspace must be named
+//! here; `nbfs-analysis` flags raw integer literals at tag positions
+//! (NBFS007) and cross-checks that every named tag used with a `send` has
+//! a matching receive/consumer somewhere in the tree (NBFS008). Central
+//! registration makes reuse or collision of a literal a reviewable event
+//! instead of a silent hang at scale.
+//!
+//! # Value discipline
+//!
+//! Ordinary tags are spaced [`BLOCK`] apart. The ring allgather derives one
+//! sub-tag per round via [`ring_round`], so two base tags closer than the
+//! world size could alias; a 2^16 stride keeps every realistic world
+//! (ranks < 65 536) collision-free. Two values are special and must never
+//! change:
+//!
+//! * [`TOMBSTONE`] (`u64::MAX`) — runtime control traffic announcing a
+//!   dead rank. The runtime rejects it on the user [`send`] surface.
+//! * [`COLLECTIVE_SITE`] (`0`) — the tag field of whole-rank
+//!   [`FaultSite`]s. Fault fates hash the site (including this field), so
+//!   renumbering it would silently reshuffle every seeded chaos schedule.
+//!
+//! [`send`]: crate::runtime::RankCtx::send
+//! [`FaultSite`]: crate::fault::FaultSite
+
+/// A message tag. Alias so registry entries read as typed declarations.
+pub type Tag = u64;
+
+/// Spacing between registered base tags; bounds the round window a ring
+/// collective may derive from one base via [`ring_round`].
+pub const BLOCK: Tag = 1 << 16;
+
+/// Reserved control tag for crash tombstones (see module docs).
+pub const TOMBSTONE: Tag = u64::MAX;
+
+/// Tag field of whole-rank fault sites; not a message tag (see module docs).
+pub const COLLECTIVE_SITE: Tag = 0;
+
+/// Dense frontier words exchanged by the runtime-agreement suite.
+pub const FRONTIER_WORDS: Tag = BLOCK;
+
+/// Ragged per-rank frontier chunks exchanged by the runtime-agreement suite.
+pub const FRONTIER_RAGGED: Tag = 2 * BLOCK;
+
+/// Frontier exchange of the `spmd_runtime` example.
+pub const DEMO_FRONTIER: Tag = 3 * BLOCK;
+
+/// Liveness ring of the CLI chaos harness.
+pub const CHAOS_RING: Tag = 4 * BLOCK;
+
+/// Derives the per-round sub-tag a ring collective uses for round `round`
+/// of a collective rooted at `base`. Rounds stay inside the base's
+/// [`BLOCK`] window for any world below 2^16 ranks.
+#[must_use]
+pub fn ring_round(base: Tag, round: usize) -> Tag {
+    base.wrapping_add(round as Tag)
+}
+
+/// Tags owned by unit/integration tests. Kept in their own namespace (and
+/// their own value range, starting at `64 * BLOCK`) so production tags and
+/// test probes can never collide.
+pub mod testing {
+    use super::{Tag, BLOCK};
+
+    /// Ring message-passing smoke test.
+    pub const RING_PASS: Tag = 64 * BLOCK;
+    /// Out-of-order stashing test, first (later-received) tag.
+    pub const STASH_LOW: Tag = 65 * BLOCK;
+    /// Out-of-order stashing test, second (earlier-received) tag.
+    pub const STASH_HIGH: Tag = 66 * BLOCK;
+    /// Root-gather smoke test.
+    pub const GATHER_DEMO: Tag = 67 * BLOCK;
+    /// Broadcast smoke test.
+    pub const BCAST_DEMO: Tag = 68 * BLOCK;
+    /// Ragged allgather smoke test.
+    pub const ALLGATHER_RAGGED: Tag = 69 * BLOCK;
+    /// Single-rank-world allgather test.
+    pub const ALLGATHER_SOLO: Tag = 70 * BLOCK;
+    /// Negative-path probe: send aimed outside the world.
+    pub const OUT_OF_WORLD: Tag = 71 * BLOCK;
+    /// Traffic-counter ring allgather.
+    pub const TRAFFIC_PROBE: Tag = 72 * BLOCK;
+    /// Drop/duplicate/reorder fault-recovery allgathers.
+    pub const FAULT_PROBE: Tag = 73 * BLOCK;
+    /// Retry-budget exhaustion probe (delivery impossible by design).
+    pub const RETRY_PROBE: Tag = 74 * BLOCK;
+    /// Crash-degradation ring.
+    pub const CRASH_RING: Tag = 75 * BLOCK;
+    /// Fault-log determinism ring allgather.
+    pub const DETERMINISM_RING: Tag = 76 * BLOCK;
+    /// Property-test ring allgather under random fault plans.
+    pub const FAULT_RING: Tag = 77 * BLOCK;
+    /// Property-test crash-propagation ring.
+    pub const CRASH_PAIR: Tag = 78 * BLOCK;
+}
+
+/// Every registered tag, for uniqueness/spacing audits.
+pub const REGISTRY: &[(&str, Tag)] = &[
+    ("TOMBSTONE", TOMBSTONE),
+    ("COLLECTIVE_SITE", COLLECTIVE_SITE),
+    ("FRONTIER_WORDS", FRONTIER_WORDS),
+    ("FRONTIER_RAGGED", FRONTIER_RAGGED),
+    ("DEMO_FRONTIER", DEMO_FRONTIER),
+    ("CHAOS_RING", CHAOS_RING),
+    ("testing::RING_PASS", testing::RING_PASS),
+    ("testing::STASH_LOW", testing::STASH_LOW),
+    ("testing::STASH_HIGH", testing::STASH_HIGH),
+    ("testing::GATHER_DEMO", testing::GATHER_DEMO),
+    ("testing::BCAST_DEMO", testing::BCAST_DEMO),
+    ("testing::ALLGATHER_RAGGED", testing::ALLGATHER_RAGGED),
+    ("testing::ALLGATHER_SOLO", testing::ALLGATHER_SOLO),
+    ("testing::OUT_OF_WORLD", testing::OUT_OF_WORLD),
+    ("testing::TRAFFIC_PROBE", testing::TRAFFIC_PROBE),
+    ("testing::FAULT_PROBE", testing::FAULT_PROBE),
+    ("testing::RETRY_PROBE", testing::RETRY_PROBE),
+    ("testing::CRASH_RING", testing::CRASH_RING),
+    ("testing::DETERMINISM_RING", testing::DETERMINISM_RING),
+    ("testing::FAULT_RING", testing::FAULT_RING),
+    ("testing::CRASH_PAIR", testing::CRASH_PAIR),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_values_are_unique() {
+        for (i, (name_a, val_a)) in REGISTRY.iter().enumerate() {
+            for (name_b, val_b) in &REGISTRY[i + 1..] {
+                assert_ne!(val_a, val_b, "tag collision: {name_a} vs {name_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_tags_are_block_spaced() {
+        // Every non-special pair must sit at least one ring-round window
+        // apart so `ring_round` can never alias two registered tags.
+        for (i, (name_a, val_a)) in REGISTRY.iter().enumerate() {
+            if *val_a == TOMBSTONE {
+                continue;
+            }
+            for (name_b, val_b) in &REGISTRY[i + 1..] {
+                if *val_b == TOMBSTONE {
+                    continue;
+                }
+                let gap = val_a.abs_diff(*val_b);
+                assert!(
+                    gap >= BLOCK,
+                    "{name_a} and {name_b} are only {gap} apart (< BLOCK)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_round_stays_inside_the_block_window() {
+        let base = testing::RING_PASS;
+        for round in 0..1024usize {
+            let t = ring_round(base, round);
+            assert!(t >= base && t < base + BLOCK);
+        }
+    }
+
+    #[test]
+    fn special_values_are_pinned() {
+        // Chaos determinism hashes COLLECTIVE_SITE into rank fault sites
+        // and the runtime matches TOMBSTONE exactly; neither may drift.
+        assert_eq!(TOMBSTONE, u64::MAX);
+        assert_eq!(COLLECTIVE_SITE, 0);
+    }
+}

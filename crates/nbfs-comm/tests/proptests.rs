@@ -11,6 +11,7 @@ use nbfs_comm::allgather::{
 use nbfs_comm::alltoallv::{alltoallv, alltoallv_pairs_codec_into, AlltoallvWorkspace};
 use nbfs_comm::codec::{allgather_words_codec_into, allgatherv_u32_codec, Codec, CodecWorkspace};
 use nbfs_comm::runtime::run_spmd_faulted;
+use nbfs_comm::tags;
 use nbfs_comm::{FaultPlan, FaultScope, FaultSpec};
 use nbfs_simnet::NetworkModel;
 use nbfs_topology::{presets, PlacementPolicy, ProcessMap};
@@ -153,7 +154,7 @@ proptest! {
         for world in [1usize, 4, 8] {
             let expect: Vec<Vec<u8>> = (0..world).map(|r| vec![r as u8; 5]).collect();
             let run = || run_spmd_faulted(world, &plan, |ctx| {
-                ctx.allgather_bytes(vec![ctx.rank() as u8; 5], 40)
+                ctx.allgather_bytes(vec![ctx.rank() as u8; 5], tags::testing::FAULT_RING)
             });
             let a = run();
             let b = run();
@@ -297,8 +298,8 @@ proptest! {
         let out = run_spmd_faulted(4, &plan, |ctx| {
             let next = (ctx.rank() + 1) % ctx.world();
             let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
-            ctx.send(next, 2, vec![ctx.rank() as u8])?;
-            ctx.recv(prev, 2)
+            ctx.send(next, tags::testing::CRASH_PAIR, vec![ctx.rank() as u8])?;
+            ctx.recv(prev, tags::testing::CRASH_PAIR)
         });
         // Rank 0 crashes on its first send; rank 1 loses its inbound
         // message and must error rather than wait forever.

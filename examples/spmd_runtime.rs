@@ -12,6 +12,7 @@
 use numa_bfs::comm::allgather::{allgather_words, AllgatherAlgorithm};
 use numa_bfs::comm::buffers::SharedFrontier;
 use numa_bfs::comm::runtime::run_spmd;
+use numa_bfs::comm::tags;
 use numa_bfs::simnet::NetworkModel;
 use numa_bfs::topology::{presets, PlacementPolicy, ProcessMap};
 use numa_bfs::util::Bitmap;
@@ -47,7 +48,7 @@ fn main() {
             .collect();
         ctx.barrier().unwrap();
         // ...and ring-allgathers the rest over channels.
-        let chunks = ctx.allgather_bytes(mine, 1).unwrap();
+        let chunks = ctx.allgather_bytes(mine, tags::DEMO_FRONTIER).unwrap();
         chunks
             .into_iter()
             .flat_map(|c| {

@@ -8,6 +8,7 @@
 #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 use numa_bfs::comm::allgather::{allgather_words, AllgatherAlgorithm};
 use numa_bfs::comm::runtime::run_spmd;
+use numa_bfs::comm::tags;
 use numa_bfs::simnet::NetworkModel;
 use numa_bfs::topology::{presets, PlacementPolicy, ProcessMap};
 use numa_bfs::util::{Bitmap, BlockPartition};
@@ -45,7 +46,7 @@ fn threaded_ring_allgather_matches_bsp_collective() {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect();
-        ctx.allgather_bytes(mine, 42).unwrap()
+        ctx.allgather_bytes(mine, tags::FRONTIER_WORDS).unwrap()
     })
     .unwrap();
 
@@ -83,7 +84,7 @@ fn threaded_runtime_supports_unequal_segments() {
             .iter()
             .flat_map(|w| w.to_le_bytes())
             .collect();
-        ctx.allgather_bytes(mine, 7).unwrap()
+        ctx.allgather_bytes(mine, tags::FRONTIER_RAGGED).unwrap()
     })
     .unwrap();
     let words: Vec<u64> = views[0]
