@@ -495,6 +495,30 @@ pub fn corpus() -> Vec<Scenario> {
             ],
             initial: vec![],
         },
+        // The multi-source expand phase: two frontier vertices claim
+        // *overlapping* lane sets in one vertex's lane word through
+        // `fetch_or_word`, with some lanes already reached (the initial
+        // word). Each claimer derives "lanes I newly discovered" from the
+        // previous-word observation, so a shared lane must read as fresh
+        // to exactly one of them; the observer models a settle-phase read.
+        Scenario {
+            name: "lane_word_overlapping_claims",
+            bits: 128,
+            threads: vec![
+                vec![Op::MergeWord {
+                    target: Q,
+                    word: 0,
+                    mask: 0b0111,
+                }],
+                vec![Op::MergeWord {
+                    target: Q,
+                    word: 0,
+                    mask: 0b1110,
+                }],
+                vec![Op::GetWord { target: Q, word: 0 }],
+            ],
+            initial: vec![(Q, 0, 0b1000_0000)],
+        },
     ]
 }
 
@@ -576,6 +600,7 @@ pub fn regression_corpus() -> Vec<(Scenario, Vec<usize>)> {
     let all = corpus();
     let merge = all[1].clone(); // word_merge_disjoint_masks
     let fetch_vs_merge = all[3].clone(); // fetch_set_vs_word_merge
+    let lane_claims = all[7].clone(); // lane_word_overlapping_claims
     vec![
         // T0 loads, T1 loads, T0 stores, T1 stores: T1's blind store
         // erases T0's mask — the canonical lost update.
@@ -585,6 +610,10 @@ pub fn regression_corpus() -> Vec<(Scenario, Vec<usize>)> {
         // The merge's read/store window swallows a concurrent fetch_set
         // on a different bit of the same word.
         (fetch_vs_merge, vec![1, 0, 1]),
+        // Overlapping lane claims: T1's blind store erases T0's
+        // exclusive lane (bit 0), so the final lane word is missing a
+        // claim no sequential order can lose — and the observer sees it.
+        (lane_claims, vec![0, 1, 0, 1, 2]),
     ]
 }
 
@@ -618,6 +647,24 @@ mod tests {
                 assert_eq!(v.scenario, "word_merge_disjoint_masks");
             }
             other => panic!("mutant must be detected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lane_word_claims_linearize_atomically_and_expose_the_mutant() {
+        let s = corpus()
+            .into_iter()
+            .find(|s| s.name == "lane_word_overlapping_claims")
+            .expect("scenario registered");
+        assert!(matches!(
+            check_scenario(&s, Engine::Atomic, FAST_CAP),
+            CheckOutcome::Linearizable { .. }
+        ));
+        match check_scenario(&s, Engine::LostUpdateMutant, FAST_CAP) {
+            CheckOutcome::Violation(v) => {
+                assert_eq!(v.scenario, "lane_word_overlapping_claims");
+            }
+            other => panic!("overlapping lane claims must expose the mutant, got {other:?}"),
         }
     }
 

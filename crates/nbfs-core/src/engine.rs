@@ -334,13 +334,18 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Validates the machine and assembles the scenario.
+    /// Validates the machine (and any summary-granularity override) and
+    /// assembles the scenario.
     ///
     /// # Errors
     /// [`NbfsError::Config`] if the machine description is inconsistent
-    /// (see [`MachineConfig::validate`]).
+    /// (see [`MachineConfig::validate`]) or the granularity override
+    /// breaks the [`nbfs_util::summary::check_granularity`] contract.
     pub fn build(self) -> Result<Scenario, NbfsError> {
         self.machine.validate().map_err(NbfsError::config)?;
+        if let Some(g) = self.summary_granularity {
+            nbfs_util::summary::check_granularity(g).map_err(NbfsError::config)?;
+        }
         Ok(Scenario {
             machine: self.machine,
             opt: self.opt,
@@ -728,16 +733,34 @@ pub struct DistributedBfs<'g> {
     profiles: MemoryProfile,
     bu_kernel: BottomUpKernel,
     td_kernel: TopDownKernel,
+    /// The scenario's effective summary granularity, contract-checked
+    /// once here at construction; the per-root level loop builds its
+    /// summaries prevalidated (a regression test pins that no per-run
+    /// re-validation creeps back in).
+    granularity: usize,
 }
 
 impl<'g> DistributedBfs<'g> {
     /// Partitions `graph` for the scenario's process map and prepares the
-    /// cost models.
+    /// cost models. Scenario validation — including the summary
+    /// granularity contract — happens exactly once, here; individual runs
+    /// are validation-free.
+    ///
+    /// # Panics
+    /// If the scenario's effective summary granularity breaks the
+    /// [`nbfs_util::summary::check_granularity`] contract.
     pub fn new(graph: &'g Csr, scenario: &Scenario) -> Self {
         let pmap = scenario.process_map();
         let parts = PartitionedGraph::new(graph, pmap.world_size());
         let net = NetworkModel::new(&scenario.machine);
         let profiles = pmap.memory_profile(&scenario.machine);
+        let granularity = scenario.effective_granularity();
+        let checked = nbfs_util::summary::check_granularity(granularity);
+        assert!(
+            checked.is_ok(),
+            "invalid scenario summary granularity: {}",
+            checked.err().unwrap_or_default()
+        );
         Self {
             graph,
             parts,
@@ -747,6 +770,7 @@ impl<'g> DistributedBfs<'g> {
             profiles,
             bu_kernel: BottomUpKernel::default(),
             td_kernel: TopDownKernel::default(),
+            granularity,
         }
     }
 
@@ -956,7 +980,7 @@ impl<'g> DistributedBfs<'g> {
         assert!(root < n, "root {root} out of range");
         let np = self.pmap.world_size();
         let partition = self.parts.partition();
-        let granularity = self.scenario.effective_granularity();
+        let granularity = self.granularity;
 
         // --- state ------------------------------------------------------
         let mut states: Vec<RankState> = (0..np)
@@ -982,7 +1006,10 @@ impl<'g> DistributedBfs<'g> {
             })
             .collect();
         let mut in_queue = Bitmap::new(n);
-        let mut summary = SummaryBitmap::new(n, granularity);
+        // Granularity was contract-checked at construction; per-run
+        // summary creation must stay validation-free (pinned by the
+        // one-time-validation regression test).
+        let mut summary = SummaryBitmap::new_prevalidated(n, granularity);
         // Persistent staging for the dense top-down exchange, so no level
         // allocates a full-length bitmap.
         let mut td_scratch = Bitmap::new(n);

@@ -7,6 +7,14 @@
 //! This module reproduces that procedure (root count configurable so tests
 //! stay fast), including the Graph500 rules of sampling only vertices with
 //! at least one edge and validating every search.
+//!
+//! The campaign loop itself is a [`QueryEngine::run_batch`] over the
+//! distributed engine — the same admission machinery that serves
+//! concurrent queries (see [`crate::query`]) — so the measurement path
+//! and the service path cannot drift apart. Scenario validation happens
+//! once, at [`Graph500Harness::new`] (engine construction), not per
+//! root; `tests/multi_source_equivalence.rs` pins that with a
+//! granularity-check counter.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -21,6 +29,7 @@ use nbfs_trace::TraceReport;
 
 use crate::engine::{BfsRun, DistributedBfs, Scenario};
 use crate::profile::RunProfile;
+use crate::query::{DistributedRunBackend, DistributedTracedBackend, QueryEngine};
 
 /// Measurement configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -215,12 +224,12 @@ impl<'g> Graph500Harness<'g> {
     /// If validation is enabled and any BFS tree is invalid.
     pub fn run(&self, config: &HarnessConfig) -> HarnessResult {
         let roots = self.sample_roots(config.roots, config.seed);
+        let service = QueryEngine::new(DistributedRunBackend::new(&self.engine));
+        let runs = service.run_batch(&roots);
         let results: Vec<(RootResult, RunProfile)> = roots
             .par_iter()
-            .map(|&root| {
-                let run = self.engine.run(root);
-                (self.root_result(root, &run, config.validate), run.profile)
-            })
+            .zip(runs.into_par_iter())
+            .map(|(&root, run)| (self.root_result(root, &run, config.validate), run.profile))
             .collect();
         let (per_root, profiles): (Vec<RootResult>, Vec<RunProfile>) = results.into_iter().unzip();
         Self::summarize(per_root, &profiles)
@@ -234,10 +243,12 @@ impl<'g> Graph500Harness<'g> {
     /// If validation is enabled and any BFS tree is invalid.
     pub fn run_traced(&self, config: &HarnessConfig) -> (HarnessResult, Vec<TraceReport>) {
         let roots = self.sample_roots(config.roots, config.seed);
+        let service = QueryEngine::new(DistributedTracedBackend::new(&self.engine));
+        let runs = service.run_batch(&roots);
         let results: Vec<(RootResult, RunProfile, TraceReport)> = roots
             .par_iter()
-            .map(|&root| {
-                let (run, report) = self.engine.run_traced(root);
+            .zip(runs.into_par_iter())
+            .map(|(&root, (run, report))| {
                 (
                     self.root_result(root, &run, config.validate),
                     run.profile,
@@ -305,6 +316,34 @@ mod tests {
         let h = Graph500Harness::new(&g, &scenario);
         assert_eq!(h.sample_roots(8, 5), h.sample_roots(8, 5));
         assert_ne!(h.sample_roots(8, 5), h.sample_roots(8, 6));
+    }
+
+    /// Regression: the harness used to re-validate the scenario's summary
+    /// granularity on every root. Validation is hoisted to construction —
+    /// building the engine checks exactly once, and an entire campaign run
+    /// on the same thread performs zero further checks.
+    #[test]
+    fn scenario_validation_happens_once_at_construction() {
+        let (g, scenario) = harness_setup();
+        let before = nbfs_util::summary::granularity_checks_on_current_thread();
+        let h = Graph500Harness::new(&g, &scenario);
+        assert_eq!(
+            nbfs_util::summary::granularity_checks_on_current_thread(),
+            before + 1,
+            "constructing the harness validates the scenario exactly once"
+        );
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap_or_else(|e| panic!("pool: {e}"));
+        // A 1-thread pool keeps every per-root run on this thread, so the
+        // thread-local counter observes the whole campaign.
+        pool.install(|| h.run(&HarnessConfig::quick(4)));
+        assert_eq!(
+            nbfs_util::summary::granularity_checks_on_current_thread(),
+            before + 1,
+            "running 4 roots must not re-validate the scenario"
+        );
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //!   computation, bottom-up computation, bottom-up communication, switch,
 //!   stall);
 //! * [`harness`] — the Graph500 measurement harness: N random roots,
-//!   per-root validation, harmonic-mean TEPS.
+//!   per-root validation, harmonic-mean TEPS;
+//! * [`multi`] — the bit-parallel multi-source kernel: up to 64 roots
+//!   fused into one wave over per-vertex lane words, with a min-parent
+//!   settle rule that keeps every lane bit-identical to a per-root run;
+//! * [`query`] — BFS-as-a-service: a long-lived [`QueryEngine`] with a
+//!   leader/follower batching queue and pooled workspaces, which both
+//!   concurrent submitters and the Graph500 harness ride.
 
 #![forbid(unsafe_code)]
 // u64 offsets and counters are indexed into slices throughout; usize is
@@ -30,13 +36,17 @@ pub mod engine;
 pub mod engine2d;
 pub mod ext2d;
 pub mod harness;
+pub mod multi;
 pub mod opt;
 pub mod par;
 pub mod profile;
+pub mod query;
 pub mod seq;
 pub mod tuning;
 
 pub use engine::{BfsRun, DistributedBfs, Scenario, ScenarioBuilder};
 pub use harness::{Graph500Harness, HarnessConfig, HarnessConfigBuilder};
+pub use multi::{LaneAnswer, MultiSourceRun, MultiWorkspace, MAX_LANES};
 pub use opt::OptLevel;
 pub use profile::{Phase, RunProfile};
+pub use query::{BitParallelBackend, EngineStats, QueryBackend, QueryEngine};

@@ -1,0 +1,720 @@
+//! Bit-parallel multi-source BFS: up to 64 roots in one shared sweep.
+//!
+//! Buluç & Madduri (arXiv:1104.4518) observe that frontier work is
+//! word-level at heart, so 64 independent BFS queries can be fused into
+//! one traversal by giving every vertex a single `u64` whose bit *l*
+//! means "query lane *l* has reached this vertex"
+//! ([`nbfs_util::LaneBitmap`]). One wave then advances all lanes level by
+//! level: vertices touched by several queries are scanned once per level
+//! instead of once per query — the sharing that makes a batched wave beat
+//! 64 sequential single-source runs on queries/sec.
+//!
+//! Every level is two phases, mirroring the alloc-free pipeline of
+//! [`crate::par`]:
+//!
+//! * **Expand** — workers walk disjoint chunks of the active list; for
+//!   each frontier vertex `v` and neighbour `w`, the lanes newly reaching
+//!   `w` are `cur[v] & !reached[w]`, OR-ed into `next[w]` with one
+//!   `fetch_or_word` (idempotent, so the race is benign).
+//! * **Settle** — workers own disjoint fixed vertex ranges (chunking is a
+//!   pure function of the vertex count, never the thread count); each
+//!   newly-claimed vertex scans its *sorted* adjacency list ascending and
+//!   records, per lane, the first frontier neighbour carrying that lane —
+//!   the **minimum** frontier neighbour, the very parent
+//!   [`crate::par::bfs_hybrid_parallel`]'s `fetch_min` rule elects. Plain
+//!   stores suffice (one owner per vertex), and the whole parent table is
+//!   a deterministic function of graph + roots: bit-identical across
+//!   thread pools, batch compositions and admission orders.
+//!
+//! Dense mid-wave levels run **bottom-up** instead (chosen by the Beamer
+//! α/β policy over lane-union frontier statistics): each owner task
+//! scans its still-missing vertices' sorted adjacency ascending with
+//! early exit once every missing lane found a frontier neighbour — the
+//! same minimum-parent rule, fused claim+settle, no atomics at all.
+//!
+//! The per-lane unpack at the end copies each lane's contiguous column
+//! of the lane-major parent table into an independent parent array, each
+//! bitwise identical to a per-root reference run — the property
+//! `tests/multi_source_equivalence` pins across scales, batch sizes and
+//! pools.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use nbfs_graph::{vid, Csr, NO_PARENT};
+use nbfs_trace::{CommCost, QueryRecord, RunMeta, TraceConfig, TraceEvent, TraceReport, Tracer};
+use nbfs_util::{Bitmap, FrontierArena, FrontierSlot, LaneBitmap, SimTime};
+
+use crate::direction::{Direction, SwitchPolicy};
+use crate::engine::{HostClock, NoClock};
+
+/// Lanes per wave: one per bit of the per-vertex lane word.
+pub const MAX_LANES: usize = 64;
+
+/// Active-list vertices per expand task (matches [`crate::par`]'s chunk).
+const CHUNK: usize = 1024;
+
+/// Vertices per settle task — fixed, thread-count-independent chunking,
+/// like the distributed kernels' word blocks.
+const SETTLE_TASK: usize = 4096;
+
+/// One query's answer, unpacked from its lane of a wave.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneAnswer {
+    /// The search key this lane ran from.
+    pub root: usize,
+    /// Parent array (global ids; `NO_PARENT` = unreached; the root is its
+    /// own parent). Bitwise identical to a per-root reference run.
+    pub parent: Vec<u32>,
+    /// Vertices reached, root included.
+    pub visited: u64,
+    /// Vertices discovered per committed level, ending with the empty
+    /// level — the same shape as the single-source engines' level traces.
+    pub level_discovered: Vec<u64>,
+}
+
+impl LaneAnswer {
+    /// Committed levels, including the final empty one.
+    pub fn levels(&self) -> usize {
+        self.level_discovered.len()
+    }
+}
+
+/// Result of one bit-parallel wave.
+#[derive(Clone, Debug)]
+pub struct MultiSourceRun {
+    /// One answer per admitted root, in admission order.
+    pub lanes: Vec<LaneAnswer>,
+    /// Levels the wave ran (the maximum over its lanes).
+    pub wave_levels: usize,
+    /// CSR adjacency entries examined by the whole wave (expand probes
+    /// plus settle parent scans) — shared across all lanes.
+    pub edges_scanned: u64,
+}
+
+/// Recyclable state of one wave: lane tables, the flattened parent table
+/// and the frontier pipeline. Pool these (see [`nbfs_util::ArenaPool`])
+/// so a long-lived engine allocates nothing per wave at steady state.
+pub struct MultiWorkspace {
+    reached: LaneBitmap,
+    cur: LaneBitmap,
+    next: LaneBitmap,
+    /// Lane-major flattened parents: `parent[lane * n + v]`. Lane-major
+    /// keeps each settle task's writes on up-to-64 ascending streams and
+    /// makes the per-lane unpack a contiguous column read instead of a
+    /// strided transpose.
+    parent: Vec<AtomicU32>,
+    /// Whether `parent` may hold non-`NO_PARENT` entries. The unpack
+    /// restores every column it reads, so a completed wave leaves the
+    /// table clean and the next `prepare` can skip the refill sweep.
+    parent_dirty: bool,
+    active: Vec<u32>,
+    arena: FrontierArena<u32>,
+    caps: Vec<usize>,
+}
+
+impl Default for MultiWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiWorkspace {
+    /// An empty workspace; sized lazily by the first wave.
+    pub fn new() -> Self {
+        Self {
+            reached: LaneBitmap::new(0),
+            cur: LaneBitmap::new(0),
+            next: LaneBitmap::new(0),
+            parent: Vec::new(),
+            parent_dirty: false,
+            active: Vec::new(),
+            arena: FrontierArena::new(),
+            caps: Vec::new(),
+        }
+    }
+
+    /// Sizes (or recycles) the tables for an `n`-vertex, `lanes`-wide wave
+    /// and resets them to the all-unreached state.
+    fn prepare(&mut self, n: usize, lanes: usize) {
+        if self.reached.len() != n {
+            self.reached = LaneBitmap::new(n);
+            self.cur = LaneBitmap::new(n);
+            self.next = LaneBitmap::new(n);
+        } else {
+            self.reached.clear_all();
+            self.cur.clear_all();
+            self.next.clear_all();
+        }
+        let need = n * lanes;
+        if self.parent.len() != need {
+            let mut parent = Vec::with_capacity(need);
+            parent.resize_with(need, || AtomicU32::new(NO_PARENT));
+            self.parent = parent;
+        } else if self.parent_dirty {
+            // Only reached after a wave aborted between prepare and
+            // unpack; completed waves restore the table as they unpack.
+            self.parent.par_chunks(SETTLE_TASK).for_each(|chunk| {
+                chunk
+                    .iter()
+                    .for_each(|p| p.store(NO_PARENT, Ordering::Relaxed))
+            });
+        }
+        self.parent_dirty = true;
+        self.active.clear();
+    }
+}
+
+/// Runs one bit-parallel wave for `roots` (1..=64, duplicates allowed)
+/// in a fresh workspace. Sustained services should prefer
+/// [`multi_source_bfs_in`] with a pooled workspace.
+pub fn multi_source_bfs(graph: &Csr, roots: &[usize]) -> MultiSourceRun {
+    let mut ws = MultiWorkspace::new();
+    multi_source_bfs_in(graph, roots, &mut ws)
+}
+
+/// Runs one bit-parallel wave for `roots` in the caller's workspace.
+pub fn multi_source_bfs_in(
+    graph: &Csr,
+    roots: &[usize],
+    ws: &mut MultiWorkspace,
+) -> MultiSourceRun {
+    multi_source_bfs_instrumented(graph, roots, ws, 0, &NoClock, &mut Tracer::off())
+}
+
+/// Like [`multi_source_bfs`], also recording run events: one `Level` span
+/// per wave level and one [`QueryRecord`] per lane (schema v4). This
+/// kernel runs for real, so simulated-time fields stay zero and
+/// `wall_comp_secs` carries host seconds when `clock` is a real timer.
+pub fn multi_source_bfs_traced(
+    graph: &Csr,
+    roots: &[usize],
+    trace: TraceConfig,
+    clock: &dyn HostClock,
+) -> (MultiSourceRun, TraceReport) {
+    let mut tracer = Tracer::new(trace, 1);
+    let mut ws = MultiWorkspace::new();
+    let run = multi_source_bfs_instrumented(graph, roots, &mut ws, 0, clock, &mut tracer);
+    let meta = RunMeta {
+        world: 1,
+        nodes: 1,
+        ppn: 1,
+        opt_label: "multi-source".to_string(),
+        root: roots.first().map_or(0, |&r| r as u64),
+    };
+    (run, tracer.finish(meta))
+}
+
+pub(crate) fn multi_source_bfs_instrumented(
+    graph: &Csr,
+    roots: &[usize],
+    ws: &mut MultiWorkspace,
+    wave: u64,
+    clock: &dyn HostClock,
+    tracer: &mut Tracer,
+) -> MultiSourceRun {
+    let n = graph.num_vertices();
+    let lanes = roots.len();
+    assert!(
+        (1..=MAX_LANES).contains(&lanes),
+        "a wave fuses 1..={MAX_LANES} roots, got {lanes}"
+    );
+    for &root in roots {
+        assert!(root < n, "root {root} out of range");
+    }
+    let wave_start = clock.now_secs();
+    ws.prepare(n, lanes);
+
+    // Root installation: lane l starts at roots[l]. Duplicate roots simply
+    // share a vertex — their lanes advance identically.
+    for (lane, &root) in roots.iter().enumerate() {
+        let mask = 1u64 << lane;
+        ws.cur.fetch_or_word(root, mask);
+        ws.reached.fetch_or_word(root, mask);
+        ws.parent[lane * n + root].store(vid::to_stored(root), Ordering::Relaxed);
+    }
+    ws.active.extend(
+        roots
+            .iter()
+            .map(|&r| vid::to_stored(r))
+            .collect::<std::collections::BTreeSet<u32>>(),
+    );
+
+    let num_tasks = n.div_ceil(SETTLE_TASK);
+    let wave_mask: u64 = if lanes == MAX_LANES {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    };
+    let policy = SwitchPolicy::default();
+    let mut direction = Direction::TopDown;
+    let edges = AtomicU64::new(0);
+    // Lanes still emitting level counts; a lane stops after its first
+    // empty level, mirroring the single-source engines' trailing zero.
+    let mut recording: u64 = wave_mask;
+    let mut lane_levels: Vec<Vec<u64>> = vec![Vec::new(); lanes];
+    let mut wave_levels = 0usize;
+
+    while !ws.active.is_empty() {
+        let cur = &ws.cur;
+        let reached = &ws.reached;
+        let next = &ws.next;
+        let parent = &ws.parent;
+        let level_start = clock.now_secs();
+
+        // --- direction choice (Beamer α/β, lane-union statistics) --------
+        // m_f: arcs incident to the union frontier. m_u: arcs incident to
+        // vertices still missing at least one lane. Pure functions of the
+        // level-start state, so the chosen direction — and hence every
+        // probe count — is schedule-independent.
+        let m_f: u64 = ws
+            .active
+            .par_chunks(CHUNK)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&v| graph.degree(v as usize) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        let m_u: u64 = (0..num_tasks)
+            .into_par_iter()
+            .map(|task| {
+                let start = task * SETTLE_TASK;
+                let end = ((task + 1) * SETTLE_TASK).min(n);
+                (start..end)
+                    .filter(|&v| reached.load_word(v) != wave_mask)
+                    .map(|v| graph.degree(v) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        direction = policy.choose(direction, m_f, m_u, ws.active.len() as u64, n as u64);
+
+        let filled: Vec<(FrontierSlot<'_, u32>, [u64; MAX_LANES], u64)> = if direction
+            == Direction::TopDown
+        {
+            // --- expand --------------------------------------------------
+            // nbfs-analysis: hot-path
+            // Per-edge work of the expand phase: one reached-word load and
+            // at most one fetch_or claim; allocation-free by construction
+            // (NBFS004).
+            ws.active.par_chunks(CHUNK).for_each(|chunk| {
+                let mut local_edges = 0u64;
+                for &v in chunk {
+                    let fv = cur.load_word(v as usize);
+                    for &w in graph.neighbours(v as usize) {
+                        local_edges += 1;
+                        let new = fv & !reached.load_word(w as usize);
+                        if new != 0 {
+                            next.fetch_or_word(w as usize, new);
+                        }
+                    }
+                }
+                edges.fetch_add(local_edges, Ordering::Relaxed);
+            });
+            // nbfs-analysis: end-hot-path
+
+            // --- settle --------------------------------------------------
+            // Fixed vertex-range tasks (pure function of n), so the merged
+            // next frontier and every parent store are schedule-independent.
+            ws.caps.clear();
+            ws.caps.extend((0..num_tasks).map(|task| {
+                let start = task * SETTLE_TASK;
+                let end = ((task + 1) * SETTLE_TASK).min(n);
+                (start..end).filter(|&v| next.load_word(v) != 0).count()
+            }));
+            ws.arena
+                .begin(&ws.caps)
+                .into_par_iter()
+                .enumerate()
+                .map(|(task, mut slot)| {
+                    let start = task * SETTLE_TASK;
+                    let end = ((task + 1) * SETTLE_TASK).min(n);
+                    let mut counts = [0u64; MAX_LANES];
+                    let mut local_edges = 0u64;
+                    // nbfs-analysis: hot-path
+                    // Each claimed vertex scans its sorted adjacency
+                    // ascending and takes, per lane, the first frontier
+                    // neighbour — the minimum, i.e. the reference parent.
+                    // One owner per vertex: plain stores, no RMW, no
+                    // allocation (NBFS004).
+                    for v in start..end {
+                        let new = next.load_word(v);
+                        if new == 0 {
+                            continue;
+                        }
+                        reached.store_word(v, reached.load_word(v) | new);
+                        let mut pending = new;
+                        for &u in graph.neighbours(v) {
+                            local_edges += 1;
+                            let hit = cur.load_word(u as usize) & pending;
+                            if hit != 0 {
+                                let mut h = hit;
+                                while h != 0 {
+                                    let lane = h.trailing_zeros() as usize;
+                                    h &= h - 1;
+                                    parent[lane * n + v].store(u, Ordering::Relaxed);
+                                    counts[lane] += 1;
+                                }
+                                pending &= !hit;
+                                if pending == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        debug_assert_eq!(pending, 0, "every claimed lane has a frontier neighbour");
+                        slot.push(vid::to_stored(v));
+                    }
+                    // nbfs-analysis: end-hot-path
+                    (slot, counts, local_edges)
+                })
+                .collect()
+        } else {
+            // --- bottom-up -----------------------------------------------
+            // One fused claim+settle pass: each owner task scans its
+            // missing vertices' sorted adjacency ascending, so the first
+            // frontier neighbour per lane is again the minimum — the same
+            // parent the top-down settle elects. Early exit once every
+            // missing lane is served makes the dense bulge cheap, exactly
+            // like the scalar bottom-up of [`crate::par`]. The caps are the
+            // per-task missing-vertex counts (an upper bound on claims).
+            ws.caps.clear();
+            ws.caps.extend((0..num_tasks).map(|task| {
+                let start = task * SETTLE_TASK;
+                let end = ((task + 1) * SETTLE_TASK).min(n);
+                (start..end)
+                    .filter(|&v| reached.load_word(v) != wave_mask)
+                    .count()
+            }));
+            ws.arena
+                .begin(&ws.caps)
+                .into_par_iter()
+                .enumerate()
+                .map(|(task, mut slot)| {
+                    let start = task * SETTLE_TASK;
+                    let end = ((task + 1) * SETTLE_TASK).min(n);
+                    let mut counts = [0u64; MAX_LANES];
+                    let mut local_edges = 0u64;
+                    // nbfs-analysis: hot-path
+                    // Owner-exclusive claim + settle: plain stores into
+                    // reached/next/parent, no RMW, no allocation (NBFS004).
+                    for v in start..end {
+                        let mut pending = wave_mask & !reached.load_word(v);
+                        if pending == 0 {
+                            continue;
+                        }
+                        let mut found = 0u64;
+                        for &u in graph.neighbours(v) {
+                            local_edges += 1;
+                            let hit = cur.load_word(u as usize) & pending;
+                            if hit != 0 {
+                                let mut h = hit;
+                                while h != 0 {
+                                    let lane = h.trailing_zeros() as usize;
+                                    h &= h - 1;
+                                    parent[lane * n + v].store(u, Ordering::Relaxed);
+                                    counts[lane] += 1;
+                                }
+                                found |= hit;
+                                pending &= !hit;
+                                if pending == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        if found != 0 {
+                            next.store_word(v, found);
+                            reached.store_word(v, reached.load_word(v) | found);
+                            slot.push(vid::to_stored(v));
+                        }
+                    }
+                    // nbfs-analysis: end-hot-path
+                    (slot, counts, local_edges)
+                })
+                .collect()
+        };
+
+        // --- level tail --------------------------------------------------
+        let mut level_counts = [0u64; MAX_LANES];
+        let mut settle_edges = 0u64;
+        for (_, counts, e) in &filled {
+            for (total, c) in level_counts.iter_mut().zip(counts.iter()) {
+                *total += c;
+            }
+            settle_edges += e;
+        }
+        edges.fetch_add(settle_edges, Ordering::Relaxed);
+
+        // Retire the old frontier, promote the claims, rebuild the active
+        // list in task order (ascending vertex ids).
+        ws.active.par_chunks(CHUNK).for_each(|chunk| {
+            for &v in chunk {
+                cur.store_word(v as usize, 0);
+            }
+        });
+        ws.active.clear();
+        ws.active
+            .reserve(filled.iter().map(|(slot, _, _)| slot.len()).sum());
+        for (slot, _, _) in &filled {
+            ws.active.extend_from_slice(slot.as_slice());
+        }
+        drop(filled);
+        std::mem::swap(&mut ws.cur, &mut ws.next);
+
+        let discovered: u64 = level_counts.iter().sum();
+        let mut rec = recording;
+        while rec != 0 {
+            let lane = rec.trailing_zeros() as usize;
+            rec &= rec - 1;
+            lane_levels[lane].push(level_counts[lane]);
+            if level_counts[lane] == 0 {
+                recording &= !(1u64 << lane);
+            }
+        }
+        tracer.record(TraceEvent::Level {
+            level: wave_levels,
+            direction,
+            discovered,
+            comp: SimTime::ZERO,
+            comm: SimTime::ZERO,
+            stall: SimTime::ZERO,
+            switch: SimTime::ZERO,
+            detail: CommCost::ZERO,
+            wall_comp_secs: clock.now_secs() - level_start,
+        });
+        wave_levels += 1;
+    }
+
+    // --- deterministic per-lane unpack -----------------------------------
+    let edges_scanned = edges.load(Ordering::Relaxed);
+    let wall_secs = clock.now_secs() - wave_start;
+    let parent = &ws.parent;
+    // Each lane owns a contiguous column of the lane-major table, so the
+    // unpack is a parallel sequential copy (rayon's indexed collect
+    // preserves lane order) that also restores its column to NO_PARENT —
+    // leaving the pooled workspace clean for the next wave's `prepare`.
+    let lanes_out: Vec<LaneAnswer> = roots
+        .par_iter()
+        .enumerate()
+        .map(|(lane, &root)| {
+            let parent_arr: Vec<u32> = parent[lane * n..(lane + 1) * n]
+                .iter()
+                .map(|p| {
+                    let stored = p.load(Ordering::Relaxed);
+                    p.store(NO_PARENT, Ordering::Relaxed);
+                    stored
+                })
+                .collect();
+            let level_discovered = lane_levels[lane].clone();
+            LaneAnswer {
+                root,
+                visited: 1 + level_discovered.iter().sum::<u64>(),
+                parent: parent_arr,
+                level_discovered,
+            }
+        })
+        .collect();
+    ws.parent_dirty = false;
+    if tracer.enabled() {
+        for (lane, answer) in lanes_out.iter().enumerate() {
+            tracer.record(TraceEvent::Query(QueryRecord {
+                wave,
+                lane: lane as u32,
+                batch: lanes as u32,
+                root: answer.root as u64,
+                levels: answer.levels() as u32,
+                visited: answer.visited,
+                edges_scanned,
+                wall_secs,
+            }));
+        }
+    }
+    MultiSourceRun {
+        lanes: lanes_out,
+        wave_levels,
+        edges_scanned,
+    }
+}
+
+/// Scalar per-root oracle: a sequential level-synchronous BFS electing
+/// the **minimum** frontier neighbour as parent — the same rule as
+/// [`crate::par::bfs_hybrid_parallel`] and the settle phase above, so all
+/// three produce bitwise-identical parent arrays. The differential suite
+/// compares every lane of a wave against this.
+pub fn reference_single_source(graph: &Csr, root: usize) -> LaneAnswer {
+    let n = graph.num_vertices();
+    assert!(root < n, "root {root} out of range");
+    let mut parent = vec![NO_PARENT; n];
+    parent[root] = vid::to_stored(root);
+    let mut visited_bm = Bitmap::new(n);
+    visited_bm.set(root);
+    let mut frontier: Vec<usize> = vec![root];
+    let mut next: Vec<usize> = Vec::new();
+    let mut level_discovered: Vec<u64> = Vec::new();
+    loop {
+        next.clear();
+        for &u in &frontier {
+            let us = vid::to_stored(u);
+            for &w in graph.neighbours(u) {
+                let wi = w as usize;
+                if visited_bm.get(wi) {
+                    continue;
+                }
+                if parent[wi] == NO_PARENT {
+                    next.push(wi);
+                }
+                if us < parent[wi] {
+                    parent[wi] = us;
+                }
+            }
+        }
+        next.sort_unstable();
+        for &w in &next {
+            visited_bm.set(w);
+        }
+        level_discovered.push(next.len() as u64);
+        if next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    LaneAnswer {
+        root,
+        visited: 1 + level_discovered.iter().sum::<u64>(),
+        parent,
+        level_discovered,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+mod tests {
+    use super::*;
+    use crate::direction::SwitchPolicy;
+    use crate::par::bfs_hybrid_parallel;
+    use nbfs_graph::validate::validate_bfs_tree;
+    use nbfs_graph::GraphBuilder;
+
+    fn graph() -> Csr {
+        GraphBuilder::rmat(12, 16).seed(23).build()
+    }
+
+    fn sample_roots(g: &Csr, count: usize, seed: u64) -> Vec<usize> {
+        let mut rng = nbfs_util::rng::Xoroshiro128::new(seed);
+        let mut roots = Vec::new();
+        while roots.len() < count {
+            let v = rng.next_below(g.num_vertices() as u64) as usize;
+            if g.degree(v) > 0 {
+                roots.push(v);
+            }
+        }
+        roots
+    }
+
+    #[test]
+    fn every_lane_matches_the_scalar_reference() {
+        let g = graph();
+        let roots = sample_roots(&g, 17, 7);
+        let run = multi_source_bfs(&g, &roots);
+        assert_eq!(run.lanes.len(), roots.len());
+        for (lane, &root) in roots.iter().enumerate() {
+            let reference = reference_single_source(&g, root);
+            assert_eq!(run.lanes[lane], reference, "lane {lane} root {root}");
+        }
+    }
+
+    #[test]
+    fn lanes_match_the_parallel_reference_kernel() {
+        let g = graph();
+        let roots = sample_roots(&g, 9, 11);
+        let run = multi_source_bfs(&g, &roots);
+        for (lane, &root) in roots.iter().enumerate() {
+            let par = bfs_hybrid_parallel(&g, root, SwitchPolicy::default());
+            assert_eq!(run.lanes[lane].parent, par.parent, "lane {lane}");
+            assert_eq!(run.lanes[lane].visited, par.visited() as u64);
+            let pd: Vec<u64> = par.levels.iter().map(|l| l.discovered).collect();
+            assert_eq!(run.lanes[lane].level_discovered, pd, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn every_lane_validates_as_a_bfs_tree() {
+        let g = graph();
+        let roots = sample_roots(&g, MAX_LANES, 3);
+        let run = multi_source_bfs(&g, &roots);
+        for answer in &run.lanes {
+            let visited = validate_bfs_tree(&g, answer.root, &answer.parent)
+                .unwrap_or_else(|e| panic!("root {}: {e}", answer.root));
+            assert_eq!(visited as u64, answer.visited);
+        }
+    }
+
+    #[test]
+    fn duplicate_roots_share_a_lane_answer() {
+        let g = graph();
+        let r = sample_roots(&g, 1, 5)[0];
+        let run = multi_source_bfs(&g, &[r, r, r]);
+        assert_eq!(run.lanes[0], run.lanes[1]);
+        assert_eq!(run.lanes[1], run.lanes[2]);
+        assert_eq!(run.lanes[0], reference_single_source(&g, r));
+    }
+
+    #[test]
+    fn isolated_root_terminates_with_one_empty_level() {
+        let g = graph();
+        let isolated = (0..g.num_vertices()).find(|&v| g.degree(v) == 0).unwrap();
+        let connected = sample_roots(&g, 1, 9)[0];
+        let run = multi_source_bfs(&g, &[isolated, connected]);
+        assert_eq!(run.lanes[0].visited, 1);
+        assert_eq!(run.lanes[0].level_discovered, vec![0]);
+        assert_eq!(run.lanes[0], reference_single_source(&g, isolated));
+        assert!(run.lanes[1].visited > 1);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_pools_and_workspace_reuse() {
+        let g = graph();
+        let roots = sample_roots(&g, 13, 21);
+        let baseline = multi_source_bfs(&g, &roots);
+        let mut ws = MultiWorkspace::new();
+        for threads in [1usize, 3, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let run = pool.install(|| multi_source_bfs_in(&g, &roots, &mut ws));
+            for (lane, answer) in run.lanes.iter().enumerate() {
+                assert_eq!(answer, &baseline.lanes[lane], "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_wave_emits_one_query_record_per_lane() {
+        let g = graph();
+        let roots = sample_roots(&g, 5, 2);
+        let (run, report) =
+            multi_source_bfs_traced(&g, &roots, nbfs_trace::TraceConfig::Standard, &NoClock);
+        assert_eq!(report.queries.len(), 5);
+        assert_eq!(report.levels.len(), run.wave_levels);
+        for (lane, q) in report.queries.iter().enumerate() {
+            assert_eq!(q.lane as usize, lane);
+            assert_eq!(q.batch, 5);
+            assert_eq!(q.root, roots[lane] as u64);
+            assert_eq!(q.visited, run.lanes[lane].visited);
+            assert_eq!(q.edges_scanned, run.edges_scanned);
+        }
+        let discovered: u64 = report.levels.iter().map(|l| l.discovered).sum();
+        let total_visited: u64 = run.lanes.iter().map(|l| l.visited).sum();
+        assert_eq!(discovered + roots.len() as u64, total_visited);
+    }
+
+    #[test]
+    #[should_panic(expected = "fuses 1..=")]
+    fn rejects_oversized_waves() {
+        let g = GraphBuilder::rmat(8, 8).seed(1).build();
+        let roots = vec![0usize; MAX_LANES + 1];
+        multi_source_bfs(&g, &roots);
+    }
+}

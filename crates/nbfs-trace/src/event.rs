@@ -141,6 +141,39 @@ pub struct FaultRecord {
     pub penalty: SimTime,
 }
 
+/// Per-query statistics for one lane of a batched multi-source BFS wave
+/// (schema v4). `Copy`, so it doubles as the in-ring payload of
+/// [`TraceEvent::Query`] and the serialized record of
+/// `TraceReport::queries`.
+///
+/// A wave fuses up to 64 admitted roots into one bit-parallel traversal;
+/// each lane is one independent query riding that shared sweep, so the
+/// record carries both the lane's own answer shape (`levels`, `visited`)
+/// and the shared wave identity (`wave`, `batch`, `edges_scanned`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Wave (batch) index within the engine's lifetime.
+    pub wave: u64,
+    /// Lane index within the wave's 64-bit lane word.
+    pub lane: u32,
+    /// Number of lanes fused into the wave.
+    pub batch: u32,
+    /// BFS root this lane searched from.
+    pub root: u64,
+    /// Committed BFS levels of this lane, including the final empty one
+    /// (matches the per-root reference engines' level count).
+    pub levels: u32,
+    /// Vertices this lane reached (root included).
+    pub visited: u64,
+    /// CSR adjacency entries the *whole wave* examined. Shared across the
+    /// batch — the sharing is the point of bit-parallel fusion — so every
+    /// lane of a wave carries the same value.
+    pub edges_scanned: u64,
+    /// Host wall-clock seconds of the wave this lane rode (zero under
+    /// `NoClock`). Shared across the batch like `edges_scanned`.
+    pub wall_secs: f64,
+}
+
 /// Integer byproducts of a collective cost evaluation: how the algorithm
 /// moved the bytes, not just how long it took. Filled by the cost models in
 /// `nbfs-comm` while they walk their rounds.
@@ -294,10 +327,14 @@ pub enum TraceEvent {
     /// An injected fault fired (schema v2). Carries the full record so the
     /// report merge is a copy.
     Fault(FaultRecord),
+    /// One query lane of a batched multi-source wave completed (schema
+    /// v4). Carries the full record so the report merge is a copy.
+    Query(QueryRecord),
 }
 
 impl TraceEvent {
-    /// The BFS level this event is keyed to.
+    /// The BFS level this event is keyed to. Query records span a whole
+    /// wave rather than one level; they key to level 0.
     pub fn level(&self) -> usize {
         match *self {
             TraceEvent::Decision { level, .. }
@@ -305,6 +342,7 @@ impl TraceEvent {
             | TraceEvent::RankLevel { level, .. }
             | TraceEvent::Level { level, .. } => level,
             TraceEvent::Fault(record) => record.level,
+            TraceEvent::Query(_) => 0,
         }
     }
 }

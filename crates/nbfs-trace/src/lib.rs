@@ -36,7 +36,9 @@ pub mod tracer;
 pub use config::TraceConfig;
 pub use cost::CommCost;
 pub use direction::Direction;
-pub use event::{CollectiveKind, CollectiveStats, FaultKind, FaultOp, FaultRecord, TraceEvent};
+pub use event::{
+    CollectiveKind, CollectiveStats, FaultKind, FaultOp, FaultRecord, QueryRecord, TraceEvent,
+};
 pub use phase::Phase;
 pub use profile::{LevelProfile, RunProfile};
 pub use report::{

@@ -15,16 +15,18 @@ use nbfs_util::{NbfsError, SimTime};
 
 use crate::cost::CommCost;
 use crate::direction::Direction;
-use crate::event::{CollectiveKind, CollectiveStats, FaultRecord};
+use crate::event::{CollectiveKind, CollectiveStats, FaultRecord, QueryRecord};
 use crate::profile::{LevelProfile, RunProfile};
 
 /// Version stamp of the JSON layout. Bump when renaming or removing fields.
 ///
+/// v4 added the `queries` array (per-lane records of batched multi-source
+/// waves); v3 and older reports deserialize with it empty.
 /// v3 added `CollectiveStats::raw_bytes` (codec-aware compression
 /// accounting); v2 reports deserialize with `raw_bytes = wire_bytes`.
 /// v2 added the `faults` array (deterministic fault-injection records);
 /// v1 reports deserialize with it empty ([`MIN_SCHEMA_VERSION`]).
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema version [`TraceReport::from_json`] still imports.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -167,6 +169,11 @@ pub struct TraceReport {
     /// fault-free runs and for imported v1 reports.
     #[serde(default)]
     pub faults: Vec<FaultRecord>,
+    /// Per-lane records of batched multi-source waves, in recording order
+    /// (wave order, then lane order within a wave). Empty for
+    /// single-source runs and for imported pre-v4 reports.
+    #[serde(default)]
+    pub queries: Vec<QueryRecord>,
 }
 
 impl TraceReport {
@@ -181,6 +188,7 @@ impl TraceReport {
             post_collectives: Vec::new(),
             dropped_events: 0,
             faults: Vec::new(),
+            queries: Vec::new(),
         }
     }
 
@@ -247,8 +255,9 @@ impl TraceReport {
     /// Accepts versions [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]: a v1
     /// report (pre-fault-layer) imports with an empty `faults` array, a v2
     /// report (pre-codec) with `raw_bytes = wire_bytes` on every
-    /// collective record (uncompressed exchanges move their raw volume);
-    /// future versions are refused, not misread.
+    /// collective record (uncompressed exchanges move their raw volume), a
+    /// v3 report (pre-multi-query) with an empty `queries` array; future
+    /// versions are refused, not misread.
     pub fn from_json(text: &str) -> nbfs_util::Result<TraceReport> {
         let report: TraceReport =
             serde_json::from_str(text).map_err(|e| NbfsError::Serde(e.to_string()))?;
@@ -372,6 +381,41 @@ mod tests {
         let stats = back.levels[0].collectives[0].stats;
         assert_eq!(stats.raw_bytes, stats.wire_bytes);
         assert_eq!(back.levels, r.levels);
+    }
+
+    #[test]
+    fn v3_reports_import_with_empty_queries() {
+        let mut r = sample();
+        r.schema_version = 3;
+        let text = r.to_json().unwrap();
+        // A v3 exporter never wrote a `queries` key at all.
+        let v3 = text.replace(",\n  \"queries\": []", "");
+        assert!(!v3.contains("queries"), "{v3}");
+        let back = TraceReport::from_json(&v3).unwrap();
+        assert_eq!(back.schema_version, 3);
+        assert!(back.queries.is_empty());
+        assert_eq!(back.levels, r.levels);
+    }
+
+    #[test]
+    fn query_records_survive_a_round_trip() {
+        let mut r = sample();
+        for lane in 0..3u32 {
+            r.queries.push(QueryRecord {
+                wave: 2,
+                lane,
+                batch: 3,
+                root: 100 + u64::from(lane),
+                levels: 5,
+                visited: 4000,
+                edges_scanned: 123_456,
+                wall_secs: 0.25,
+            });
+        }
+        let back = TraceReport::from_json(&r.to_json().unwrap()).unwrap();
+        assert_eq!(back.queries, r.queries);
+        assert_eq!(back.queries[1].lane, 1);
+        assert_eq!(back.queries[2].root, 102);
     }
 
     #[test]

@@ -151,6 +151,7 @@ impl Tracer {
                     n,
                 }),
                 TraceEvent::Fault(record) => report.faults.push(record),
+                TraceEvent::Query(record) => report.queries.push(record),
                 _ => {}
             }
         }
@@ -316,6 +317,29 @@ mod tests {
         let r = t.finish(meta());
         let srcs: Vec<usize> = r.faults.iter().map(|f| f.src).collect();
         assert_eq!(srcs, vec![99, 10, 11]);
+    }
+
+    #[test]
+    fn query_events_merge_in_recording_order() {
+        use crate::event::QueryRecord;
+        let mut t = Tracer::new(TraceConfig::Ring(16), 1);
+        for lane in 0..4u32 {
+            t.record(TraceEvent::Query(QueryRecord {
+                wave: 0,
+                lane,
+                batch: 4,
+                root: u64::from(lane) * 10,
+                levels: 3,
+                visited: 100,
+                edges_scanned: 999,
+                wall_secs: 0.0,
+            }));
+        }
+        let r = t.finish(meta());
+        assert_eq!(r.queries.len(), 4);
+        let lanes: Vec<u32> = r.queries.iter().map(|q| q.lane).collect();
+        assert_eq!(lanes, vec![0, 1, 2, 3]);
+        assert_eq!(r.queries[3].root, 30);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! * [`FrontierArena`] — reusable per-chunk next-queue slots with an
 //!   order-preserving merge, the alloc-free frontier pipeline shared by the
 //!   parallel kernels,
+//! * [`LaneBitmap`] — one `u64` of query lanes per vertex, the bit-parallel
+//!   multi-source frontier table (Buluç & Madduri),
+//! * [`ArenaPool`] — checked-out/checked-in reusable workspaces so a
+//!   long-lived query engine allocates nothing per wave,
 //! * [`ownership`] — the contiguous 1-D block partition arithmetic used to
 //!   split vertices (and therefore bitmap words) across ranks,
 //! * [`rng`] — deterministic, counter-based random number generation so that
@@ -33,7 +37,9 @@ pub mod atomic_bitmap;
 pub mod bitmap;
 pub mod error;
 pub mod frontier;
+pub mod lanes;
 pub mod ownership;
+pub mod pool;
 pub mod rng;
 pub mod simtime;
 pub mod stats;
@@ -44,7 +50,9 @@ pub use atomic_bitmap::AtomicBitmap;
 pub use bitmap::{Bitmap, CachedWordProbe};
 pub use error::{NbfsError, Result};
 pub use frontier::{FrontierArena, FrontierSlot};
+pub use lanes::LaneBitmap;
 pub use ownership::BlockPartition;
+pub use pool::{ArenaPool, PoolGuard};
 pub use simtime::SimTime;
 pub use summary::{SummaryBitmap, SummaryProbe};
 

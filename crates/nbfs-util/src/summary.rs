@@ -14,6 +14,46 @@
 use crate::bitmap::{Bitmap, CachedWordProbe};
 use crate::WORD_BITS;
 
+thread_local! {
+    /// Per-thread count of granularity validations (see
+    /// [`granularity_checks_on_current_thread`]).
+    static GRANULARITY_CHECKS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Checks the summary-granularity contract: positive, a multiple of the
+/// word size (keeps the word-parallel rebuild exact) and a power of two
+/// (the only granularities the paper considers: 64, 128, 256, ...).
+///
+/// Long-lived engines call this **once at construction** and then build
+/// per-run summaries with [`SummaryBitmap::new_prevalidated`]; the
+/// per-thread check counter lets regression tests pin that validation
+/// does not creep back into the per-run path.
+pub fn check_granularity(granularity: usize) -> Result<(), String> {
+    GRANULARITY_CHECKS.with(|c| c.set(c.get() + 1));
+    if granularity == 0 {
+        return Err("granularity must be positive".to_string());
+    }
+    if granularity % WORD_BITS != 0 {
+        return Err(format!(
+            "granularity must be a multiple of {WORD_BITS}, got {granularity}"
+        ));
+    }
+    if !granularity.is_power_of_two() {
+        return Err(format!(
+            "granularity must be a power of two, got {granularity}"
+        ));
+    }
+    Ok(())
+}
+
+/// How many granularity validations the current thread has performed —
+/// a test-observability hook for pinning *when* validation happens
+/// (once per engine construction, never per run).
+#[doc(hidden)]
+pub fn granularity_checks_on_current_thread() -> u64 {
+    GRANULARITY_CHECKS.with(std::cell::Cell::get)
+}
+
 /// A bitmap-of-a-bitmap with configurable coverage per summary bit.
 ///
 /// ```
@@ -48,15 +88,19 @@ impl SummaryBitmap {
     /// Multiples of the word size keep the word-parallel rebuild exact, and
     /// the paper only ever considers powers of two (64, 128, 256, ...).
     pub fn new(covered_bits: usize, granularity: usize) -> Self {
-        assert!(granularity > 0, "granularity must be positive");
-        assert!(
-            granularity % WORD_BITS == 0,
-            "granularity must be a multiple of {WORD_BITS}, got {granularity}"
-        );
-        assert!(
-            granularity.is_power_of_two(),
-            "granularity must be a power of two, got {granularity}"
-        );
+        let checked = check_granularity(granularity);
+        assert!(checked.is_ok(), "{}", checked.err().unwrap_or_default());
+        Self::new_prevalidated(covered_bits, granularity)
+    }
+
+    /// Like [`SummaryBitmap::new`] for a granularity the caller has
+    /// already validated with [`check_granularity`] (typically once, at
+    /// engine construction). Skips re-validation so per-run summary
+    /// creation is contract-check-free; the contract still holds in
+    /// debug builds.
+    pub fn new_prevalidated(covered_bits: usize, granularity: usize) -> Self {
+        debug_assert!(granularity > 0 && granularity % WORD_BITS == 0);
+        debug_assert!(granularity.is_power_of_two());
         Self {
             bits: Bitmap::new(covered_bits.div_ceil(granularity)),
             granularity,
@@ -309,6 +353,28 @@ mod tests {
                 assert_eq!(s.as_bitmap().get(sb), any, "g={g} summary bit {sb}");
             }
         }
+    }
+
+    #[test]
+    fn check_granularity_matches_constructor_contract() {
+        assert!(check_granularity(0).is_err());
+        assert!(check_granularity(32).is_err());
+        assert!(check_granularity(192).is_err());
+        for g in [64usize, 128, 256, 1024] {
+            assert!(check_granularity(g).is_ok());
+        }
+    }
+
+    #[test]
+    fn prevalidated_constructor_skips_the_check() {
+        let before = granularity_checks_on_current_thread();
+        let s = SummaryBitmap::new_prevalidated(1024, 256);
+        assert_eq!(granularity_checks_on_current_thread(), before);
+        assert_eq!(s.granularity(), 256);
+        assert_eq!(s.len(), 4);
+        let checked = SummaryBitmap::new(1024, 256);
+        assert_eq!(granularity_checks_on_current_thread(), before + 1);
+        assert_eq!(s.len(), checked.len());
     }
 
     #[test]

@@ -147,17 +147,19 @@ fn trace_report_json_round_trips_under_pinned_schema() {
     // Schema pin: bumping SCHEMA_VERSION without migrating consumers must
     // trip this test. v2 added the fault-record list (v1 imports read it
     // as empty); v3 added CollectiveStats::raw_bytes (v2 imports read it
-    // as wire_bytes — both covered in nbfs-trace's report tests).
-    assert_eq!(SCHEMA_VERSION, 3, "schema changed: update exporters");
+    // as wire_bytes); v4 added the multi-query `queries` records (v3
+    // imports read them as empty — all covered in nbfs-trace's report
+    // tests).
+    assert_eq!(SCHEMA_VERSION, 4, "schema changed: update exporters");
     assert_eq!(report.schema_version, SCHEMA_VERSION);
 
     let json = report.to_json().unwrap();
-    assert!(json.contains("\"schema_version\": 3"), "{json}");
+    assert!(json.contains("\"schema_version\": 4"), "{json}");
     let back = TraceReport::from_json(&json).unwrap();
     assert_eq!(back, report);
 
     // A report stamped with a future schema is refused, not misread.
-    let future = json.replacen("\"schema_version\": 3", "\"schema_version\": 999", 1);
+    let future = json.replacen("\"schema_version\": 4", "\"schema_version\": 999", 1);
     assert!(TraceReport::from_json(&future).is_err());
 }
 

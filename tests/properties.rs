@@ -8,11 +8,14 @@ use proptest::prelude::*;
 
 use numa_bfs::comm::allgather::{allgather_words, AllgatherAlgorithm};
 use numa_bfs::core::engine::{DistributedBfs, Scenario};
+use numa_bfs::core::multi::reference_single_source;
 use numa_bfs::core::opt::OptLevel;
+use numa_bfs::core::query::QueryEngine;
 use numa_bfs::graph::validate::validate_bfs_tree;
-use numa_bfs::graph::{Csr, Edge, EdgeList};
+use numa_bfs::graph::{Csr, Edge, EdgeList, GraphBuilder};
 use numa_bfs::simnet::NetworkModel;
 use numa_bfs::topology::{MachineConfig, PlacementPolicy, ProcessMap};
+use numa_bfs::util::rng::Xoroshiro128;
 use numa_bfs::util::{Bitmap, BlockPartition, SummaryBitmap};
 
 proptest! {
@@ -125,5 +128,48 @@ proptest! {
         let b = engine.run(0);
         prop_assert_eq!(a.parent, b.parent);
         prop_assert_eq!(a.profile.total().as_secs(), b.profile.total().as_secs());
+    }
+
+    /// Multi-query engine answers are a permutation-stable function of the
+    /// root *multiset*: for random R-MAT graphs and random root multisets
+    /// (duplicates and isolated vertices included), admitting the same roots
+    /// in a different order never changes any parent array, visited count, or
+    /// level trace.
+    #[test]
+    fn multi_query_answers_are_permutation_stable(
+        scale in 8u32..11,
+        graph_seed in any::<u64>(),
+        picks in prop::collection::vec(any::<u64>(), 2..12),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let graph = GraphBuilder::rmat(scale, 8).seed(graph_seed).build();
+        let n = graph.num_vertices() as u64;
+        let roots: Vec<usize> = picks.iter().map(|&p| (p % n) as usize).collect();
+
+        // A seeded Fisher-Yates permutation of the admission order.
+        let mut perm: Vec<usize> = (0..roots.len()).collect();
+        let mut rng = Xoroshiro128::new(shuffle_seed | 1);
+        for i in (1..perm.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        let permuted: Vec<usize> = perm.iter().map(|&i| roots[i]).collect();
+
+        let engine = QueryEngine::bit_parallel(&graph);
+        let a = engine.run_batch(&roots);
+        let b = engine.run_batch(&permuted);
+        for (j, &i) in perm.iter().enumerate() {
+            prop_assert_eq!(&b[j].root, &a[i].root);
+            prop_assert_eq!(&b[j].parent, &a[i].parent);
+            prop_assert_eq!(b[j].visited, a[i].visited);
+            prop_assert_eq!(&b[j].level_discovered, &a[i].level_discovered);
+        }
+
+        // And the batch answer for the first root is the scalar Reference
+        // answer — batching is invisible to each individual query.
+        let oracle = reference_single_source(&graph, roots[0]);
+        prop_assert_eq!(&a[0].parent, &oracle.parent);
+        prop_assert_eq!(a[0].visited, oracle.visited);
+        prop_assert_eq!(&a[0].level_discovered, &oracle.level_discovered);
     }
 }
