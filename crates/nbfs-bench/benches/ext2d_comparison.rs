@@ -1,5 +1,6 @@
-//! Extension bench: the executing 2-D top-down engine vs the 1-D engines
-//! (paper §V / Buluc & Madduri \[11\]).
+//! Extension bench: the executing 2-D engine vs the 1-D engines
+//! (paper §V / Buluc & Madduri \[11\]) — pinned top-down for the exchange
+//! comparison, plus both hybrids under the default Beamer policy.
 
 // Test code opts back into unwrap/narrowing ergonomics; the workspace
 // denies both in library targets (see [workspace.lints] in Cargo.toml).
@@ -31,9 +32,14 @@ fn bench(c: &mut Criterion) {
     let engine_hybrid = DistributedBfs::new(g, &scenario_hybrid);
     group.bench_function("hybrid_1d", |b| b.iter(|| engine_hybrid.run(root)));
 
+    let scenario_2d_td = Scenario::new(machine.clone(), OptLevel::ShareAll)
+        .with_switch_policy(SwitchPolicy::always_top_down());
+    let engine_2d_td = TwoDimBfs::new(g, &scenario_2d_td);
+    group.bench_function("top_down_2d", |b| b.iter(|| engine_2d_td.run(root)));
+
     let scenario_2d = Scenario::new(machine, OptLevel::ShareAll);
     let engine_2d = TwoDimBfs::new(g, &scenario_2d);
-    group.bench_function("top_down_2d", |b| b.iter(|| engine_2d.run(root)));
+    group.bench_function("hybrid_2d", |b| b.iter(|| engine_2d.run(root)));
 
     group.finish();
 }

@@ -28,15 +28,17 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use nbfs_comm::codec::Codec;
-use nbfs_core::direction::SwitchPolicy;
+use nbfs_core::direction::{Direction, SwitchPolicy};
 use nbfs_core::engine::{
     BottomUpKernel, DistributedBfs, HostClock, Scenario, TopDownKernel, WallClock,
 };
+use nbfs_core::engine2d::TwoDimBfs;
 use nbfs_core::opt::OptLevel;
 use nbfs_core::par::bfs_hybrid_parallel;
 use nbfs_core::query::QueryEngine;
-use nbfs_graph::Csr;
-use nbfs_topology::presets;
+use nbfs_graph::rmat::{self, RmatParams};
+use nbfs_graph::{Csr, GraphView, NO_PARENT};
+use nbfs_topology::{presets, MachineConfig};
 use nbfs_trace::TraceConfig;
 use nbfs_util::rng::Xoroshiro128;
 
@@ -100,8 +102,12 @@ impl Default for SnapshotConfig {
 /// totals on the multi-node cluster (Compression & Sieve). Version 4 added
 /// the `multi_query` section: sustained queries/sec and p50/p99 latency of
 /// the bit-parallel multi-source engine against a sequential single-source
-/// baseline.
-pub const SCHEMA_VERSION: u32 = 4;
+/// baseline. Version 5 added the `two_dim` section: a weak-scaling GTEPS
+/// table of the direction-optimizing 2-D engine on compressed CSR storage
+/// (grid shapes x scales, per-codec parity rows, and — at the committed
+/// scale — a simnet projection of the paper's 16-node configuration at
+/// scale 24).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The scenario block of the snapshot — everything needed to reproduce it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -221,6 +227,108 @@ pub struct MultiQueryBench {
     pub identical_results: bool,
 }
 
+/// Per-scale storage accounting of the `two_dim` section's compressed
+/// graphs (one entry per weak-scaling step, shared by all grid rows of
+/// that scale).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TwoDimScaleInfo {
+    /// R-MAT scale of this step.
+    pub scale: u32,
+    /// Vertices in the built graph.
+    pub vertices: usize,
+    /// Directed adjacency entries in the built graph.
+    pub arcs: usize,
+    /// [`nbfs_graph::CompressedCsr`] footprint (delta-varint payload + packed offsets).
+    pub compressed_bytes: u64,
+    /// What the same adjacency would cost as a dense [`Csr`]
+    /// (`(n + 1) * 8` offset bytes plus `arcs * 4` target bytes) —
+    /// computed analytically so large scales never materialize it.
+    pub uncompressed_bytes: u64,
+    /// `uncompressed_bytes / compressed_bytes`.
+    pub compression_ratio: f64,
+}
+
+/// One weak-scaling measurement of the 2-D direction-optimizing engine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TwoDimRow {
+    /// R-MAT scale of this row.
+    pub scale: u32,
+    /// Grid shape, `"RxC"`.
+    pub grid: String,
+    /// Simulated traversed edges per second, in billions
+    /// (`traversed / sim_secs / 1e9` with traversed = half the degree sum
+    /// of the visited component).
+    pub gteps: f64,
+    /// Bottom-up levels the hybrid executed.
+    pub bottom_up_levels: u32,
+    /// Top-down levels the hybrid executed.
+    pub top_down_levels: u32,
+    /// Parents bit-identical to the 1-D engine on the same graph.
+    pub identical_results: bool,
+}
+
+/// Codec-parity row of the `two_dim` section: the natural grid at the base
+/// scale, one run per wire codec, each required to reproduce the raw-codec
+/// 1-D parents bit for bit.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TwoDimCodecRow {
+    /// Codec label (`raw`, `delta-varint`, `word-rle`, `sieve`).
+    pub codec: String,
+    /// Parents bit-identical to the 1-D reference run.
+    pub identical_results: bool,
+}
+
+/// Simnet projection of the paper's full 16-node cluster at scale 24 —
+/// the order-of-magnitude-up configuration the compressed storage exists
+/// for. No 1-D comparison: a dense CSR at this scale is the thing being
+/// avoided.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TwoDimProjection {
+    /// R-MAT scale.
+    pub scale: u32,
+    /// Cluster nodes.
+    pub nodes: usize,
+    /// MPI ranks (natural grid: nodes x ranks-per-node).
+    pub ranks: usize,
+    /// Grid shape, `"RxC"`.
+    pub grid: String,
+    /// Vertices the BFS visited.
+    pub visited: usize,
+    /// Simulated GTEPS of the run.
+    pub gteps: f64,
+    /// Bottom-up levels the hybrid executed.
+    pub bottom_up_levels: u32,
+    /// [`nbfs_graph::CompressedCsr`] footprint of the scale-24 graph.
+    pub compressed_bytes: u64,
+    /// Analytic dense-CSR footprint of the same graph.
+    pub uncompressed_bytes: u64,
+}
+
+/// The schema-v5 `two_dim` section: weak-scaling GTEPS of the
+/// direction-optimizing 2-D engine on compressed CSR storage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TwoDimBench {
+    /// Simulated machine of the weak-scaling rows.
+    pub machine: String,
+    /// Cluster node count of the weak-scaling rows.
+    pub nodes: usize,
+    /// MPI ranks every grid shape must tile.
+    pub ranks: usize,
+    /// Optimization rung of the runs.
+    pub opt_level: String,
+    /// Storage backing every run ("compressed-csr (delta-varint)").
+    pub storage: String,
+    /// Per-scale graph and storage accounting.
+    pub scales: Vec<TwoDimScaleInfo>,
+    /// Weak-scaling GTEPS rows, scales x grid shapes.
+    pub rows: Vec<TwoDimRow>,
+    /// Codec-parity rows on the natural grid at the base scale.
+    pub per_codec: Vec<TwoDimCodecRow>,
+    /// Scale-24 16-node projection; present only when the snapshot runs
+    /// at the committed scale (tests shrink the scale and skip it).
+    pub projection: Option<TwoDimProjection>,
+}
+
 /// Derived throughput numbers.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Throughput {
@@ -257,6 +365,8 @@ pub struct Snapshot {
     pub collective_volume: CollectiveVolume,
     /// Sustained multi-query service throughput and latency.
     pub multi_query: MultiQueryBench,
+    /// Weak-scaling 2-D engine on compressed CSR storage.
+    pub two_dim: TwoDimBench,
 }
 
 /// Runs the engine `repeats` times and keeps the per-field minimum wall
@@ -350,6 +460,174 @@ fn measure_collective_volume(graph: &Csr, cfg: &SnapshotConfig) -> CollectiveVol
         nodes,
         opt_level: opt.label(),
         per_codec,
+    }
+}
+
+/// Grid shapes of the weak-scaling rows — every way to tile the 8 ranks
+/// of the two-node test cluster (2 nodes x 4 sockets); 2x4 is the natural
+/// mapping (rows = nodes, columns = ranks per node).
+const TWO_DIM_GRIDS: [(usize, usize); 3] = [(1, 8), (2, 4), (4, 2)];
+
+/// Highest-degree vertex of any [`GraphView`] — [`scenarios::best_root`]
+/// for graphs that never materialize a dense [`Csr`].
+fn best_root_view<G: GraphView>(graph: &G) -> usize {
+    (0..graph.num_vertices())
+        .max_by_key(|&v| graph.degree(v))
+        .unwrap_or(0)
+}
+
+/// Half the degree sum of the visited component — the traversed-edge
+/// count GTEPS divides by (each undirected edge inside the component is
+/// stored as two arcs, both endpoints visited).
+fn traversed_edges<G: GraphView>(graph: &G, parent: &[u32]) -> u64 {
+    let mut arcs = 0u64;
+    for (v, &p) in parent.iter().enumerate() {
+        if p != NO_PARENT {
+            arcs += graph.degree(v) as u64;
+        }
+    }
+    arcs / 2
+}
+
+/// Analytic dense-CSR footprint of an `n`-vertex, `arcs`-arc graph —
+/// mirrors [`Csr`]'s `size_bytes` (`(n + 1)` 8-byte offsets plus 4-byte
+/// targets) without ever building the dense graph.
+fn dense_csr_bytes(n: usize, arcs: usize) -> u64 {
+    (n as u64 + 1) * 8 + arcs as u64 * 4
+}
+
+/// Bottom-up and top-down level counts of a run profile.
+fn direction_levels(profile: &nbfs_core::profile::RunProfile) -> (u32, u32) {
+    let (mut bu, mut td) = (0u32, 0u32);
+    for level in &profile.levels {
+        if level.direction == Direction::BottomUp {
+            bu += 1;
+        } else {
+            td += 1;
+        }
+    }
+    (bu, td)
+}
+
+/// Measures the `two_dim` section: the direction-optimizing 2-D engine on
+/// compressed CSR storage, weak-scaled upward from the snapshot scale on
+/// a two-node cluster, with every run's parents checked bit for bit
+/// against the 1-D engine on the same graph. At the committed scale the
+/// sweep covers four scales (base..base+3) and adds the scale-24 16-node
+/// projection; smaller test configurations cover two scales and skip the
+/// projection so debug runs stay fast.
+fn measure_two_dim(cfg: &SnapshotConfig) -> TwoDimBench {
+    let nodes = 2usize;
+    let sockets = 4usize;
+    let opt = OptLevel::Granularity(256);
+    let steps = if cfg.scale >= 19 { 4u32 } else { 2 };
+
+    let mut scales = Vec::with_capacity(steps as usize);
+    let mut rows = Vec::with_capacity(steps as usize * TWO_DIM_GRIDS.len());
+    let mut per_codec = Vec::with_capacity(Codec::ALL.len());
+
+    for step in 0..steps {
+        let scale = cfg.scale + step;
+        // Single-pass streaming build: one pass's arc buffer fits the
+        // bench host, and the multi-pass path is exercised by the
+        // generator's own tests.
+        let packed = rmat::generate_compressed(&RmatParams::graph500(scale, 16, 1), 1);
+        let machine = MachineConfig::small_test_cluster(nodes, sockets).scaled_to_graph(scale, 28);
+        let scenario = Scenario::new(machine, opt);
+        let root = best_root_view(&packed);
+
+        let reference = DistributedBfs::new(&packed, &scenario).run(root);
+        let traversed = traversed_edges(&packed, &reference.parent);
+
+        for &(r, c) in &TWO_DIM_GRIDS {
+            let run = TwoDimBfs::with_grid(&packed, &scenario, r, c).run(root);
+            let (bu, td) = direction_levels(&run.profile);
+            let identical = run.parent == reference.parent;
+            assert!(
+                identical,
+                "2-D {r}x{c} diverged from the 1-D parents at scale {scale}"
+            );
+            rows.push(TwoDimRow {
+                scale,
+                grid: format!("{r}x{c}"),
+                gteps: traversed as f64 / run.profile.total().as_secs() / 1e9,
+                bottom_up_levels: bu,
+                top_down_levels: td,
+                identical_results: identical,
+            });
+        }
+
+        // Codec parity on the natural grid, base scale only: every wire
+        // codec must route the 2-D expand/fold without disturbing the
+        // parents.
+        if step == 0 {
+            for codec in Codec::ALL {
+                let coded = Scenario::new(
+                    MachineConfig::small_test_cluster(nodes, sockets).scaled_to_graph(scale, 28),
+                    opt,
+                )
+                .with_codec(codec);
+                let run = TwoDimBfs::with_grid(&packed, &coded, nodes, sockets).run(root);
+                let identical = run.parent == reference.parent;
+                assert!(
+                    identical,
+                    "2-D codec {} diverged from the 1-D parents",
+                    codec.label()
+                );
+                per_codec.push(TwoDimCodecRow {
+                    codec: codec.label().to_string(),
+                    identical_results: identical,
+                });
+            }
+        }
+
+        let compressed_bytes = packed.size_bytes() as u64;
+        let uncompressed_bytes = dense_csr_bytes(packed.num_vertices(), packed.num_arcs());
+        scales.push(TwoDimScaleInfo {
+            scale,
+            vertices: packed.num_vertices(),
+            arcs: packed.num_arcs(),
+            compressed_bytes,
+            uncompressed_bytes,
+            compression_ratio: uncompressed_bytes as f64 / compressed_bytes as f64,
+        });
+    }
+
+    let projection = (cfg.scale >= 19).then(|| {
+        let scale = 24u32;
+        let cluster_nodes = 16usize;
+        let packed = rmat::generate_compressed(&RmatParams::graph500(scale, 16, 1), 1);
+        let machine = presets::xeon_x7550_cluster(cluster_nodes).scaled_to_graph(scale, 28);
+        let scenario = Scenario::new(machine, opt);
+        let root = best_root_view(&packed);
+        let engine = TwoDimBfs::new(&packed, &scenario);
+        let (grid_rows, grid_cols) = engine.grid();
+        let run = engine.run(root);
+        let traversed = traversed_edges(&packed, &run.parent);
+        let (bu, _) = direction_levels(&run.profile);
+        TwoDimProjection {
+            scale,
+            nodes: cluster_nodes,
+            ranks: grid_rows * grid_cols,
+            grid: format!("{grid_rows}x{grid_cols}"),
+            visited: run.visited,
+            gteps: traversed as f64 / run.profile.total().as_secs() / 1e9,
+            bottom_up_levels: bu,
+            compressed_bytes: packed.size_bytes() as u64,
+            uncompressed_bytes: dense_csr_bytes(packed.num_vertices(), packed.num_arcs()),
+        }
+    });
+
+    TwoDimBench {
+        machine: format!("small_test_cluster ({nodes} nodes x {sockets} sockets)"),
+        nodes,
+        ranks: nodes * sockets,
+        opt_level: opt.label(),
+        storage: "compressed-csr (delta-varint)".into(),
+        scales,
+        rows,
+        per_codec,
+        projection,
     }
 }
 
@@ -550,6 +828,7 @@ pub fn run_snapshot_on(graph: &Csr, cfg: &SnapshotConfig) -> Snapshot {
         identical_results: identical,
         collective_volume: measure_collective_volume(graph, cfg),
         multi_query: measure_multi_query(graph, cfg),
+        two_dim: measure_two_dim(cfg),
     }
 }
 
@@ -587,6 +866,30 @@ pub fn read_snapshot(path: &Path) -> std::io::Result<Snapshot> {
         )));
     }
     serde_json::from_value(value).map_err(|e| bad(e.to_string()))
+}
+
+/// One-line human summary of the `two_dim` section.
+pub fn two_dim_summary(td: &TwoDimBench) -> String {
+    let identical = td.rows.iter().all(|r| r.identical_results)
+        && td.per_codec.iter().all(|r| r.identical_results);
+    let best = td.rows.iter().map(|r| r.gteps).fold(0.0f64, f64::max);
+    let ratio = td.scales.last().map_or(0.0, |s| s.compression_ratio);
+    let head = format!(
+        "{} weak-scaling rows over {} scales | best {:.3} GTEPS | \
+         top-scale compression {:.2}x",
+        td.rows.len(),
+        td.scales.len(),
+        best,
+        ratio
+    );
+    match &td.projection {
+        Some(p) => format!(
+            "{head} | projection: scale {} on {} nodes ({}) {:.3} GTEPS | \
+             identical to 1-D: {identical}",
+            p.scale, p.nodes, p.grid, p.gteps
+        ),
+        None => format!("{head} | identical to 1-D: {identical}"),
+    }
 }
 
 /// One-line human summary for CLI output.
@@ -641,6 +944,9 @@ mod tests {
             "multi_query",
             "batched_qps",
             "p99_latency_secs",
+            "two_dim",
+            "compression_ratio",
+            "gteps",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -670,6 +976,35 @@ mod tests {
         assert!(mq.sequential_qps > 0.0 && mq.batched_qps > 0.0);
         assert!(mq.p50_latency_secs <= mq.p99_latency_secs);
         assert!(multi_query_summary(mq).contains("identical results: true"));
+        // The 2-D section: below the committed scale the sweep covers two
+        // scales across all three grid shapes (no projection), every row
+        // and codec bit-identical to the 1-D engine, compression real.
+        let td = &snap.two_dim;
+        assert_eq!(td.ranks, 8, "2 nodes x 4 sockets");
+        assert_eq!(td.scales.len(), 2);
+        assert_eq!(td.rows.len(), 6, "2 scales x 3 grid shapes");
+        assert_eq!(td.per_codec.len(), 4);
+        assert!(
+            td.projection.is_none(),
+            "projection only at committed scale"
+        );
+        for row in &td.rows {
+            assert!(row.identical_results, "{} scale {}", row.grid, row.scale);
+            assert!(row.gteps > 0.0);
+        }
+        for row in &td.per_codec {
+            assert!(row.identical_results, "codec {}", row.codec);
+        }
+        for info in &td.scales {
+            assert!(
+                info.compression_ratio > 1.0,
+                "scale {}: compressed {} vs dense {}",
+                info.scale,
+                info.compressed_bytes,
+                info.uncompressed_bytes
+            );
+        }
+        assert!(two_dim_summary(td).contains("identical to 1-D: true"));
     }
 
     #[test]
@@ -685,7 +1020,12 @@ mod tests {
         write_snapshot(&path, &snap).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(value["schema_version"], 4);
+        assert_eq!(value["schema_version"], 5);
+        assert_eq!(
+            value["two_dim"]["projection"],
+            serde_json::Value::Null,
+            "no scale-24 projection below the committed scale"
+        );
         assert_eq!(
             value["multi_query"]["identical_results"],
             serde_json::Value::Bool(true)

@@ -37,12 +37,14 @@ use nbfs_comm::codec::Codec;
 use nbfs_comm::runtime::run_spmd_faulted;
 use nbfs_comm::{FaultPlan, FaultScope, FaultSpec};
 use nbfs_core::engine::{DistributedBfs, Scenario, TdStrategy};
+use nbfs_core::engine2d::TwoDimBfs;
 use nbfs_core::harness::{Graph500Harness, HarnessConfig};
 use nbfs_core::opt::OptLevel;
 use nbfs_core::profile::Phase;
 use nbfs_core::query::{DistributedRunBackend, DistributedTryTracedBackend, QueryEngine};
 use nbfs_graph::stats::DegreeStats;
-use nbfs_graph::{io, Csr, GraphBuilder};
+use nbfs_graph::validate::validate_bfs_tree;
+use nbfs_graph::{io, CompressedCsr, Csr, GraphBuilder, GraphView};
 use nbfs_simnet::Residence;
 use nbfs_topology::presets;
 use nbfs_trace::{CollectiveKind, CollectiveStats, FaultKind, TraceConfig};
@@ -71,7 +73,7 @@ pub enum Command {
         /// Edge-list file to inspect.
         path: PathBuf,
     },
-    /// `run [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--td-alltoallv] [--codec C]`
+    /// `run [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--td-alltoallv] [--codec C] [--grid RxC] [--compressed]`
     Run {
         /// Scale to generate (ignored with `--graph`).
         scale: u32,
@@ -90,6 +92,12 @@ pub enum Command {
         td_alltoallv: bool,
         /// Wire codec for the per-level collectives.
         codec: Codec,
+        /// Run the 2-D engine on this processor grid (`RxC` must tile the
+        /// rank count).
+        grid: Option<(usize, usize)>,
+        /// Traverse the delta-varint compressed CSR instead of the
+        /// uncompressed one.
+        compressed: bool,
     },
     /// `trace [--scale N | --graph FILE] [--nodes N] [--opt NAME] [--root V] [--summary-g G] [--codec C] [--json PATH]`
     Trace {
@@ -108,10 +116,14 @@ pub enum Command {
         summary_g: Option<usize>,
         /// Wire codec for the per-level collectives.
         codec: Codec,
+        /// Trace the 2-D engine on this processor grid.
+        grid: Option<(usize, usize)>,
+        /// Traverse the delta-varint compressed CSR.
+        compressed: bool,
         /// Also export the full `TraceReport` as versioned JSON.
         json: Option<PathBuf>,
     },
-    /// `bench [--scale N] [--nodes N] [--opt NAME] [--roots K] [--json PATH]`
+    /// `bench [--scale N] [--nodes N] [--opt NAME] [--roots K] [--grid RxC] [--compressed] [--json PATH]`
     Bench {
         /// Scale to generate.
         scale: u32,
@@ -121,6 +133,10 @@ pub enum Command {
         opt: OptLevel,
         /// Number of search keys.
         roots: usize,
+        /// Campaign the 2-D engine on this processor grid.
+        grid: Option<(usize, usize)>,
+        /// Campaign over the delta-varint compressed CSR.
+        compressed: bool,
         /// With `--json PATH`: run the wall-clock benchmark snapshot
         /// (reference vs word-level bottom-up kernel) and write the
         /// `BENCH_BFS.json` document there instead of the TEPS campaign.
@@ -217,6 +233,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             .transpose()
             .map(|c| c.unwrap_or(Codec::Raw))
     };
+    let grid = || -> Result<Option<(usize, usize)>, String> {
+        flag("--grid")
+            .map(|v| {
+                let (r, c) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad --grid {v}: expected RxC, e.g. 2x4"))?;
+                let rows: usize = r.parse().map_err(|e| format!("bad --grid rows: {e}"))?;
+                let cols: usize = c.parse().map_err(|e| format!("bad --grid cols: {e}"))?;
+                if rows == 0 || cols == 0 {
+                    return Err(format!("bad --grid {v}: rows and cols must be >= 1"));
+                }
+                Ok((rows, cols))
+            })
+            .transpose()
+    };
 
     Ok(match sub {
         "generate" => Command::Generate {
@@ -245,6 +276,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             summary_g: summary_g()?,
             td_alltoallv: has("--td-alltoallv"),
             codec: codec()?,
+            grid: grid()?,
+            compressed: has("--compressed"),
         },
         "trace" => Command::Trace {
             scale: num("--scale", 16)? as u32,
@@ -256,6 +289,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .transpose()?,
             summary_g: summary_g()?,
             codec: codec()?,
+            grid: grid()?,
+            compressed: has("--compressed"),
             json: flag("--json").map(PathBuf::from),
         },
         "bench" => Command::Bench {
@@ -265,6 +300,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             nodes: num("--nodes", 16)? as usize,
             opt: parse_opt(flag("--opt").unwrap_or("best"))?,
             roots: num("--roots", 8)? as usize,
+            grid: grid()?,
+            compressed: has("--compressed"),
             json: flag("--json").map(PathBuf::from),
         },
         "serve-bench" => Command::ServeBench {
@@ -298,11 +335,12 @@ USAGE:
   nbfs generate --scale N [--edge-factor E] [--seed S] --out FILE
   nbfs info FILE
   nbfs run   [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--summary-g G]
-             [--td-alltoallv] [--codec CODEC]
+             [--td-alltoallv] [--codec CODEC] [--grid RxC] [--compressed]
   nbfs trace [--scale N | --graph FILE] [--nodes N] [--opt OPT] [--root V] [--summary-g G]
-             [--codec CODEC] [--json PATH]
+             [--codec CODEC] [--grid RxC] [--compressed] [--json PATH]
              (per-level run-event table; --json PATH exports the versioned TraceReport)
-  nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K] [--json PATH]
+  nbfs bench [--scale N] [--nodes N] [--opt OPT] [--roots K] [--grid RxC] [--compressed]
+             [--json PATH]
              (--json PATH runs the wall-clock kernel snapshot and writes BENCH_BFS.json there)
   nbfs serve-bench [--scale N] [--queries Q] [--submitters S] [--json PATH]
              (sustained multi-query service benchmark: queries/sec and p50/p99 latency of
@@ -319,7 +357,12 @@ CODEC: raw | delta-varint | word-rle | sieve
              (Fig. 16 sweep; power of two, multiple of 64; tuned best: 256)
 --codec C    compresses the per-level collective payloads on the wire
              (Compression & Sieve; every codec reproduces raw's BFS parents
-              bit for bit, only the charged bytes change; default: raw)"
+              bit for bit, only the charged bytes change; default: raw)
+--grid RxC   runs the direction-optimizing 2-D engine on an RxC processor
+             grid (R*C must equal nodes x ranks-per-node; parents are bit
+             for bit those of the 1-D engine)
+--compressed traverses the delta-varint compressed CSR in place of the
+             uncompressed one (identical results, ~half the graph memory)"
 }
 
 /// Executes a parsed command, writing human output to `out`.
@@ -366,7 +409,15 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             summary_g,
             td_alltoallv,
             codec,
+            grid,
+            compressed,
         } => {
+            if grid.is_some() && td_alltoallv {
+                return Err(
+                    "--td-alltoallv selects a 1-D top-down strategy; it cannot combine with --grid"
+                        .into(),
+                );
+            }
             let g = match graph {
                 Some(path) => Csr::from_edge_list(&io::load(&path).map_err(|e| e.to_string())?),
                 None => GraphBuilder::rmat(scale, 16).seed(1).build(),
@@ -386,34 +437,55 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                     .max_by_key(|&v| g.degree(v))
                     .expect("non-empty")
             });
-            let run = DistributedBfs::new(&g, &scenario).run(root);
+            if let Some(shape) = grid {
+                check_grid(&scenario, shape)?;
+            }
+            let (visited, profile) = match (grid, compressed) {
+                (Some((r, c)), true) => {
+                    let packed = CompressedCsr::from_csr(&g);
+                    writeln!(out, "{}", storage_line(&g, &packed)).map_err(err)?;
+                    let run = TwoDimBfs::with_grid(&packed, &scenario, r, c).run(root);
+                    (run.visited, run.profile)
+                }
+                (Some((r, c)), false) => {
+                    let run = TwoDimBfs::with_grid(&g, &scenario, r, c).run(root);
+                    (run.visited, run.profile)
+                }
+                (None, true) => {
+                    let packed = CompressedCsr::from_csr(&g);
+                    writeln!(out, "{}", storage_line(&g, &packed)).map_err(err)?;
+                    let run = DistributedBfs::new(&packed, &scenario).run(root);
+                    (run.visited, run.profile)
+                }
+                (None, false) => {
+                    let run = DistributedBfs::new(&g, &scenario).run(root);
+                    (run.visited, run.profile)
+                }
+            };
+            let engine_label = match grid {
+                Some((r, c)) => format!("2-D {r}x{c}"),
+                None => "1-D".to_string(),
+            };
             writeln!(
                 out,
-                "{} on {nodes} nodes, root {root}: visited {} of {} vertices",
+                "{} ({engine_label}) on {nodes} nodes, root {root}: visited {visited} of {} vertices",
                 opt.label(),
-                run.visited,
                 g.num_vertices()
             )
             .map_err(err)?;
             for phase in Phase::ALL {
-                let t = run.profile.phase(phase);
+                let t = profile.phase(phase);
                 writeln!(
                     out,
                     "  {:<16} {:>12}  {:>5.1}%",
                     phase.label(),
                     format!("{t}"),
-                    100.0 * (t / run.profile.total())
+                    100.0 * (t / profile.total())
                 )
                 .map_err(err)?;
             }
-            let teps = g.component_edges(root) as f64 / run.profile.total().as_secs();
-            writeln!(
-                out,
-                "  total {} -> {}",
-                run.profile.total(),
-                format_teps(teps)
-            )
-            .map_err(err)?;
+            let teps = g.component_edges(root) as f64 / profile.total().as_secs();
+            writeln!(out, "  total {} -> {}", profile.total(), format_teps(teps)).map_err(err)?;
         }
         Command::Trace {
             scale,
@@ -423,6 +495,8 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             root,
             summary_g,
             codec,
+            grid,
+            compressed,
             json,
         } => {
             let g = match graph {
@@ -443,12 +517,38 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                     .max_by_key(|&v| g.degree(v))
                     .expect("non-empty")
             });
-            let (run, report) = DistributedBfs::new(&g, &scenario).run_traced(root);
+            if let Some(shape) = grid {
+                check_grid(&scenario, shape)?;
+            }
+            let (visited, engine_profile, report) = match (grid, compressed) {
+                (Some((r, c)), true) => {
+                    let packed = CompressedCsr::from_csr(&g);
+                    let (run, report) =
+                        TwoDimBfs::with_grid(&packed, &scenario, r, c).run_traced(root);
+                    (run.visited, run.profile, report)
+                }
+                (Some((r, c)), false) => {
+                    let (run, report) = TwoDimBfs::with_grid(&g, &scenario, r, c).run_traced(root);
+                    (run.visited, run.profile, report)
+                }
+                (None, true) => {
+                    let packed = CompressedCsr::from_csr(&g);
+                    let (run, report) = DistributedBfs::new(&packed, &scenario).run_traced(root);
+                    (run.visited, run.profile, report)
+                }
+                (None, false) => {
+                    let (run, report) = DistributedBfs::new(&g, &scenario).run_traced(root);
+                    (run.visited, run.profile, report)
+                }
+            };
+            let engine_label = match grid {
+                Some((r, c)) => format!("2-D {r}x{c}"),
+                None => "1-D".to_string(),
+            };
             writeln!(
                 out,
-                "{} on {nodes} nodes, root {root}: visited {} of {} vertices",
+                "{} ({engine_label}) on {nodes} nodes, root {root}: visited {visited} of {} vertices",
                 opt.label(),
-                run.visited,
                 g.num_vertices()
             )
             .map_err(err)?;
@@ -583,7 +683,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             }
             let exact = Phase::ALL
                 .iter()
-                .all(|&p| projected.phase(p) == run.profile.phase(p));
+                .all(|&p| projected.phase(p) == engine_profile.phase(p));
             writeln!(
                 out,
                 "  total {} (projection == engine profile: {exact})",
@@ -608,9 +708,19 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             nodes,
             opt,
             roots,
+            grid,
+            compressed,
             json,
         } => {
             if let Some(path) = json {
+                if grid.is_some() || compressed {
+                    return Err(
+                        "the --json snapshot runs a pinned scenario matrix (including the \
+                         2-D and compressed sections); --grid/--compressed apply to the \
+                         TEPS campaign only"
+                            .into(),
+                    );
+                }
                 let cfg = nbfs_bench::wallclock::SnapshotConfig {
                     scale,
                     ..Default::default()
@@ -624,6 +734,12 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                     nbfs_bench::wallclock::multi_query_summary(&snap.multi_query)
                 )
                 .map_err(err)?;
+                writeln!(
+                    out,
+                    "2-D: {}",
+                    nbfs_bench::wallclock::two_dim_summary(&snap.two_dim)
+                )
+                .map_err(err)?;
                 writeln!(out, "wrote {}", path.display()).map_err(err)?;
                 return Ok(());
             }
@@ -632,31 +748,78 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             let scenario = Scenario::builder(machine, opt)
                 .build()
                 .map_err(|e| e.to_string())?;
+            if let Some(shape) = grid {
+                check_grid(&scenario, shape)?;
+            }
             let harness = Graph500Harness::new(&g, &scenario);
-            let config = HarnessConfig::builder()
-                .roots(roots)
-                .seed(2012)
-                .validate(true)
-                .build();
-            let result = harness.run(&config);
+            let (harmonic_teps, bu_share) = if grid.is_some() || compressed {
+                // The 2-D and compressed-storage campaigns run outside the
+                // 1-D harness: same sampled search keys, every tree
+                // validated against the uncompressed graph.
+                let keys = harness.sample_roots(roots, 2012);
+                let packed = compressed.then(|| CompressedCsr::from_csr(&g));
+                let profiles: Vec<_> = keys
+                    .iter()
+                    .map(|&root| {
+                        let (parent, visited, profile) = match (grid, &packed) {
+                            (Some((r, c)), Some(p)) => {
+                                let run = TwoDimBfs::with_grid(p, &scenario, r, c).run(root);
+                                (run.parent, run.visited, run.profile)
+                            }
+                            (Some((r, c)), None) => {
+                                let run = TwoDimBfs::with_grid(&g, &scenario, r, c).run(root);
+                                (run.parent, run.visited, run.profile)
+                            }
+                            (None, Some(p)) => {
+                                let run = DistributedBfs::new(p, &scenario).run(root);
+                                (run.parent, run.visited, run.profile)
+                            }
+                            (None, None) => unreachable!("campaign variant requires a flag"),
+                        };
+                        let checked = validate_bfs_tree(&g, root, &parent)
+                            .map_err(|e| format!("validation failed at root {root}: {e}"))?;
+                        if checked != visited {
+                            return Err(format!("root {root}: visited count mismatch"));
+                        }
+                        Ok(profile)
+                    })
+                    .collect::<Result<_, String>>()?;
+                let inv_sum: f64 = keys
+                    .iter()
+                    .zip(&profiles)
+                    .map(|(&root, p)| p.total().as_secs() / g.component_edges(root) as f64)
+                    .sum();
+                let mut mean = nbfs_core::profile::RunProfile::default();
+                for p in &profiles {
+                    mean.accumulate(p);
+                }
+                let mean = mean.scaled(profiles.len() as f64);
+                (keys.len() as f64 / inv_sum, mean.bu_comm_fraction())
+            } else {
+                let config = HarnessConfig::builder()
+                    .roots(roots)
+                    .seed(2012)
+                    .validate(true)
+                    .build();
+                let result = harness.run(&config);
+                (
+                    result.harmonic_teps(),
+                    result.mean_profile.bu_comm_fraction(),
+                )
+            };
+            let engine_label = match grid {
+                Some((r, c)) => format!(" | 2-D {r}x{c}"),
+                None => String::new(),
+            };
+            let storage_label = if compressed { " | compressed CSR" } else { "" };
             writeln!(
                 out,
-                "{} | scale {scale} | {nodes} nodes | {roots} roots (all validated)",
+                "{} | scale {scale} | {nodes} nodes | {roots} roots (all validated){engine_label}{storage_label}",
                 opt.label()
             )
             .map_err(err)?;
-            writeln!(
-                out,
-                "harmonic-mean TEPS: {}",
-                format_teps(result.harmonic_teps())
-            )
-            .map_err(err)?;
-            writeln!(
-                out,
-                "bottom-up comm share: {:.1}%",
-                100.0 * result.mean_profile.bu_comm_fraction()
-            )
-            .map_err(err)?;
+            writeln!(out, "harmonic-mean TEPS: {}", format_teps(harmonic_teps)).map_err(err)?;
+            writeln!(out, "bottom-up comm share: {:.1}%", 100.0 * bu_share).map_err(err)?;
         }
         Command::ServeBench {
             scale,
@@ -777,6 +940,31 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
         }
     }
     Ok(())
+}
+
+/// Checks that a `--grid RxC` shape tiles the scenario's rank count,
+/// turning the engine's panic into a CLI-friendly error.
+fn check_grid(scenario: &Scenario, (rows, cols): (usize, usize)) -> Result<(), String> {
+    let pm = scenario.process_map();
+    if rows * cols != pm.world_size() {
+        return Err(format!(
+            "--grid {rows}x{cols} does not tile the {} ranks ({} nodes x {} ranks per node)",
+            pm.world_size(),
+            pm.nodes(),
+            pm.ppn()
+        ));
+    }
+    Ok(())
+}
+
+/// The `--compressed` storage summary line.
+fn storage_line(dense: &Csr, packed: &CompressedCsr) -> String {
+    format!(
+        "compressed CSR: {} vs {} uncompressed ({:.2}x)",
+        format_bytes(packed.size_bytes()),
+        format_bytes(dense.size_bytes()),
+        dense.size_bytes() as f64 / packed.size_bytes() as f64
+    )
 }
 
 /// One cell of the chaos matrix: a fault kind injected into one
@@ -1251,6 +1439,8 @@ mod tests {
                 root: None,
                 summary_g: None,
                 codec: Codec::Raw,
+                grid: None,
+                compressed: false,
                 json: Some(PathBuf::from("/tmp/t.json")),
             }
         );
@@ -1294,6 +1484,119 @@ mod tests {
         assert!(parse(&argv("run --summary-g 32")).is_err(), "sub-word");
         assert!(parse(&argv("run --summary-g 192")).is_err(), "non-pow2");
         assert!(parse(&argv("trace --summary-g x")).is_err());
+    }
+
+    #[test]
+    fn parse_grid_and_compressed() {
+        match parse(&argv("run --scale 12 --grid 2x4 --compressed")).unwrap() {
+            Command::Run {
+                grid, compressed, ..
+            } => {
+                assert_eq!(grid, Some((2, 4)));
+                assert!(compressed);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("trace --scale 12 --grid 8x1")).unwrap() {
+            Command::Trace {
+                grid, compressed, ..
+            } => {
+                assert_eq!(grid, Some((8, 1)));
+                assert!(!compressed);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("bench --scale 12 --compressed")).unwrap() {
+            Command::Bench {
+                grid, compressed, ..
+            } => {
+                assert_eq!(grid, None);
+                assert!(compressed);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_grid_rejects_malformed_shapes() {
+        assert!(parse(&argv("run --grid 2")).unwrap_err().contains("RxC"));
+        assert!(parse(&argv("run --grid 2x")).is_err());
+        assert!(parse(&argv("run --grid x4")).is_err());
+        assert!(parse(&argv("run --grid axb")).is_err());
+        assert!(
+            parse(&argv("trace --grid 0x4"))
+                .unwrap_err()
+                .contains(">= 1"),
+            "zero extent"
+        );
+    }
+
+    #[test]
+    fn grid_must_tile_the_rank_count() {
+        // 2 nodes x 8 ranks per node = 16 ranks; 3x3 does not tile them.
+        let cmd = parse(&argv("run --scale 10 --nodes 2 --opt share-all --grid 3x3")).unwrap();
+        let e = execute(cmd, &mut Vec::new()).unwrap_err();
+        assert!(e.contains("does not tile the 16 ranks"), "{e}");
+        let cmd = parse(&argv("bench --scale 10 --nodes 2 --roots 2 --grid 5x2")).unwrap();
+        assert!(execute(cmd, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn grid_excludes_td_alltoallv() {
+        let cmd = parse(&argv("run --scale 10 --nodes 2 --grid 2x4 --td-alltoallv")).unwrap();
+        let e = execute(cmd, &mut Vec::new()).unwrap_err();
+        assert!(e.contains("--grid"), "{e}");
+    }
+
+    #[test]
+    fn run_with_grid_and_compressed_end_to_end() {
+        let cmd = parse(&argv(
+            "run --scale 10 --nodes 2 --opt share-all --grid 2x8 --compressed",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2-D 2x8"), "{text}");
+        assert!(text.contains("compressed CSR"), "{text}");
+        assert!(text.contains("visited"), "{text}");
+    }
+
+    #[test]
+    fn trace_with_grid_keeps_projection_exact() {
+        let cmd = parse(&argv(
+            "trace --scale 10 --nodes 2 --opt share-all --grid 2x8",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2-D 2x8"), "{text}");
+        // The 2-D engine meets the same observability bar as the 1-D one.
+        assert!(
+            text.contains("projection == engine profile: true"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn bench_campaign_with_grid_end_to_end() {
+        let cmd = parse(&argv(
+            "bench --scale 10 --nodes 2 --roots 2 --opt share-all --grid 2x8 --compressed",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("harmonic-mean TEPS"), "{text}");
+        assert!(text.contains("2-D 2x8"), "{text}");
+    }
+
+    #[test]
+    fn bench_snapshot_rejects_campaign_flags() {
+        let cmd = parse(&argv("bench --scale 11 --grid 2x4 --json /tmp/x.json")).unwrap();
+        let e = execute(cmd, &mut Vec::new()).unwrap_err();
+        assert!(e.contains("snapshot"), "{e}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 use nbfs_simnet::NetworkModel;
 use nbfs_topology::ProcessMap;
 use nbfs_trace::CollectiveStats;
+use nbfs_util::varint::{push_varint, read_varint, unzigzag, zigzag};
 
 use crate::allgather::{
     allgather_cost_bytes, allgather_stats_bytes, allgather_words_into, allgatherv_items,
@@ -402,43 +403,6 @@ impl FrontierCodec for SieveCodec {
     }
 }
 
-/// Appends `value` as a LEB128 varint (7 bits per byte, high bit = more).
-fn push_varint(buf: &mut Vec<u8>, mut value: u64) {
-    while value >= 0x80 {
-        buf.push((value & 0x7f) as u8 | 0x80);
-        value >>= 7;
-    }
-    buf.push(value as u8);
-}
-
-/// Reads one LEB128 varint starting at `at`, returning `(value, next)`.
-fn read_varint(buf: &[u8], at: usize) -> (u64, usize) {
-    let mut value = 0u64;
-    let mut shift = 0u32;
-    let mut pos = at;
-    loop {
-        assert!(pos < buf.len(), "truncated varint");
-        let byte = buf[pos];
-        pos += 1;
-        value |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return (value, pos);
-        }
-        shift += 7;
-        assert!(shift < 64, "varint overflows u64");
-    }
-}
-
-/// Zigzag: maps a signed delta onto an unsigned varint-friendly value.
-fn zigzag(delta: i64) -> u64 {
-    ((delta << 1) ^ (delta >> 63)) as u64
-}
-
-/// Inverse of [`zigzag`].
-fn unzigzag(value: u64) -> i64 {
-    ((value >> 1) as i64) ^ -((value & 1) as i64)
-}
-
 /// Replaces `buf` (tagged encoding) with a raw passthrough when the
 /// encoded payload did not undercut the raw byte size.
 fn raw_fallback<F: FnOnce(&mut Vec<u8>)>(buf: &mut Vec<u8>, raw_len: usize, write_raw: F) {
@@ -665,43 +629,6 @@ mod tests {
         }
         assert_eq!(Codec::parse("zstd"), None);
         assert_eq!(Codec::default(), Codec::Raw);
-    }
-
-    #[test]
-    fn varint_round_trips_boundaries() {
-        let mut buf = Vec::new();
-        let samples = [
-            0u64,
-            1,
-            127,
-            128,
-            16383,
-            16384,
-            u64::from(u32::MAX),
-            u64::MAX,
-        ];
-        for value in samples {
-            buf.clear();
-            push_varint(&mut buf, value);
-            let (back, next) = read_varint(&buf, 0);
-            assert_eq!(back, value);
-            assert_eq!(next, buf.len());
-        }
-    }
-
-    #[test]
-    fn zigzag_round_trips() {
-        for delta in [
-            0i64,
-            1,
-            -1,
-            63,
-            -64,
-            i64::from(i32::MAX),
-            i64::from(i32::MIN),
-        ] {
-            assert_eq!(unzigzag(zigzag(delta)), delta);
-        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use nbfs_comm::collectives::{allreduce_sum, inject_allreduce_faults};
 use nbfs_comm::fault::inject_rank_faults;
 use nbfs_comm::{FaultAdjustment, FaultPlan};
 use nbfs_graph::partition::LocalGraph;
-use nbfs_graph::{vid, Csr, PartitionedGraph, NO_PARENT};
+use nbfs_graph::{vid, Csr, GraphView, PartitionedGraph, NO_PARENT};
 use nbfs_simnet::compute::{ModelParams, ProbeClass};
 use nbfs_simnet::{ComputeContext, ComputeEvents, NetworkModel, Residence};
 use nbfs_topology::{MachineConfig, MemoryProfile, PlacementPolicy, ProcessMap};
@@ -221,8 +221,9 @@ impl Scenario {
 
     /// Residence of rank-private per-vertex state (parent arrays, the
     /// local `visited` bits, the graph itself): socket-local when bound,
-    /// spread otherwise.
-    fn private_residence(&self) -> Residence {
+    /// spread otherwise. Shared with the 2-D engine, which charges its
+    /// probes under the same placement rules.
+    pub(crate) fn private_residence(&self) -> Residence {
         match self.policy() {
             PlacementPolicy::BindToSocket => Residence::SocketPrivate,
             _ => Residence::InterleavedPrivateCache,
@@ -230,7 +231,7 @@ impl Scenario {
     }
 
     /// Residence of `in_queue` during computation.
-    fn in_queue_residence(&self) -> Residence {
+    pub(crate) fn in_queue_residence(&self) -> Residence {
         if self.placement_override.is_some() {
             self.private_residence() // the Original code keeps private copies
         } else {
@@ -239,7 +240,7 @@ impl Scenario {
     }
 
     /// Residence of `in_queue_summary` during computation.
-    fn summary_residence(&self) -> Residence {
+    pub(crate) fn summary_residence(&self) -> Residence {
         if self.placement_override.is_some() {
             self.private_residence()
         } else {
@@ -492,17 +493,49 @@ struct KernelOut {
 /// Words per intra-rank bottom-up chunk (4096 vertices). Boundaries are a
 /// pure function of the partition, so the chunk decomposition — and with it
 /// every merged result — is independent of the rayon worker count.
-const BU_CHUNK_WORDS: usize = 64;
+pub(crate) const BU_CHUNK_WORDS: usize = 64;
+
+/// The adjacency rows a bottom-up scan walks: a contiguous vertex block
+/// with sorted global neighbour ids. The 1-D engine scans a rank's
+/// [`LocalGraph`]; the 2-D engine scans a row-group block against one
+/// column's sources through the same monomorphized kernel.
+pub(crate) trait BuRows: Sync {
+    /// First vertex id of the block (the id space `bu_scan_chunk` indexes
+    /// `parent`/`out` relative to).
+    fn first_vertex(&self) -> usize;
+    /// Sorted neighbour ids of block vertex `v` (ascending — the min-parent
+    /// invariant depends on this order).
+    fn neighbours_global(&self, v: usize) -> &[u32];
+}
+
+impl BuRows for LocalGraph {
+    fn first_vertex(&self) -> usize {
+        LocalGraph::first_vertex(self)
+    }
+
+    fn neighbours_global(&self, v: usize) -> &[u32] {
+        LocalGraph::neighbours_global(self, v)
+    }
+}
 
 /// Read-only inputs shared by every chunk of one bottom-up scan.
-#[derive(Clone, Copy)]
-struct BuScanInputs<'a> {
-    lg: &'a LocalGraph,
-    visited: &'a Bitmap,
-    candidates: &'a Bitmap,
-    in_queue: &'a Bitmap,
-    summary: &'a SummaryBitmap,
+pub(crate) struct BuScanInputs<'a, R: BuRows> {
+    pub(crate) lg: &'a R,
+    pub(crate) visited: &'a Bitmap,
+    pub(crate) candidates: &'a Bitmap,
+    pub(crate) in_queue: &'a Bitmap,
+    pub(crate) summary: &'a SummaryBitmap,
 }
+
+// Manual impls: a derive would bound `R: Clone/Copy`, but every field is a
+// shared reference, so the struct is Copy for any `R`.
+impl<R: BuRows> Clone for BuScanInputs<'_, R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<R: BuRows> Copy for BuScanInputs<'_, R> {}
 
 /// Per-chunk output of the word-level bottom-up scan, merged in chunk order.
 /// The chunk's newly discovered vertices are not listed here: they are
@@ -510,14 +543,14 @@ struct BuScanInputs<'a> {
 /// the frontier queue from those (ascending — the reference push order)
 /// instead of growing a `Vec` inside the hot loop.
 #[derive(Clone, Copy, Default)]
-struct BuChunkOut {
-    discovered: u64,
-    degree_found: u64,
-    summary_probes: u64,
-    inqueue_probes: u64,
-    edge_bytes: u64,
-    write_bytes: u64,
-    cpu_ops: u64,
+pub(crate) struct BuChunkOut {
+    pub(crate) discovered: u64,
+    pub(crate) degree_found: u64,
+    pub(crate) summary_probes: u64,
+    pub(crate) inqueue_probes: u64,
+    pub(crate) edge_bytes: u64,
+    pub(crate) write_bytes: u64,
+    pub(crate) cpu_ops: u64,
 }
 
 /// Scans one word-aligned chunk of a rank's vertex range bottom-up.
@@ -533,8 +566,8 @@ struct BuChunkOut {
 /// every examined neighbour pays its probe whether or not the probe word
 /// was cached, with the per-edge tallies hoisted out of the loop (the
 /// examined-prefix length is known once the scan of a vertex ends).
-fn bu_scan_chunk(
-    inp: &BuScanInputs<'_>,
+pub(crate) fn bu_scan_chunk<R: BuRows>(
+    inp: &BuScanInputs<'_, R>,
     base: usize,
     parent: &mut [u32],
     out: &mut [u64],
@@ -607,7 +640,7 @@ fn bu_scan_chunk(
 /// Frontier vertices per pass-1 chunk of the chunked top-down kernel. The
 /// pass merge-joins a frontier chunk against the transposed index, so the
 /// boundaries are a pure function of the frontier — never the worker count.
-const TD_CHUNK_FRONTIER: usize = 4096;
+pub(crate) const TD_CHUNK_FRONTIER: usize = 4096;
 
 /// Matched arcs per pass-2 (claim) chunk: 2048 arcs = 16 KB of index, an
 /// L1-resident working set. Chunking by *arc count* rather than by frontier
@@ -650,7 +683,11 @@ fn gallop_to(arcs: &[(u32, u32)], lo: usize, target: u32) -> usize {
 /// frontier chunk, the `(start, len)` span of its matched arcs in the
 /// rank's transposed index. One binary search anchors the chunk; from
 /// there the sweep gallops, because both sides are sorted.
-fn td_match_chunk(arcs: &[(u32, u32)], frontier_chunk: &[u32], out: &mut [(usize, usize)]) {
+pub(crate) fn td_match_chunk(
+    arcs: &[(u32, u32)],
+    frontier_chunk: &[u32],
+    out: &mut [(usize, usize)],
+) {
     // nbfs-analysis: hot-path
     // The merge-join sweep: replaces the reference kernel's two full
     // binary searches per frontier vertex with near-sequential galloping.
@@ -724,8 +761,13 @@ pub struct BfsRun {
 }
 
 /// The distributed hybrid BFS engine.
-pub struct DistributedBfs<'g> {
-    graph: &'g Csr,
+///
+/// Generic over the graph storage ([`GraphView`]): the default `Csr` and
+/// the delta-varint [`nbfs_graph::CompressedCsr`] partition into identical
+/// [`PartitionedGraph`]s, so every kernel below is storage-agnostic after
+/// construction and results are bitwise-identical across storages.
+pub struct DistributedBfs<'g, G: GraphView = Csr> {
+    graph: &'g G,
     parts: PartitionedGraph,
     scenario: Scenario,
     pmap: ProcessMap,
@@ -740,7 +782,7 @@ pub struct DistributedBfs<'g> {
     granularity: usize,
 }
 
-impl<'g> DistributedBfs<'g> {
+impl<'g, G: GraphView> DistributedBfs<'g, G> {
     /// Partitions `graph` for the scenario's process map and prepares the
     /// cost models. Scenario validation — including the summary
     /// granularity contract — happens exactly once, here; individual runs
@@ -749,7 +791,7 @@ impl<'g> DistributedBfs<'g> {
     /// # Panics
     /// If the scenario's effective summary granularity breaks the
     /// [`nbfs_util::summary::check_granularity`] contract.
-    pub fn new(graph: &'g Csr, scenario: &Scenario) -> Self {
+    pub fn new(graph: &'g G, scenario: &Scenario) -> Self {
         let pmap = scenario.process_map();
         let parts = PartitionedGraph::new(graph, pmap.world_size());
         let net = NetworkModel::new(&scenario.machine);
@@ -789,7 +831,7 @@ impl<'g> DistributedBfs<'g> {
     }
 
     /// The graph being searched.
-    pub fn graph(&self) -> &Csr {
+    pub fn graph(&self) -> &G {
         self.graph
     }
 

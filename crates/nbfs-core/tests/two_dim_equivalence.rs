@@ -1,0 +1,141 @@
+//! Differential tests: the 2-D direction-optimizing engine against the
+//! 1-D engine whose parents it must reproduce bit for bit.
+//!
+//! The min-parent invariant says every engine in the workspace — 1-D or
+//! 2-D, any grid shape, any wire codec, dense or compressed storage —
+//! discovers the same tree: `parent[v]` is the minimum-id frontier
+//! neighbour at `v`'s discovery level. These tests pin that across every
+//! grid shape that tiles the test cluster, the whole codec ladder, both
+//! storage backends and R-MAT scales 14–18, plus the degenerate inputs
+//! (isolated root, single-vertex graph).
+
+// Test code opts back into unwrap/narrowing ergonomics; the workspace
+// denies both in library targets (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+use nbfs_comm::codec::Codec;
+use nbfs_core::engine::{DistributedBfs, Scenario};
+use nbfs_core::engine2d::TwoDimBfs;
+use nbfs_core::opt::OptLevel;
+use nbfs_graph::{CompressedCsr, Csr, EdgeList, GraphBuilder};
+use nbfs_topology::MachineConfig;
+
+/// Every grid shape that tiles the 8 ranks of the test cluster; 2x4 is
+/// the natural mapping (rows = nodes, columns = ranks per node).
+const GRIDS: [(usize, usize); 4] = [(1, 8), (2, 4), (4, 2), (8, 1)];
+
+fn rmat(scale: u32) -> Csr {
+    GraphBuilder::rmat(scale, 16)
+        .seed(0x2D ^ u64::from(scale))
+        .build()
+}
+
+fn best_root(g: &Csr) -> usize {
+    (0..g.num_vertices())
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty")
+}
+
+/// Two nodes x four sockets = 8 ranks with a real inter-node wire, so
+/// every shape in [`GRIDS`] tiles and the column expand crosses nodes.
+fn machine(scale: u32) -> MachineConfig {
+    MachineConfig::small_test_cluster(2, 4).scaled_to_graph(scale, 28)
+}
+
+#[test]
+fn grids_and_storage_match_one_dim() {
+    let g = rmat(14);
+    let packed = CompressedCsr::from_csr(&g);
+    let scenario = Scenario::new(machine(14), OptLevel::Granularity(256));
+    let root = best_root(&g);
+    let reference = DistributedBfs::new(&g, &scenario).run(root);
+    for &(r, c) in &GRIDS {
+        let dense = TwoDimBfs::with_grid(&g, &scenario, r, c).run(root);
+        assert_eq!(reference.parent, dense.parent, "{r}x{c} dense parents");
+        assert_eq!(reference.visited, dense.visited, "{r}x{c} dense visited");
+        let packed_run = TwoDimBfs::with_grid(&packed, &scenario, r, c).run(root);
+        assert_eq!(
+            reference.parent, packed_run.parent,
+            "{r}x{c} compressed parents"
+        );
+        assert_eq!(
+            reference.visited, packed_run.visited,
+            "{r}x{c} compressed visited"
+        );
+    }
+}
+
+#[test]
+fn codecs_match_one_dim_on_both_storages() {
+    let g = rmat(14);
+    let packed = CompressedCsr::from_csr(&g);
+    let root = best_root(&g);
+    let raw = Scenario::new(machine(14), OptLevel::Granularity(256));
+    let reference = DistributedBfs::new(&g, &raw).run(root);
+    for codec in Codec::ALL {
+        let scenario = Scenario::new(machine(14), OptLevel::Granularity(256)).with_codec(codec);
+        let dense = TwoDimBfs::with_grid(&g, &scenario, 2, 4).run(root);
+        assert_eq!(
+            reference.parent,
+            dense.parent,
+            "codec {} dense",
+            codec.label()
+        );
+        let packed_run = TwoDimBfs::with_grid(&packed, &scenario, 2, 4).run(root);
+        assert_eq!(
+            reference.parent,
+            packed_run.parent,
+            "codec {} compressed",
+            codec.label()
+        );
+    }
+}
+
+#[test]
+fn scales_match_one_dim_on_compressed_storage() {
+    // The natural grid over compressed storage vs the 1-D engine over the
+    // dense CSR of the same graph: one sweep covers both axes at once.
+    for scale in 15..=18u32 {
+        let g = rmat(scale);
+        let packed = CompressedCsr::from_csr(&g);
+        let scenario = Scenario::new(machine(scale), OptLevel::Granularity(256));
+        let root = best_root(&g);
+        let reference = DistributedBfs::new(&g, &scenario).run(root);
+        let run = TwoDimBfs::new(&packed, &scenario).run(root);
+        assert_eq!(reference.parent, run.parent, "scale {scale} parents");
+        assert_eq!(reference.visited, run.visited, "scale {scale} visited");
+    }
+}
+
+#[test]
+fn isolated_root_is_a_one_vertex_tree_on_every_grid() {
+    let g = GraphBuilder::rmat(11, 8).seed(13).build();
+    let isolated = (0..g.num_vertices())
+        .find(|&v| g.degree(v) == 0)
+        .expect("R-MAT has isolated vertices");
+    let scenario = Scenario::new(machine(11), OptLevel::Granularity(256));
+    let reference = DistributedBfs::new(&g, &scenario).run(isolated);
+    assert_eq!(reference.visited, 1);
+    for &(r, c) in &GRIDS {
+        let run = TwoDimBfs::with_grid(&g, &scenario, r, c).run(isolated);
+        assert_eq!(run.visited, 1, "{r}x{c}");
+        assert_eq!(run.parent[isolated], isolated as u32, "{r}x{c}");
+        assert_eq!(reference.parent, run.parent, "{r}x{c}");
+    }
+}
+
+#[test]
+fn single_vertex_graph_runs_on_the_grid() {
+    // One vertex over 8 ranks: all but one row group is empty, every
+    // frontier after level 0 is empty, and both storages must agree.
+    let g = Csr::from_edge_list(&EdgeList::new(1, Vec::new()));
+    let packed = CompressedCsr::from_csr(&g);
+    let scenario = Scenario::new(machine(1), OptLevel::Granularity(256));
+    let reference = DistributedBfs::new(&g, &scenario).run(0);
+    for &(r, c) in &GRIDS {
+        let dense = TwoDimBfs::with_grid(&g, &scenario, r, c).run(0);
+        assert_eq!(dense.visited, 1, "{r}x{c}");
+        assert_eq!(dense.parent, reference.parent, "{r}x{c}");
+        let packed_run = TwoDimBfs::with_grid(&packed, &scenario, r, c).run(0);
+        assert_eq!(packed_run.parent, reference.parent, "{r}x{c} compressed");
+    }
+}

@@ -58,6 +58,15 @@ impl Csr {
         Csr { offsets, targets }
     }
 
+    /// Reassembles a CSR from raw arrays (crate-internal: the compressed
+    /// decoder). `offsets` must be monotone with `offsets[0] == 0` and
+    /// rows must be strictly ascending.
+    pub(crate) fn from_parts(offsets: Vec<u64>, targets: Vec<u32>) -> Self {
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.last().copied(), Some(targets.len() as u64));
+        Csr { offsets, targets }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -187,6 +196,26 @@ mod tests {
         assert!(g.has_edge(0, 3));
         assert!(g.has_edge(3, 0));
         assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn has_edge_pins_hub_membership() {
+        // A hub adjacent to every odd vertex: the binary search must agree
+        // with a linear membership scan across the whole id space,
+        // including both row boundaries and the just-outside ids.
+        let n = 1001usize;
+        let edges: Vec<Edge> = (1..n).step_by(2).map(|v| Edge::new(0, v)).collect();
+        let g = Csr::from_edge_list(&EdgeList::new(n, edges));
+        assert_eq!(g.degree(0), 500);
+        for v in 0..n {
+            let expected = v % 2 == 1;
+            assert_eq!(g.has_edge(0, v), expected, "hub membership of {v}");
+            assert_eq!(g.has_edge(v, 0), expected, "symmetric membership of {v}");
+        }
+        assert!(g.has_edge(0, 1), "first neighbour");
+        assert!(g.has_edge(0, 999), "last neighbour");
+        assert!(!g.has_edge(0, 0), "no self loop");
+        assert!(!g.has_edge(0, 1000), "one past the last neighbour");
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!   with deterministic counter-based randomness and vertex-label
 //!   scrambling;
 //! * [`csr`] — compressed sparse row storage with parallel construction;
+//! * [`compressed`] — delta-varint CSR (`u40`-packed byte offsets) that
+//!   halves the graph footprint so scale 21–22 fits where 19 did;
+//! * [`view`] — the [`GraphView`] trait both BFS engines traverse, so
+//!   compressed and uncompressed storage share monomorphized kernels;
 //! * [`builder`] — a fluent front door ([`builder::GraphBuilder`]);
 //! * [`partition`] — the 1-D block distribution of rows across ranks used
 //!   by the distributed BFS (each rank owns the adjacency of its vertex
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod edge;
 pub mod io;
@@ -35,11 +40,14 @@ pub mod rmat;
 pub mod stats;
 pub mod validate;
 pub mod vid;
+pub mod view;
 
 pub use builder::GraphBuilder;
+pub use compressed::CompressedCsr;
 pub use csr::Csr;
 pub use edge::{Edge, EdgeList};
 pub use partition::PartitionedGraph;
+pub use view::GraphView;
 
 /// Vertex identifier. Graphs up to scale 31 are supported (ids fit `u32`
 /// internally; the API uses `usize` for ergonomics).

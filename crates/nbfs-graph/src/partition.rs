@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use nbfs_util::BlockPartition;
 
-use crate::csr::Csr;
+use crate::view::GraphView;
 use crate::VertexId;
 
 /// The rows of the CSR owned by one rank.
@@ -111,29 +111,33 @@ pub struct PartitionedGraph {
 }
 
 impl PartitionedGraph {
-    /// Splits `graph` into `parts` word-aligned blocks.
-    pub fn new(graph: &Csr, parts: usize) -> Self {
-        let part = BlockPartition::new(graph.num_vertices(), parts);
+    /// Splits `graph` into `parts` word-aligned blocks. Generic over the
+    /// storage so the compressed CSR is distributed by streaming each
+    /// row's decode once, without first expanding the whole graph.
+    pub fn new<G: GraphView>(graph: &G, parts: usize) -> Self {
+        let n = graph.num_vertices();
+        let part = BlockPartition::new(n, parts);
         let locals = (0..parts)
             .map(|rank| {
                 let (start, end) = part.item_range(rank);
-                let base = graph.offsets()[start.min(graph.num_vertices())];
-                let offsets: Vec<u64> = (start..=end)
-                    .map(|v| graph.offsets()[v.min(graph.num_vertices())] - base)
-                    .collect();
-                let targets = graph.targets()
-                    [base as usize..base as usize + offsets[end - start] as usize]
-                    .to_vec();
+                let mut offsets = Vec::with_capacity(end - start + 1);
+                offsets.push(0u64);
+                let mut targets = Vec::new();
                 // Transpose: for every owned target v and neighbour u,
                 // record (u, v). The graph is undirected, so the local CSR
                 // rows already contain every edge incident to the block.
-                let mut incoming: Vec<(u32, u32)> = (start..end)
-                    .flat_map(|v| {
-                        let row = &graph.targets()
-                            [graph.offsets()[v] as usize..graph.offsets()[v + 1] as usize];
-                        row.iter().map(move |&u| (u, crate::vid::to_stored(v)))
-                    })
-                    .collect();
+                // (Padded vertices past `n` in the word-aligned last block
+                // are recorded as degree-0 rows, as before.)
+                let mut incoming: Vec<(u32, u32)> = Vec::new();
+                for v in start..end {
+                    if v < n {
+                        graph.for_each_neighbour(v, |u| {
+                            targets.push(u);
+                            incoming.push((u, crate::vid::to_stored(v)));
+                        });
+                    }
+                    offsets.push(targets.len() as u64);
+                }
                 incoming.sort_unstable();
                 LocalGraph {
                     rank,
@@ -145,7 +149,7 @@ impl PartitionedGraph {
             })
             .collect();
         Self {
-            num_vertices: graph.num_vertices(),
+            num_vertices: n,
             num_edges: graph.num_edges(),
             locals,
         }

@@ -15,6 +15,7 @@ use rayon::prelude::*;
 
 use nbfs_util::rng::{counter_u64, splitmix64};
 
+use crate::compressed::{CompressedCsr, RowEncoder};
 use crate::edge::{Edge, EdgeList};
 
 /// Graph500 R-MAT parameters.
@@ -77,6 +78,64 @@ pub fn generate(params: &RmatParams) -> EdgeList {
         })
         .collect();
     EdgeList::new(n, edges)
+}
+
+/// Builds the delta-varint [`CompressedCsr`] straight from the counter
+/// stream, one contiguous vertex block per pass, without ever holding the
+/// global edge list (or the uncompressed CSR) in memory.
+///
+/// Each pass regenerates the whole deterministic edge stream and keeps
+/// only the arcs whose *source* falls in the pass's vertex block — both
+/// directions of every raw edge are considered, self loops dropped and
+/// duplicates collapsed per row, so the result is structurally identical
+/// to `Csr::from_edge_list(&generate(params))` re-encoded. Peak transient
+/// memory is `O(num_arcs / passes)` instead of `O(num_edges)`; the price
+/// is `passes` regenerations of the (embarrassingly parallel, cheap)
+/// counter stream.
+pub fn generate_compressed(params: &RmatParams, passes: usize) -> CompressedCsr {
+    let n = params.num_vertices();
+    let m = params.num_edges() as u64;
+    let passes = passes.clamp(1, n);
+    let mut enc = RowEncoder::new(n);
+    let mut row: Vec<u32> = Vec::new();
+    for pass in 0..passes {
+        let lo = (n * pass / passes) as u64;
+        let hi = (n * (pass + 1) / passes) as u64;
+        let mut arcs: Vec<(u32, u32)> = (0..m)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let (u, v) = rmat_edge(params, i);
+                let u = scramble(u, params.scale, params.seed);
+                let v = scramble(v, params.scale, params.seed);
+                let keep =
+                    |s: u32, t: u32| (s != t && (lo..hi).contains(&u64::from(s))).then_some((s, t));
+                keep(u, v).into_iter().chain(keep(v, u))
+            })
+            .collect();
+        arcs.sort_unstable();
+        let mut cursor = 0usize;
+        for v in lo..hi {
+            row.clear();
+            while cursor < arcs.len() && u64::from(arcs[cursor].0) == v {
+                row.push(arcs[cursor].1);
+                cursor += 1;
+            }
+            row.dedup();
+            enc.push_row(&row);
+        }
+        debug_assert_eq!(cursor, arcs.len(), "arcs outside pass block");
+    }
+    enc.finish()
+}
+
+/// Pass count for [`generate_compressed`] that bounds the per-pass arc
+/// buffer near 16 M entries (~128 MB transient).
+pub fn streaming_passes(params: &RmatParams) -> usize {
+    const TARGET_ARCS_PER_PASS: usize = 1 << 24;
+    // Raw arcs (before dedup) upper-bound the per-pass buffer.
+    (2 * params.num_edges())
+        .div_ceil(TARGET_ARCS_PER_PASS)
+        .max(1)
 }
 
 /// The unscrambled endpoints of edge `i`.
@@ -200,6 +259,18 @@ mod tests {
             max as f64 > 8.0 * mean,
             "max degree {max} vs mean {mean}: not skewed enough for R-MAT"
         );
+    }
+
+    #[test]
+    fn streaming_compressed_build_matches_materialized_path() {
+        use crate::Csr;
+        let p = RmatParams::graph500(11, 16, 23);
+        let reference = Csr::from_edge_list(&generate(&p));
+        for passes in [1usize, 3, 7] {
+            let c = generate_compressed(&p, passes);
+            assert_eq!(c.to_csr(), reference, "passes={passes}");
+        }
+        assert!(streaming_passes(&p) >= 1);
     }
 
     #[test]

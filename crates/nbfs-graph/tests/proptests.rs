@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 use nbfs_graph::edge::{Edge, EdgeList};
 use nbfs_graph::io;
-use nbfs_graph::rmat::{generate, scramble, RmatParams};
-use nbfs_graph::{Csr, PartitionedGraph};
+use nbfs_graph::rmat::{generate, generate_compressed, scramble, RmatParams};
+use nbfs_graph::{CompressedCsr, Csr, GraphView, PartitionedGraph};
 
 proptest! {
     /// The label scrambler is a bijection on [0, 2^scale) for any seed.
@@ -94,6 +94,53 @@ proptest! {
         prop_assert_eq!(a.len(), 256 * 4);
     }
 
+    /// Delta-varint compression round-trips arbitrary edge lists: same
+    /// counts, same degrees, same neighbour streams, same dense CSR back.
+    #[test]
+    fn compressed_round_trips(
+        edges in prop::collection::vec((0u32..300, 0u32..300), 0..500),
+    ) {
+        let el = EdgeList::new(300, edges.iter().map(|&(u, v)| Edge { u, v }).collect());
+        let g = Csr::from_edge_list(&el);
+        let c = CompressedCsr::from_csr(&g);
+        prop_assert_eq!(c.num_vertices(), g.num_vertices());
+        prop_assert_eq!(c.num_edges(), g.num_edges());
+        prop_assert_eq!(c.num_arcs(), g.num_arcs());
+        for v in 0..g.num_vertices() {
+            prop_assert_eq!(GraphView::degree(&c, v), g.degree(v), "degree of {}", v);
+            let mut ns = Vec::new();
+            c.for_each_neighbour(v, |w| ns.push(w));
+            prop_assert_eq!(ns, g.neighbours(v).to_vec(), "row {}", v);
+        }
+        prop_assert_eq!(&c.to_csr(), &g);
+    }
+
+    /// Size accounting brackets: each arc costs at least one payload byte
+    /// and at most the five-byte LEB128 ceiling, and the packed offsets
+    /// cost five bytes per entry — so `size_bytes` must land inside
+    /// analytic bounds for any input.
+    #[test]
+    fn compressed_size_accounting(
+        edges in prop::collection::vec((0u32..300, 0u32..300), 0..500),
+    ) {
+        let el = EdgeList::new(300, edges.iter().map(|&(u, v)| Edge { u, v }).collect());
+        let g = Csr::from_edge_list(&el);
+        let c = CompressedCsr::from_csr(&g);
+        let offsets = 5 * (g.num_vertices() + 1);
+        prop_assert!(c.size_bytes() >= g.num_arcs() + offsets || g.num_arcs() == 0);
+        prop_assert!(c.size_bytes() <= 5 * g.num_arcs() + offsets);
+    }
+
+    /// The streaming compressed build equals compressing the dense build,
+    /// for any seed and any pass count.
+    #[test]
+    fn streaming_build_matches_dense_build(seed in any::<u64>(), passes in 1usize..5) {
+        let p = RmatParams::graph500(8, 4, seed);
+        let dense = Csr::from_edge_list(&generate(&p));
+        let streamed = generate_compressed(&p, passes);
+        prop_assert_eq!(&streamed.to_csr(), &dense, "passes={}", passes);
+    }
+
     /// Deduplication is idempotent and never grows the list.
     #[test]
     fn dedup_idempotent(
@@ -109,4 +156,54 @@ proptest! {
             prop_assert!(e.u < e.v);
         }
     }
+}
+
+/// Pinned regression for the compressed round-trip: the adversarial shapes
+/// the random strategies once had to shrink to — duplicate multi-edges and
+/// self loops on the id-space boundary, an empty leading row, a vertex
+/// adjacent to everything (one-byte deltas), and a max-spread row (widest
+/// varints). Kept as explicit inputs so the case replays on every run
+/// regardless of the proptest seed.
+#[test]
+fn compressed_pinned_regression() {
+    let edges = vec![
+        Edge::new(299, 299), // self loop at the boundary
+        Edge::new(299, 298),
+        Edge::new(298, 299), // duplicate in the other orientation
+        Edge::new(1, 299),   // max-spread row
+        Edge::new(1, 2),
+        Edge::new(1, 2), // duplicate multi-edge
+        Edge::new(1, 150),
+    ];
+    let el = EdgeList::new(300, edges);
+    let g = Csr::from_edge_list(&el);
+    let c = CompressedCsr::from_csr(&g);
+    assert_eq!(c.to_csr(), g);
+    assert_eq!(GraphView::degree(&c, 0), 0, "empty leading row");
+    assert_eq!(g.neighbours(1), &[2, 150, 299], "dedup + sort");
+    let offsets = 5 * (g.num_vertices() + 1);
+    assert!(c.size_bytes() >= g.num_arcs() + offsets);
+    assert!(c.size_bytes() <= 5 * g.num_arcs() + offsets);
+}
+
+/// The headline compression claim at a scale debug builds can afford:
+/// delta-varint beats the dense CSR by more than 2x on scale-16 R-MAT.
+#[test]
+fn compression_ratio_exceeds_two_at_scale_16() {
+    let g = nbfs_graph::GraphBuilder::rmat(16, 16).seed(1).build();
+    let c = CompressedCsr::from_csr(&g);
+    let ratio = g.size_bytes() as f64 / c.size_bytes() as f64;
+    assert!(ratio >= 2.0, "compression ratio {ratio:.2} < 2.0");
+}
+
+/// The acceptance-scale compression claim: >= 2x on the scale-19 R-MAT the
+/// committed benchmark snapshot runs. Debug builds skip it (the graph
+/// takes minutes to assemble unoptimized); CI runs it in release.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "scale-19 build is release-only")]
+fn compression_ratio_exceeds_two_at_scale_19() {
+    let g = nbfs_graph::GraphBuilder::rmat(19, 16).seed(1).build();
+    let c = CompressedCsr::from_csr(&g);
+    let ratio = g.size_bytes() as f64 / c.size_bytes() as f64;
+    assert!(ratio >= 2.0, "compression ratio {ratio:.2} < 2.0");
 }

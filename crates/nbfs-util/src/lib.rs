@@ -23,6 +23,8 @@
 //!   run rules,
 //! * [`SimTime`] — the simulated-seconds newtype threaded through the cost
 //!   models,
+//! * [`varint`] — the LEB128 primitives shared by the wire codecs and the
+//!   compressed CSR storage,
 //! * [`NbfsError`] / [`Result`] — the workspace-wide error surface.
 
 #![forbid(unsafe_code)]
@@ -45,6 +47,7 @@ pub mod simtime;
 pub mod stats;
 pub mod summary;
 pub mod units;
+pub mod varint;
 
 pub use atomic_bitmap::AtomicBitmap;
 pub use bitmap::{Bitmap, CachedWordProbe};
